@@ -1,0 +1,99 @@
+"""Bench: ablations of the design choices DESIGN.md calls out.
+
+* cooperation on/off — quantifies the whole paper's premise;
+* RamCOM's threshold exponent k — the per-k revenue profile behind the
+  randomized draw;
+* Algorithm-2 accuracy knobs (xi, eta) — samples vs latency;
+* MER candidate payments — grid resolution and CDF breakpoints.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_experiment_config
+
+from repro.experiments.ablation import (
+    run_cooperation_ablation,
+    run_payment_accuracy_ablation,
+    run_pricer_breakpoint_ablation,
+    run_ramcom_k_sweep,
+)
+from repro.workloads import SyntheticWorkload, SyntheticWorkloadConfig
+
+
+def _scenario():
+    return SyntheticWorkload(
+        SyntheticWorkloadConfig(request_count=600, worker_count=160, city_km=8.0)
+    ).build(seed=1)
+
+
+def test_cooperation_ablation(benchmark):
+    scenario = _scenario()
+    result = benchmark.pedantic(
+        run_cooperation_ablation,
+        args=(scenario, bench_experiment_config()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    rows = dict(result.rows)
+    # Disabling the exchange removes every cooperative completion.
+    assert rows["demcom-coop"].cooperative == 0
+    assert rows["ramcom-coop"].cooperative == 0
+    assert rows["ramcom+coop"].cooperative > 0
+    # With one-sided... on symmetric demand cooperation pays off overall.
+    assert (
+        rows["ramcom+coop"].total_revenue >= rows["ramcom-coop"].total_revenue
+    )
+
+
+def test_ramcom_k_sweep(benchmark):
+    scenario = _scenario()
+    result = benchmark.pedantic(
+        run_ramcom_k_sweep,
+        args=(scenario, bench_experiment_config()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert len(result.rows) >= 3
+    # Every pinned-k variant still completes work.
+    for __, row in result.rows:
+        assert row.total_completed > 0
+
+
+def test_payment_accuracy(benchmark):
+    scenario = _scenario()
+    result = benchmark.pedantic(
+        run_payment_accuracy_ablation,
+        args=(scenario, bench_experiment_config()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    rows = dict(result.rows)
+    # Tighter (xi, eta) means more Monte-Carlo samples per request, which
+    # shows up as strictly higher decision latency.
+    loose = rows["xi=0.2, eta=0.7"].response_time_ms
+    tight = rows["xi=0.05, eta=0.3"].response_time_ms
+    assert tight > loose
+
+
+def test_pricer_breakpoints(benchmark):
+    scenario = _scenario()
+    result = benchmark.pedantic(
+        run_pricer_breakpoint_ablation,
+        args=(scenario, bench_experiment_config()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    rows = dict(result.rows)
+    # With CDF breakpoints the optimizer is exact: revenue at grid-50+bp is
+    # at least that of the grid-only variant (up to run noise).
+    assert (
+        rows["grid-50+bp"].total_revenue >= rows["grid-50-bp"].total_revenue * 0.97
+    )

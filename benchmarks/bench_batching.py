@@ -1,0 +1,72 @@
+"""Bench: the batching extension — what does deciding immediately cost?
+
+Sweeps the batch window delta and compares against the paper's immediate-
+decision algorithms.  Expected shape: the batch baseline dominates TOTA
+(globally better pairings + a cooperative fallback) and the advantage is
+insensitive to delta on diurnal workloads (batches stay small off-peak).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_experiment_config
+
+from repro.baselines import BatchMatching
+from repro.core.simulator import Simulator
+from repro.experiments.harness import run_comparison
+from repro.experiments.metrics import AlgorithmMetrics, average_metrics
+from repro.utils.tables import TextTable
+from repro.workloads import SyntheticWorkload, SyntheticWorkloadConfig
+
+DELTAS = (0.0, 60.0, 300.0, 900.0)
+
+
+def run_sweep():
+    scenario = SyntheticWorkload(
+        SyntheticWorkloadConfig(request_count=800, worker_count=200, city_km=8.0)
+    ).build(seed=8)
+    config = bench_experiment_config()
+    rows: dict[str, AlgorithmMetrics] = {}
+    for name, row in zip(
+        ("tota", "demcom", "ramcom"),
+        run_comparison(scenario, ["tota", "demcom", "ramcom"], config),
+    ):
+        rows[name] = row
+    for delta in DELTAS:
+        per_seed = []
+        for seed in config.seeds:
+            simulator = Simulator(config.simulator_config(seed))
+            result = simulator.run(
+                scenario, lambda: BatchMatching(delta_seconds=delta)
+            )
+            per_seed.append(AlgorithmMetrics.from_simulation(result))
+        rows[f"batch-{delta:g}s"] = average_metrics(per_seed)
+    return rows
+
+
+def test_batching_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = TextTable(
+        ["Algorithm", "Revenue", "Completed", "|CoR|", "AcpRt"],
+        title="Batch-window sweep vs immediate decisions",
+    )
+    for label, row in rows.items():
+        table.add_row(
+            [
+                label,
+                round(row.total_revenue),
+                round(row.total_completed),
+                row.cooperative,
+                row.acceptance_ratio,
+            ]
+        )
+    print()
+    print(table.render())
+
+    # Batching with the cooperative fallback dominates plain TOTA at every
+    # window size.
+    for delta in DELTAS:
+        assert rows[f"batch-{delta:g}s"].total_revenue > rows["tota"].total_revenue
+    # And longer windows never do much worse than instant batches.
+    instant = rows["batch-0s"].total_revenue
+    for delta in DELTAS[1:]:
+        assert rows[f"batch-{delta:g}s"].total_revenue >= instant * 0.9

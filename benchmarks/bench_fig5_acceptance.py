@@ -1,0 +1,58 @@
+"""Bench: Fig. 5(d)/(h)/(l) — cooperative acceptance ratio vs |R|, |W|, rad.
+
+Paper shapes asserted:
+
+* RamCOM's acceptance ratio dominates DemCOM's on every sweep point (its
+  MER payments clear workers' thresholds; DemCOM's minimum payments mostly
+  undershoot);
+* ratios live in (0, 1];
+* TOTA has no cooperative requests, hence no ratio (reported as 0 here).
+"""
+
+from __future__ import annotations
+
+from figure_common import axis_panels, series
+
+
+def _assert_ramcom_dominates(panel) -> None:
+    demcom = series(panel, "demcom")
+    ramcom = series(panel, "ramcom")
+    for index in range(len(panel.x_values)):
+        if demcom[index] > 0:  # a cooperative attempt happened
+            assert ramcom[index] >= demcom[index]
+        assert 0.0 <= ramcom[index] <= 1.0
+    assert all(value == 0.0 for value in series(panel, "tota"))
+
+
+def test_fig5d_acceptance_vs_requests(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("requests",), rounds=1, iterations=1
+    )
+    panel = panels["acceptance"]
+    print()
+    print(panel.render())
+    _assert_ramcom_dominates(panel)
+
+
+def test_fig5h_acceptance_vs_workers(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("workers",), rounds=1, iterations=1
+    )
+    panel = panels["acceptance"]
+    print()
+    print(panel.render())
+    _assert_ramcom_dominates(panel)
+
+
+def test_fig5l_acceptance_vs_radius(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("radius",), rounds=1, iterations=1
+    )
+    panel = panels["acceptance"]
+    print()
+    print(panel.render())
+    _assert_ramcom_dominates(panel)
+    # More radius -> more candidate workers per cooperative request ->
+    # RamCOM's any-worker acceptance cannot collapse.
+    ramcom = series(panel, "ramcom")
+    assert ramcom[-1] >= ramcom[0] * 0.8

@@ -1,0 +1,52 @@
+"""Bench: Fig. 5(c)/(g)/(k) — memory cost vs |R|, |W| and rad.
+
+Paper shapes asserted: memory grows with |R| and |W| (entity storage),
+stays flat in rad, and is nearly identical across the three algorithms.
+"""
+
+from __future__ import annotations
+
+from figure_common import axis_panels, mostly_increasing, roughly_flat, series
+
+
+def _algorithms_nearly_identical(panel) -> None:
+    for index in range(len(panel.x_values)):
+        values = [series(panel, name)[index] for name in ("tota", "demcom", "ramcom")]
+        assert max(values) <= min(values) * 1.25 + 1e-6
+
+
+def test_fig5c_memory_vs_requests(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("requests",), rounds=1, iterations=1
+    )
+    panel = panels["memory"]
+    print()
+    print(panel.render())
+    for algorithm in ("tota", "demcom", "ramcom"):
+        assert mostly_increasing(series(panel, algorithm))
+    _algorithms_nearly_identical(panel)
+
+
+def test_fig5g_memory_vs_workers(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("workers",), rounds=1, iterations=1
+    )
+    panel = panels["memory"]
+    print()
+    print(panel.render())
+    for algorithm in ("tota", "demcom", "ramcom"):
+        assert mostly_increasing(series(panel, algorithm))
+    _algorithms_nearly_identical(panel)
+
+
+def test_fig5k_memory_vs_radius(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("radius",), rounds=1, iterations=1
+    )
+    panel = panels["memory"]
+    print()
+    print(panel.render())
+    # Same |R| and |W| at every radius: storage barely moves.
+    for algorithm in ("tota", "demcom", "ramcom"):
+        assert roughly_flat(series(panel, algorithm), band=0.25)
+    _algorithms_nearly_identical(panel)

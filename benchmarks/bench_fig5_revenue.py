@@ -1,0 +1,63 @@
+"""Bench: Fig. 5(a)/(e)/(i) — total revenue vs |R|, |W| and rad.
+
+Paper shapes asserted:
+
+* 5(a): revenue grows with |R| for every algorithm; RamCOM's growth is the
+  largest, TOTA's the smallest (workers run out, COM borrows).
+* 5(e): revenue grows with |W| then saturates once workers outnumber the
+  demand (paper: |W| > 1000 at |R| = 2500).
+* 5(i): revenue roughly flat-to-slightly-increasing in rad; RamCOM on top.
+"""
+
+from __future__ import annotations
+
+from figure_common import axis_panels, mostly_increasing, series
+
+
+def test_fig5a_revenue_vs_requests(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("requests",), rounds=1, iterations=1
+    )
+    panel = panels["revenue"]
+    print()
+    print(panel.render())
+    for algorithm in ("tota", "demcom", "ramcom"):
+        assert mostly_increasing(series(panel, algorithm))
+    # COM's advantage widens as workers become scarce: compare the revenue
+    # gain from the first to the last sweep point.
+    tota_gain = series(panel, "tota")[-1] / series(panel, "tota")[0]
+    ramcom_gain = series(panel, "ramcom")[-1] / series(panel, "ramcom")[0]
+    assert ramcom_gain >= tota_gain * 0.95
+
+
+def test_fig5e_revenue_vs_workers(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("workers",), rounds=1, iterations=1
+    )
+    panel = panels["revenue"]
+    print()
+    print(panel.render())
+    for algorithm in ("tota", "demcom", "ramcom"):
+        values = series(panel, algorithm)
+        assert mostly_increasing(values)
+        # Saturation: the last doubling of |W| adds far less revenue than
+        # the first one.
+        first_jump = values[1] - values[0]
+        last_jump = values[-1] - values[-2]
+        assert last_jump <= max(first_jump, 1.0)
+
+
+def test_fig5i_revenue_vs_radius(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("radius",), rounds=1, iterations=1
+    )
+    panel = panels["revenue"]
+    print()
+    print(panel.render())
+    # Larger service disks can only help; slight increase expected.
+    for algorithm in ("tota", "demcom", "ramcom"):
+        values = series(panel, algorithm)
+        assert values[-1] >= values[0] * 0.9
+    # RamCOM stays on top across the radius sweep.
+    for index in range(len(panel.x_values)):
+        assert series(panel, "ramcom")[index] >= series(panel, "tota")[index] * 0.95

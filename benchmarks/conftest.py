@@ -1,0 +1,51 @@
+"""Shared configuration for the benchmark suite.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_SCALE`` — fraction of Table III's entity counts simulated
+  by the table benches (default 0.01; the paper's full scale is 1.0).
+* ``REPRO_BENCH_SEEDS`` — seed-days averaged per measurement (default 2).
+* ``REPRO_BENCH_FULL`` — set to 1 to run the figure sweeps over the full
+  Table-IV grids (default: the heaviest tail points are truncated).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
+paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.experiments.harness import ExperimentConfig
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+BENCH_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "2"))
+BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def bench_experiment_config() -> ExperimentConfig:
+    """The harness configuration shared by the table/figure benches."""
+    return ExperimentConfig(
+        seeds=tuple(range(BENCH_SEEDS)),
+        worker_reentry=True,
+        service_duration=1800.0,
+    )
+
+
+def figure_sweep(axis: str) -> tuple:
+    """The sweep grid for one Fig.-5 axis (truncated unless BENCH_FULL)."""
+    full = {
+        "requests": (500, 1000, 2500, 5000, 10_000, 20_000, 50_000, 100_000),
+        "workers": (100, 200, 500, 1000, 2500, 5000, 10_000, 20_000),
+        "radius": (0.5, 1.0, 1.5, 2.0, 2.5),
+    }
+    reduced = {
+        "requests": (500, 1000, 2500, 5000, 10_000),
+        "workers": (100, 200, 500, 1000, 2500),
+        "radius": (0.5, 1.0, 1.5, 2.0, 2.5),
+    }
+    return full[axis] if BENCH_FULL else reduced[axis]

@@ -1,0 +1,51 @@
+"""Shared machinery for the Fig.-5 benches.
+
+One sweep per axis (module-cached) produces all four metric panels; each
+bench prints its panel and asserts the paper's qualitative shape for that
+(axis, metric) pair.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import bench_experiment_config, figure_sweep
+
+from repro.experiments.figures import FigurePanel, run_figure5_axis
+
+ALGORITHMS = ("tota", "demcom", "ramcom")
+
+
+@lru_cache(maxsize=None)
+def axis_panels(axis: str) -> dict[str, FigurePanel]:
+    """All four metric panels for one axis (cached across benches)."""
+    return run_figure5_axis(
+        axis,
+        values=figure_sweep(axis),
+        config=bench_experiment_config(),
+        algorithms=list(ALGORITHMS),
+    )
+
+
+def series(panel: FigurePanel, algorithm: str) -> list[float]:
+    """One algorithm's data series."""
+    return panel.series[algorithm]
+
+
+def mostly_increasing(values: list[float], tolerance: float = 0.1) -> bool:
+    """True if the series trends upward (each step may dip by at most
+    ``tolerance`` of the running maximum — sweeps are stochastic)."""
+    running_max = values[0]
+    for value in values[1:]:
+        if value < running_max * (1.0 - tolerance) - 1e-9:
+            return False
+        running_max = max(running_max, value)
+    return values[-1] > values[0] * (1.0 - tolerance)
+
+
+def roughly_flat(values: list[float], band: float = 0.6) -> bool:
+    """True if max/min stays within a (generous) multiplicative band."""
+    low, high = min(values), max(values)
+    if high <= 0:
+        return True
+    return (high - low) <= band * high

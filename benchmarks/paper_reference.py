@@ -1,0 +1,61 @@
+"""The paper's published numbers (Tables V-VII), used by the benches to
+print paper-vs-measured comparisons and to assert the reproduced *shape*.
+
+Revenues are in units of 10^6 CNY exactly as printed in the paper; request
+counts are raw.  Our experiments run scaled-down simulated traces, so the
+comparison normalizes both sides by their TOTA row ("who wins, by roughly
+what factor") rather than comparing absolute CNY.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One published table row."""
+
+    revenue_didi_m: float
+    revenue_yueche_m: float
+    response_ms: float
+    completed_didi: int
+    completed_yueche: int
+    cooperative: int | None = None
+    acceptance: float | None = None
+    payment_rate: float | None = None
+
+    @property
+    def total_revenue_m(self) -> float:
+        return self.revenue_didi_m + self.revenue_yueche_m
+
+    @property
+    def total_completed(self) -> int:
+        return self.completed_didi + self.completed_yueche
+
+
+#: Table V — RDC10 + RYC10 (Chengdu, Oct 2016).
+TABLE_V = {
+    "OFF": PaperRow(1.752, 1.743, 0.34, 91_321, 90_589),
+    "TOTA": PaperRow(1.343, 1.348, 0.43, 68_689, 68_453),
+    "DemCOM": PaperRow(1.369, 1.372, 0.43, 71_931, 71_721, 7_077, 0.16, 0.72),
+    "RamCOM": PaperRow(1.436, 1.437, 0.56, 69_186, 68_560, 72_417, 0.66, 0.81),
+}
+
+#: Table VI — RDC11 + RYC11 (Chengdu, Nov 2016).
+TABLE_VI = {
+    "OFF": PaperRow(1.914, 1.924, 0.32, 100_973, 100_448),
+    "TOTA": PaperRow(1.612, 1.594, 0.52, 81_912, 81_706),
+    "DemCOM": PaperRow(1.621, 1.614, 0.52, 85_737, 85_460, 6_220, 0.17, 0.70),
+    "RamCOM": PaperRow(1.645, 1.646, 0.75, 82_385, 82_760, 91_699, 0.75, 0.82),
+}
+
+#: Table VII — RDX11 + RYX11 (Xi'an, Nov 2016).
+TABLE_VII = {
+    "OFF": PaperRow(1.103, 1.102, 0.52, 57_611, 57_638),
+    "TOTA": PaperRow(0.512, 0.509, 0.50, 24_695, 24_907),
+    "DemCOM": PaperRow(0.525, 0.523, 0.53, 26_818, 26_736, 6_531, 0.09, 0.77),
+    "RamCOM": PaperRow(0.555, 0.549, 0.55, 26_730, 26_666, 16_487, 0.25, 0.82),
+}
+
+PAPER_TABLES = {"V": TABLE_V, "VI": TABLE_VI, "VII": TABLE_VII}

@@ -1,0 +1,110 @@
+"""Shared machinery for the Table V/VI/VII benches.
+
+Each table bench regenerates one city-pair comparison at the configured
+scale, prints the measured table next to the paper's published rows
+(normalized by the TOTA row, since absolute CNY scales with |R|), and
+asserts the reproduction contract:
+
+* revenue ordering OFF > RamCOM > DemCOM > TOTA;
+* |CoR|: RamCOM >> DemCOM > 0; acceptance: RamCOM >> DemCOM;
+* payment rates in the paper's 0.6-0.9 band, RamCOM >= DemCOM;
+* response time: TOTA <= DemCOM <= RamCOM.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, bench_experiment_config
+from paper_reference import PAPER_TABLES, PaperRow
+
+from repro.experiments.tables import TableResult, run_city_table
+from repro.utils.tables import TextTable
+
+
+def regenerate_table(table_id: str) -> TableResult:
+    """Run one paper table at the bench scale."""
+    return run_city_table(
+        table_id, scale=BENCH_SCALE, config=bench_experiment_config()
+    )
+
+
+def print_comparison(result: TableResult) -> None:
+    """Print measured rows next to the paper's, normalized by TOTA."""
+    paper = PAPER_TABLES[result.table_id]
+    measured_tota = result.row("TOTA").total_revenue
+    paper_tota = paper["TOTA"].total_revenue_m
+    table = TextTable(
+        [
+            "Method",
+            "Rev vs TOTA (paper)",
+            "Rev vs TOTA (ours)",
+            "CpR rate (paper)",
+            "CpR rate (ours)",
+            "AcpRt (paper)",
+            "AcpRt (ours)",
+            "v'/v (paper)",
+            "v'/v (ours)",
+        ],
+        title=(
+            f"Table {result.table_id} paper-vs-measured "
+            f"(scale {result.scale:g}, revenue normalized by TOTA)"
+        ),
+    )
+    paper_requests = {
+        "V": (91_321, 90_589),
+        "VI": (100_973, 100_448),
+        "VII": (57_611, 57_638),
+    }[result.table_id]
+    total_paper_requests = sum(paper_requests)
+    total_ours_requests = round(total_paper_requests * result.scale)
+    for name in ("OFF", "TOTA", "DemCOM", "RamCOM"):
+        published: PaperRow = paper[name]
+        measured = result.row(name)
+        table.add_row(
+            [
+                name,
+                published.total_revenue_m / paper_tota,
+                measured.total_revenue / measured_tota,
+                published.total_completed / total_paper_requests,
+                measured.total_completed / total_ours_requests,
+                published.acceptance,
+                measured.acceptance_ratio,
+                published.payment_rate,
+                measured.payment_rate,
+            ]
+        )
+    print()
+    print(result.render())
+    print()
+    print(table.render())
+
+
+def assert_reproduction_contract(result: TableResult) -> None:
+    """The shape assertions every table must satisfy."""
+    off = result.row("OFF")
+    tota = result.row("TOTA")
+    demcom = result.row("DemCOM")
+    ramcom = result.row("RamCOM")
+
+    # Revenue ordering (the headline result).
+    assert off.total_revenue >= ramcom.total_revenue
+    assert ramcom.total_revenue > demcom.total_revenue * 0.98
+    assert demcom.total_revenue > tota.total_revenue
+
+    # Cooperation volume and incentive quality.
+    assert ramcom.cooperative > demcom.cooperative > 0
+    assert tota.cooperative == 0
+    assert ramcom.acceptance_ratio > demcom.acceptance_ratio
+    assert 0.55 <= demcom.payment_rate <= 0.95
+    assert 0.55 <= ramcom.payment_rate <= 0.95
+    assert ramcom.payment_rate >= demcom.payment_rate - 0.05
+
+    # Completed requests: COM serves more users than TOTA; OFF tops all.
+    assert demcom.total_completed > tota.total_completed
+    assert ramcom.total_completed > tota.total_completed * 0.95
+    assert off.total_completed >= max(
+        demcom.total_completed, ramcom.total_completed
+    )
+
+    # Efficiency: the cooperative algorithms pay a latency premium.
+    assert tota.response_time_ms <= demcom.response_time_ms * 1.5
+    assert demcom.response_time_ms <= ramcom.response_time_ms * 1.5

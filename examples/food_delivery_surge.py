@@ -1,0 +1,123 @@
+"""Food-delivery lunch surge absorbed by cross-platform borrowing.
+
+The paper's intro motivates COM with food-delivery platforms (Meituan,
+Ele.me, Baidu): demand spikes brutally at lunch, and a single platform's
+couriers cannot cover their own spike — but the competing platform's
+couriers idle in complementary neighbourhoods.
+
+This script builds a custom scenario with a *single sharp lunch peak*
+(12:15, width 45 min) instead of the taxi two-peak day, then measures how
+the completion rate during the surge window changes with cooperation, and
+how the benefit scales with the spatial imbalance (the Fig.-2 ``skew``).
+
+Run:  python examples/food_delivery_surge.py
+"""
+
+from __future__ import annotations
+
+from repro.core import Simulator, SimulatorConfig, make_algorithm
+from repro.core.matching import MatchRecord
+from repro.core.simulator import Scenario
+from repro.utils.tables import TextTable
+from repro.workloads import SyntheticWorkload, SyntheticWorkloadConfig
+from repro.workloads.arrival import DiurnalArrivals
+
+#: The lunch-rush observation window (seconds of day).
+SURGE_START = 11.5 * 3600
+SURGE_END = 13.5 * 3600
+#: A courier delivers one order in ~25 minutes.
+DELIVERY_SECONDS = 1500.0
+
+
+def build_surge_scenario(skew: float, seed: int = 5) -> Scenario:
+    """A two-platform delivery day with one sharp lunch peak."""
+    config = SyntheticWorkloadConfig(
+        request_count=1200,
+        worker_count=130,
+        radius_km=1.0,
+        city_km=9.0,
+        skew=skew,
+        platform_ids=("meituan-like", "eleme-like"),
+    )
+    workload = SyntheticWorkload(config)
+    scenario = workload.build(seed=seed)
+    # Restamp arrival times with the lunch-peak process (orders) and an
+    # early-shift process (couriers), keeping locations and values.
+    lunch = DiurnalArrivals(
+        86_400.0, peak_hours=(12.25,), peak_width_hours=0.75, base_level=0.15
+    )
+    shift = DiurnalArrivals(
+        86_400.0, peak_hours=(11.0,), peak_width_hours=1.5, base_level=0.3
+    )
+    from dataclasses import replace as dc_replace
+
+    from repro.core.events import EventStream
+    from repro.utils.rng import derive_rng
+
+    rng = derive_rng(seed, "surge-times")
+    requests = scenario.events.requests
+    workers = scenario.events.workers
+    request_times = lunch.sample_times(len(requests), rng)
+    worker_times = shift.sample_times(len(workers), rng)
+    requests = [
+        dc_replace(request, arrival_time=t)
+        for request, t in zip(requests, request_times)
+    ]
+    workers = [
+        dc_replace(worker, arrival_time=t) for worker, t in zip(workers, worker_times)
+    ]
+    scenario.events = EventStream.from_entities(workers, requests)
+    return scenario
+
+
+def surge_completion_rate(records: list[MatchRecord], scenario: Scenario) -> float:
+    """Fraction of surge-window orders that were served."""
+    surge_requests = [
+        r
+        for r in scenario.events.requests
+        if SURGE_START <= r.arrival_time <= SURGE_END
+    ]
+    served_ids = {record.request.request_id for record in records}
+    if not surge_requests:
+        return 0.0
+    served = sum(1 for r in surge_requests if r.request_id in served_ids)
+    return served / len(surge_requests)
+
+
+def main() -> None:
+    simulator = Simulator(
+        SimulatorConfig(seed=0, worker_reentry=True, service_duration=DELIVERY_SECONDS)
+    )
+    table = TextTable(
+        ["Skew", "Algorithm", "Surge completion", "Total revenue", "|CoR|"],
+        title="Lunch-surge coverage vs spatial imbalance",
+    )
+    for skew in (0.0, 0.45, 0.9):
+        scenario = build_surge_scenario(skew)
+        for name in ("tota", "ramcom"):
+            result = simulator.run(scenario, lambda: make_algorithm(name))
+            revenue = sum(
+                p.ledger.revenue + p.ledger.total_lender_income
+                for p in result.platforms.values()
+            )
+            rate = surge_completion_rate(result.all_records(), scenario)
+            table.add_row(
+                [
+                    f"{skew:g}",
+                    result.algorithm_name,
+                    f"{rate:.1%}",
+                    round(revenue),
+                    result.total_cooperative,
+                ]
+            )
+    print(table.render())
+    print()
+    print(
+        "Reading: without cooperation (TOTA) the surge completion rate "
+        "collapses as the platforms' courier/demand geographies diverge "
+        "(higher skew); RamCOM's borrowing keeps the lunch rush covered."
+    )
+
+
+if __name__ == "__main__":
+    main()

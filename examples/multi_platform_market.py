@@ -1,0 +1,103 @@
+"""A three-platform market — COM beyond pairwise cooperation.
+
+The COM model allows any number of cooperating platforms; the paper
+evaluates two.  This example builds a three-platform city where the
+imbalance forms a *cycle*: each platform's riders queue where the next
+platform's drivers idle.  No pairwise agreement could fix this — platform
+P0 cannot repay P1 directly because P0's idle drivers sit in P2's demand
+region — but the COM exchange clears the whole cycle.
+
+The script compares TOTA / DemCOM / RamCOM, then prints the lending flow
+matrix (who served whose requests) to make the cycle visible.
+
+Run:  python examples/multi_platform_market.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core import Simulator, SimulatorConfig, make_algorithm, validate_matching
+from repro.utils.tables import TextTable
+from repro.workloads import MultiPlatformConfig, MultiPlatformWorkload
+
+SERVICE_DURATION = 1800.0
+
+
+def main() -> None:
+    scenario = MultiPlatformWorkload(
+        MultiPlatformConfig(
+            platform_count=3,
+            request_count=900,
+            worker_count=240,
+            city_km=9.0,
+            skew=0.6,
+        )
+    ).build(seed=4)
+    print(
+        f"{len(scenario.platform_ids)} platforms, "
+        f"{scenario.request_count} requests, {scenario.worker_count} workers"
+    )
+
+    simulator = Simulator(
+        SimulatorConfig(seed=0, worker_reentry=True, service_duration=SERVICE_DURATION)
+    )
+
+    comparison = TextTable(
+        ["Algorithm", "Revenue", "Completed", "|CoR|", "AcpRt"],
+        title="Three-platform comparison",
+    )
+    ramcom_result = None
+    for name in ("tota", "demcom", "ramcom"):
+        result = simulator.run(scenario, lambda: make_algorithm(name))
+        validate_matching(result.all_records())
+        revenue = sum(
+            p.ledger.revenue + p.ledger.total_lender_income
+            for p in result.platforms.values()
+        )
+        comparison.add_row(
+            [
+                result.algorithm_name,
+                round(revenue),
+                result.total_completed,
+                result.total_cooperative,
+                result.overall_acceptance_ratio,
+            ]
+        )
+        if name == "ramcom":
+            ramcom_result = result
+    print()
+    print(comparison.render())
+
+    # The lending cycle: rows lend to columns.
+    assert ramcom_result is not None
+    flows: dict[tuple[str, str], int] = defaultdict(int)
+    for record in ramcom_result.all_records():
+        lender = record.worker.platform_id
+        borrower = record.request.platform_id
+        if lender != borrower:
+            flows[(lender, borrower)] += 1
+    matrix = TextTable(
+        ["lender \\ borrower"] + scenario.platform_ids,
+        title="RamCOM lending flows (cooperative completions)",
+    )
+    for lender in scenario.platform_ids:
+        matrix.add_row(
+            [lender]
+            + [
+                flows.get((lender, borrower), 0) if lender != borrower else "-"
+                for borrower in scenario.platform_ids
+            ]
+        )
+    print()
+    print(matrix.render())
+    print()
+    print(
+        "The dominant flows chase the constructed cycle "
+        "(P1 -> P0, P2 -> P1, P0 -> P2): cooperation clears an imbalance no "
+        "bilateral worker swap could."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""The paper's running example (Example 1, Fig. 3, Tables I-II).
+
+Five workers and five requests across two platforms:
+
+* blue platform (the "target"): workers w1, w2, w4 and all five requests;
+* red platforms (cooperative): workers w3, w5.
+
+Request values (Table I): r1=4, r2=9, r3=6, r4=3, r5=4.
+Arrival order (Table II): w1 w2 r1 w3 r2 r3 w4 r4 w5 r5.
+
+Service disks (radius 1 km), matching Fig. 3's geometry:
+
+* w1 covers r1 and r3;  w2 covers r2;  w4 covers r4 (blue workers)
+* w3 covers r3;  w5 covers r5 (red workers)
+
+The paper shows:
+
+* traditional online matching (TOTA, blue workers only) serves at best 3
+  requests for revenue 6 + 9 + 3 = 18 (w1-r3, w2-r2, w4-r4);
+* borrowing w3 and w5 at a 50% payment share serves all 5 requests for
+  4 + 9 + 6*50% + 3 + 4*50% = 21 (Fig. 3(c)).
+
+This script reconstructs the instance, verifies both numbers with the
+offline solver, and replays DemCOM over the exact arrival order as in the
+paper's Example 2 (which also reaches 21).
+
+Run:  python examples/paper_example_1.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import solve_offline
+from repro.behavior.distributions import UniformDistribution
+from repro.behavior.worker_model import BehaviorOracle, WorkerBehavior
+from repro.core import (
+    DemCOM,
+    Request,
+    Scenario,
+    Simulator,
+    SimulatorConfig,
+    Worker,
+    validate_matching,
+)
+from repro.core.events import EventStream
+from repro.geo.point import Point
+
+#: The 50% payment share assumed by the paper's Example 1.
+PAYMENT_SHARE = 0.5
+
+BLUE = "blue"
+RED = "red"
+
+
+def build_instance() -> Scenario:
+    """Construct Example 1 with the coverage pattern of Fig. 3."""
+    workers = [
+        Worker("w1", BLUE, 1.0, Point(0.0, 0.0), 1.0),
+        Worker("w2", BLUE, 2.0, Point(3.5, 0.0), 1.0),
+        Worker("w3", RED, 4.0, Point(1.6, 0.0), 1.0),
+        Worker("w4", BLUE, 7.0, Point(9.0, 0.0), 1.0),
+        Worker("w5", RED, 9.0, Point(12.0, 0.0), 1.0),
+    ]
+    requests = [
+        Request("r1", BLUE, 3.0, Point(-0.6, 0.0), 4.0),  # w1 only
+        Request("r2", BLUE, 5.0, Point(3.5, 0.5), 9.0),  # w2 only
+        Request("r3", BLUE, 6.0, Point(0.8, 0.0), 6.0),  # w1 (0.8) and w3 (0.8)
+        Request("r4", BLUE, 8.0, Point(9.0, 0.5), 3.0),  # w4 only
+        Request("r5", BLUE, 10.0, Point(12.0, 0.5), 4.0),  # w5 only
+    ]
+    oracle = BehaviorOracle(seed=0)
+    for worker in workers:
+        # Example 1 assumes borrowed workers accept exactly a 50% payment
+        # share: a degenerate reservation-rate distribution at 0.5.
+        oracle.register(
+            WorkerBehavior(
+                worker.worker_id,
+                UniformDistribution(PAYMENT_SHARE, PAYMENT_SHARE),
+                [PAYMENT_SHARE] * 10,
+            )
+        )
+    return Scenario(
+        events=EventStream.from_entities(workers, requests),
+        oracle=oracle,
+        platform_ids=[BLUE, RED],
+        value_upper_bound=9.0,
+        name="paper-example-1",
+    )
+
+
+def main() -> None:
+    scenario = build_instance()
+
+    # --- Fig. 3(b): traditional online matching's best possible result.
+    tota_opt = solve_offline(scenario, include_cooperation=False)
+    blue_tota = tota_opt.ledgers[BLUE].revenue
+    print(f"TOTA offline optimum (blue platform only): {blue_tota:g}")
+    assert blue_tota == 18.0, blue_tota
+
+    # --- Fig. 3(c): cross online matching with borrowed w3, w5 at 50%.
+    com_opt = solve_offline(scenario, include_cooperation=True)
+    blue_com = com_opt.ledgers[BLUE].revenue
+    lender = com_opt.ledgers[RED].total_lender_income
+    print(f"COM offline optimum (blue platform): {blue_com:g}")
+    print(f"  red platforms' lender income: {lender:g}")
+    assert blue_com == 21.0, blue_com
+    validate_matching(com_opt.records)
+
+    # --- Example 2: DemCOM over the exact arrival order.  The paper's
+    # narrative *supposes* outer payments of 2 and 3 and reaches 21;
+    # Algorithm 2's minimum-payment estimate deliberately undershoots the
+    # acceptance threshold (that is DemCOM's documented weakness, §III-D),
+    # so the online run is guaranteed the inner revenue 4 + 9 + 3 = 16 and
+    # opportunistically adds cooperative gains when offers clear.
+    simulator = Simulator(SimulatorConfig(seed=0, measure_response_time=False))
+    result = simulator.run(scenario, DemCOM)
+    validate_matching(result.all_records())
+    blue = result.platforms[BLUE].ledger
+    assert blue.revenue >= 16.0, blue.revenue
+    print(
+        f"DemCOM online: blue revenue {blue.revenue:g} "
+        f"({blue.completed_requests} completed, "
+        f"{blue.cooperative_requests} cooperative)"
+    )
+    print(
+        "Paper: 18 without cooperation, 21 with borrowed workers at a 50% "
+        "payment share — a win-win across the platforms."
+    )
+
+
+if __name__ == "__main__":
+    main()

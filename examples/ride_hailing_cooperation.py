@@ -1,0 +1,69 @@
+"""Ride-hailing cooperation between two companies in one city.
+
+Reconstructs the paper's headline scenario (§V, Tables V-VII): DiDi and
+Yueche operate in Chengdu with complementary hot spots — each company's
+riders queue where the *other* company's drivers idle (the paper's Fig. 2).
+Cross Online Matching lets each company borrow the other's idle drivers.
+
+The script:
+
+1. builds a scaled Chengdu trace pair (Table III statistics);
+2. runs TOTA, DemCOM and RamCOM over several seed-days plus the offline
+   upper bound OFF;
+3. prints the Table-V-style comparison, including the revenue
+   decomposition that makes the cooperation a *win-win*: each platform's
+   Definition-2.5 revenue from its own requests plus the lender income its
+   drivers earn serving the partner's requests.
+
+Run:  python examples/ride_hailing_cooperation.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentConfig, run_city_table
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    config = ExperimentConfig(seeds=(0, 1, 2), service_duration=1800.0)
+    result = run_city_table("V", scale=0.015, config=config)
+    print(result.render())
+    print()
+
+    # The win-win decomposition (paper Example 1's message): borrowing
+    # raises the borrower's revenue AND pays the lender.
+    first, second = result.platform_ids
+    table = TextTable(
+        [
+            "Method",
+            f"{first} own-requests",
+            f"{first} lender income",
+            f"{second} own-requests",
+            f"{second} lender income",
+        ],
+        title="Win-win decomposition (Definition 2.5 revenue + lending)",
+    )
+    for row in result.rows:
+        table.add_row(
+            [
+                row.algorithm,
+                round(row.platform_revenue.get(first, 0.0)),
+                round(row.lender_income.get(first, 0.0)),
+                round(row.platform_revenue.get(second, 0.0)),
+                round(row.lender_income.get(second, 0.0)),
+            ]
+        )
+    print(table.render())
+    print()
+
+    tota = result.row("TOTA")
+    ramcom = result.row("RamCOM")
+    lift = (ramcom.total_revenue / tota.total_revenue - 1.0) * 100.0
+    print(
+        f"RamCOM lifts the two platforms' combined revenue by {lift:.1f}% "
+        "over no-cooperation TOTA, without adding a single driver."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Road-network COM — the paper's §II metric extension, end to end.
+
+    "Although COM uses the Euclidean distance ... it can be equivalently
+    changed into the shortest path distance in road networks by just
+    changing the service range from circulars to irregular shapes."
+
+This script runs the same city twice — once with Euclidean service disks,
+once over a street lattice with a fraction of blocked segments (rivers,
+construction) — and shows how the road metric shrinks effective service
+areas, lowers completion rates, and *increases* the relative value of
+cross-platform borrowing (the nearest eligible worker is more often the
+other platform's).
+
+Run:  python examples/road_network_city.py
+"""
+
+from __future__ import annotations
+
+from repro.core import Simulator, SimulatorConfig, make_algorithm
+from repro.geo import BoundingBox, RoadNetwork
+from repro.utils.tables import TextTable
+from repro.workloads import SyntheticWorkload, SyntheticWorkloadConfig
+
+CITY_KM = 8.0
+SERVICE_DURATION = 1800.0
+
+
+def main() -> None:
+    scenario = SyntheticWorkload(
+        SyntheticWorkloadConfig(
+            request_count=700,
+            worker_count=180,
+            radius_km=1.2,
+            city_km=CITY_KM,
+        )
+    ).build(seed=3)
+
+    # A 250 m street lattice with 20% of segments blocked: service areas
+    # become irregular star shapes instead of disks.
+    network = RoadNetwork.grid(
+        BoundingBox.square(CITY_KM),
+        spacing_km=0.25,
+        blocked_fraction=0.20,
+        seed=9,
+    )
+    print(
+        f"city {CITY_KM:g} km, street lattice with {network.node_count} "
+        "intersections, 20% of segments blocked"
+    )
+
+    table = TextTable(
+        ["Metric mode", "Algorithm", "Completed", "Revenue", "|CoR|",
+         "Mean pickup (km)"],
+        title="Euclidean disks vs road-network service areas",
+    )
+    results = {}
+    for label, road_network in (("euclidean", None), ("road-network", network)):
+        simulator = Simulator(
+            SimulatorConfig(
+                seed=0,
+                worker_reentry=True,
+                service_duration=SERVICE_DURATION,
+                road_network=road_network,
+            )
+        )
+        for name in ("tota", "ramcom"):
+            result = simulator.run(scenario, lambda: make_algorithm(name))
+            revenue = sum(
+                p.ledger.revenue + p.ledger.total_lender_income
+                for p in result.platforms.values()
+            )
+            pickup = sum(
+                p.ledger.mean_pickup_distance() for p in result.platforms.values()
+            ) / len(result.platforms)
+            results[(label, name)] = (result.total_completed, revenue)
+            table.add_row(
+                [
+                    label,
+                    result.algorithm_name,
+                    result.total_completed,
+                    round(revenue),
+                    result.total_cooperative,
+                    round(pickup, 3),
+                ]
+            )
+    print()
+    print(table.render())
+
+    euclid_gain = results[("euclidean", "ramcom")][1] / results[("euclidean", "tota")][1]
+    road_gain = results[("road-network", "ramcom")][1] / results[("road-network", "tota")][1]
+    print()
+    print(
+        f"RamCOM's revenue lift over TOTA: {euclid_gain - 1:+.1%} (euclidean) "
+        f"vs {road_gain - 1:+.1%} (road network) — tighter effective service "
+        "areas make borrowed workers matter more."
+    )
+
+
+if __name__ == "__main__":
+    main()

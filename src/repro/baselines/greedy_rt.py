@@ -1,0 +1,53 @@
+"""Greedy-RT — randomized-threshold greedy (Tong et al. [9]).
+
+The paper cites Greedy-RT's competitive ratio ``1 / (2e * ln(U_max + 1))``
+under the adversarial model, and RamCOM's inner-path routing is a direct
+descendant of its threshold trick.  We include it as an extension baseline:
+
+1. draw ``k`` uniformly from ``{1..ceil(ln(U_max + 1))}`` once per run;
+2. serve a request only if ``v_r >= e^(k-1)``, with the nearest eligible
+   inner worker;
+3. otherwise reject (even if workers are free — this is what buys the
+   adversarial guarantee).
+
+Single-platform: no cooperative attempts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import Decision, OnlineAlgorithm, PlatformContext
+from repro.core.entities import Request
+
+__all__ = ["GreedyRT"]
+
+
+class GreedyRT(OnlineAlgorithm):
+    """Randomized-threshold greedy over inner workers only."""
+
+    name = "Greedy-RT"
+
+    def __init__(self, fixed_k: int | None = None):
+        self.fixed_k = fixed_k
+        self._threshold = 0.0
+
+    @property
+    def threshold(self) -> float:
+        """The current acceptance threshold ``e^(k-1)``."""
+        return self._threshold
+
+    def reset(self, context: PlatformContext) -> None:
+        theta = max(1, int(math.ceil(math.log(context.value_upper_bound + 1.0))))
+        k = self.fixed_k if self.fixed_k is not None else context.rng.randint(1, theta)
+        self._threshold = math.exp(k - 1)
+
+    def decide(self, request: Request, context: PlatformContext) -> Decision:
+        if self._threshold == 0.0:
+            self.reset(context)
+        if request.value < self._threshold:
+            return Decision.reject()
+        inner = context.inner_candidates(request)
+        if inner:
+            return Decision.serve_inner(inner[0])
+        return Decision.reject()

@@ -1,0 +1,26 @@
+"""Random assignment — a sanity-floor baseline.
+
+Serves each request with a uniformly random eligible inner worker.  Any
+sensible algorithm should beat it on pickup distance (it matches greedy on
+revenue when values are worker-independent, which makes it a clean control
+for the travel-distance extension metrics).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Decision, OnlineAlgorithm, PlatformContext
+from repro.core.entities import Request
+
+__all__ = ["RandomAssign"]
+
+
+class RandomAssign(OnlineAlgorithm):
+    """Uniformly random eligible inner worker."""
+
+    name = "Random"
+
+    def decide(self, request: Request, context: PlatformContext) -> Decision:
+        inner = context.inner_candidates(request)
+        if not inner:
+            return Decision.reject()
+        return Decision.serve_inner(context.rng.choice(inner))

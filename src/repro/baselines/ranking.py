@@ -1,0 +1,44 @@
+"""RANKING — Karp, Vazirani & Vazirani's classic online matching [17].
+
+Each worker receives a uniformly random priority when they join the waiting
+list; an incoming request is served by the *highest-priority* (lowest rank
+value) eligible inner worker.  RANKING maximizes matching cardinality with
+competitive ratio ``1 - 1/e``; it ignores request values, so on
+revenue-weighted workloads it trails the greedy baselines — a useful
+contrast in the extension benches.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Decision, OnlineAlgorithm, PlatformContext
+from repro.core.entities import Request, Worker
+
+__all__ = ["Ranking"]
+
+
+class Ranking(OnlineAlgorithm):
+    """Random-priority online matching over inner workers."""
+
+    name = "RANKING"
+
+    def __init__(self) -> None:
+        self._ranks: dict[str, float] = {}
+
+    def reset(self, context: PlatformContext) -> None:
+        self._ranks.clear()
+
+    def on_worker_arrival(self, worker: Worker, context: PlatformContext) -> None:
+        self._ranks[worker.worker_id] = context.rng.random()
+
+    def decide(self, request: Request, context: PlatformContext) -> Decision:
+        inner = context.inner_candidates(request)
+        if not inner:
+            return Decision.reject()
+        best = min(
+            inner,
+            key=lambda worker: (
+                self._ranks.get(worker.worker_id, 1.0),
+                worker.worker_id,
+            ),
+        )
+        return Decision.serve_inner(best)

@@ -1,0 +1,26 @@
+"""TOTA — traditional online task assignment (the paper's main baseline).
+
+The single-platform greedy of Tong et al. [9]: an incoming request is
+assigned to the nearest eligible *inner* worker, or rejected if none exists.
+This is exactly COM with ``W_out = {}`` (paper §II-A), so TOTA never makes
+cooperative attempts and reports no acceptance ratio or payment rate.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Decision, OnlineAlgorithm, PlatformContext
+from repro.core.entities import Request
+
+__all__ = ["TOTA"]
+
+
+class TOTA(OnlineAlgorithm):
+    """Greedy single-platform online matching."""
+
+    name = "TOTA"
+
+    def decide(self, request: Request, context: PlatformContext) -> Decision:
+        inner = context.inner_candidates(request)
+        if inner:
+            return Decision.serve_inner(inner[0])  # nearest first
+        return Decision.reject()

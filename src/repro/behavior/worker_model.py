@@ -1,0 +1,166 @@
+"""Per-worker ground-truth behaviour and the shared behaviour oracle.
+
+Central invariant: the realized reservation of worker ``w`` for request
+``r`` is a *deterministic function* of ``(experiment seed, w, r)``.  Every
+consumer — DemCOM's live offers, RamCOM's live offers, and the offline
+oracle OFF — therefore observes exactly the same randomness, which is what
+makes "OFF >= any online algorithm" a true invariant (tested property) and
+the competitive-ratio experiments meaningful.
+
+Like the Eq.-4 estimator, the oracle supports two modes:
+
+* ``"relative"`` (default) — reservation draws are *payment rates*: the
+  worker accepts payment ``v'`` for request ``r`` iff ``v'/v_r >= rho``;
+* ``"absolute"`` — draws are raw prices: accept iff ``v' >= rho``.
+
+See DESIGN.md §2 for why the relative calibration is the one that
+reproduces the paper's measured incentive behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable
+
+from repro.behavior.distributions import ReservationDistribution
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_rng
+
+__all__ = ["WorkerBehavior", "BehaviorOracle", "generate_history"]
+
+
+def generate_history(
+    distribution: ReservationDistribution, count: int, rng: random.Random
+) -> list[float]:
+    """Generate a worker's completed-request history.
+
+    Definition 3.1 estimates acceptance from a worker's *N* completed
+    history requests; the natural generative counterpart is that the worker
+    historically completed requests whose payment cleared their reservation
+    draw — i.e. history entries are samples of the reservation distribution
+    itself.  This makes Eq. 4's empirical CDF a consistent estimator of the
+    true acceptance probability.
+    """
+    if count < 0:
+        raise ValueError(f"history length must be non-negative, got {count}")
+    return [distribution.sample(rng) for _ in range(count)]
+
+
+class WorkerBehavior:
+    """The latent behaviour of one worker.
+
+    Parameters
+    ----------
+    worker_id:
+        The worker's globally unique id.
+    distribution:
+        The worker's reservation distribution (rates in relative mode).
+    history:
+        The platform-visible completed-request entries (what Eq. 4 sees).
+    """
+
+    __slots__ = ("worker_id", "distribution", "history")
+
+    def __init__(
+        self,
+        worker_id: Hashable,
+        distribution: ReservationDistribution,
+        history: list[float],
+    ):
+        self.worker_id = worker_id
+        self.distribution = distribution
+        self.history = list(history)
+
+    def true_acceptance_probability(self, offer: float) -> float:
+        """P(accept) at a normalized offer (a rate in relative mode)."""
+        return self.distribution.cdf(offer)
+
+
+class BehaviorOracle:
+    """Realizes reservation draws deterministically per (worker, request).
+
+    ``reservation(w, r)`` is a pure function of the oracle seed and the two
+    ids; calling it twice — or from two different algorithms — returns the
+    same value.  ``offer`` answers a live payment offer against that draw.
+    """
+
+    def __init__(self, seed: int, mode: str = "relative"):
+        if mode not in ("relative", "absolute"):
+            raise ConfigurationError(
+                f"mode must be 'relative' or 'absolute', got {mode!r}"
+            )
+        self.seed = int(seed)
+        self.mode = mode
+        self._behaviors: dict[Hashable, WorkerBehavior] = {}
+
+    def register(self, behavior: WorkerBehavior) -> None:
+        """Register one worker's behaviour (id must be unique)."""
+        if behavior.worker_id in self._behaviors:
+            raise ConfigurationError(
+                f"duplicate worker behaviour for {behavior.worker_id!r}"
+            )
+        self._behaviors[behavior.worker_id] = behavior
+
+    def behavior_of(self, worker_id: Hashable) -> WorkerBehavior:
+        """Look up a worker's behaviour (reentry clones resolve to base)."""
+        behavior = self._behaviors.get(worker_id)
+        if behavior is None:
+            behavior = self._behaviors.get(self._base_id(worker_id))
+        if behavior is None:
+            raise ConfigurationError(
+                f"no behaviour registered for worker {worker_id!r}; every "
+                "worker that can receive offers must be registered with the "
+                "oracle (workload generators do this automatically)"
+            )
+        return behavior
+
+    def __contains__(self, worker_id: Hashable) -> bool:
+        return worker_id in self._behaviors
+
+    def __len__(self) -> int:
+        return len(self._behaviors)
+
+    @staticmethod
+    def _base_id(worker_id: Hashable) -> Hashable:
+        """Strip a reentry-clone suffix so clones share the base's draws."""
+        if isinstance(worker_id, str) and "@reentry" in worker_id:
+            return worker_id.split("@reentry", 1)[0]
+        return worker_id
+
+    def reservation(self, worker_id: Hashable, request_id: Hashable) -> float:
+        """The realized reservation draw of ``worker`` for ``request``.
+
+        A payment *rate* in relative mode, a raw price in absolute mode.
+        Deterministic in (seed, base worker id, request id), so reentry
+        clones share the base worker's draw and every algorithm sees
+        identical randomness.
+        """
+        base_id = self._base_id(worker_id)
+        behavior = self.behavior_of(worker_id)
+        rng = derive_rng(self.seed, f"reservation/{base_id}/{request_id}")
+        return behavior.distribution.sample(rng)
+
+    def reservation_price(
+        self, worker_id: Hashable, request_id: Hashable, request_value: float
+    ) -> float:
+        """The realized reservation as an absolute price (what OFF pays)."""
+        draw = self.reservation(worker_id, request_id)
+        if self.mode == "relative":
+            return draw * request_value
+        return draw
+
+    def offer(
+        self,
+        worker_id: Hashable,
+        request_id: Hashable,
+        payment: float,
+        request_value: float,
+    ) -> bool:
+        """Answer a live offer: accept iff it clears the realized draw."""
+        return payment >= self.reservation_price(
+            worker_id, request_id, request_value
+        ) - 1e-12
+
+    def history_of(self, worker_id: Hashable) -> list[float]:
+        """The platform-visible history entries for Eq. 4."""
+        return self.behavior_of(worker_id).history

@@ -1,0 +1,184 @@
+"""The online-algorithm protocol.
+
+Each platform runs one :class:`OnlineAlgorithm` instance.  The simulator
+delivers arrivals; on each request the algorithm returns a
+:class:`Decision` — serve with an inner worker, serve with a borrowed outer
+worker at some payment, or reject.  The algorithm sees the world only
+through its :class:`PlatformContext`:
+
+* eligible inner/outer candidates (the exchange's shared availability view),
+* the Eq.-4 acceptance estimator and the incentive machinery
+  (Algorithm 2 / the MER pricer),
+* a live *offer channel* to outer workers (the behaviour oracle) — the
+  algorithm never sees reservations, only accept/reject answers,
+* its own deterministic RNG stream.
+
+This keeps the algorithms pure decision logic; all state mutation
+(claiming workers, ledger updates, metric timing) happens in the simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.behavior.worker_model import BehaviorOracle
+from repro.core.entities import Request, Worker
+from repro.core.exchange import CooperationExchange
+from repro.core.acceptance import AcceptanceEstimator
+from repro.core.payment import MinimumOuterPaymentEstimator
+from repro.core.pricing import MaximumExpectedRevenuePricer
+
+__all__ = ["DecisionKind", "Decision", "PlatformContext", "OnlineAlgorithm"]
+
+
+class DecisionKind(enum.Enum):
+    """The possible outcomes for an incoming request.
+
+    DEFER is the batching extension: the request is parked and the
+    simulator later asks the algorithm to flush it (the paper's model
+    decides immediately; see :class:`repro.baselines.batch.BatchMatching`).
+    """
+
+    SERVE_INNER = "serve_inner"
+    SERVE_OUTER = "serve_outer"
+    REJECT = "reject"
+    DEFER = "defer"
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """An algorithm's answer for one request.
+
+    ``cooperative_attempt`` marks requests for which the algorithm extended
+    live offers to outer workers (whether or not anyone accepted); it is the
+    denominator of the paper's acceptance-ratio metric |AcpRt|.
+    """
+
+    kind: DecisionKind
+    worker: Worker | None = None
+    payment: float = 0.0
+    cooperative_attempt: bool = False
+    offers_made: int = 0
+
+    @classmethod
+    def serve_inner(cls, worker: Worker) -> "Decision":
+        """Serve with an inner worker (full value to the platform)."""
+        return cls(kind=DecisionKind.SERVE_INNER, worker=worker)
+
+    @classmethod
+    def serve_outer(
+        cls, worker: Worker, payment: float, offers_made: int
+    ) -> "Decision":
+        """Serve with a borrowed worker at ``payment``."""
+        return cls(
+            kind=DecisionKind.SERVE_OUTER,
+            worker=worker,
+            payment=payment,
+            cooperative_attempt=True,
+            offers_made=offers_made,
+        )
+
+    @classmethod
+    def reject(
+        cls, cooperative_attempt: bool = False, offers_made: int = 0
+    ) -> "Decision":
+        """Reject the request."""
+        return cls(
+            kind=DecisionKind.REJECT,
+            cooperative_attempt=cooperative_attempt,
+            offers_made=offers_made,
+        )
+
+    @classmethod
+    def defer(cls) -> "Decision":
+        """Park the request for a later batch flush (extension)."""
+        return cls(kind=DecisionKind.DEFER)
+
+
+@dataclass
+class PlatformContext:
+    """Everything one platform's algorithm may consult.
+
+    Attributes
+    ----------
+    platform_id:
+        The platform this context belongs to.
+    exchange:
+        Shared availability state (inner list + outer candidates).
+    acceptance:
+        Eq.-4 estimator over worker histories.
+    payment_estimator:
+        Algorithm 2 (minimum outer payment).
+    pricer:
+        The MER pricer (Definition 4.1) used by RamCOM.
+    oracle:
+        Live offer channel; answers accept/reject per (worker, request,
+        payment) deterministically in the experiment seed.
+    rng:
+        The algorithm's private random stream.
+    value_upper_bound:
+        Known bound on request values (``max(v_r)``); both RamCOM's
+        threshold and Greedy-RT need it, as in the paper's analysis.
+    cooperation_enabled:
+        When False the exchange exposes no outer candidates (TOTA mode and
+        the no-cooperation ablation).
+    """
+
+    platform_id: str
+    exchange: CooperationExchange
+    acceptance: AcceptanceEstimator
+    payment_estimator: MinimumOuterPaymentEstimator
+    pricer: MaximumExpectedRevenuePricer
+    oracle: BehaviorOracle
+    rng: random.Random
+    value_upper_bound: float
+    cooperation_enabled: bool = True
+    extra: dict = field(default_factory=dict)
+
+    def inner_candidates(self, request: Request) -> list[Worker]:
+        """Eligible inner workers, nearest first."""
+        return self.exchange.inner_candidates(self.platform_id, request)
+
+    def outer_candidates(self, request: Request) -> list[Worker]:
+        """Eligible shareable outer workers, nearest first."""
+        if not self.cooperation_enabled:
+            return []
+        return self.exchange.outer_candidates(self.platform_id, request)
+
+
+class OnlineAlgorithm(ABC):
+    """Base class for all online matching algorithms."""
+
+    #: Registry / reporting name; subclasses override.
+    name: str = "abstract"
+
+    def on_worker_arrival(self, worker: Worker, context: PlatformContext) -> None:
+        """Hook called when a worker joins this platform's waiting list.
+
+        The default does nothing; stateful algorithms (e.g. RANKING's
+        random priorities) override it.
+        """
+
+    @abstractmethod
+    def decide(self, request: Request, context: PlatformContext) -> Decision:
+        """Decide the fate of one incoming request, immediately."""
+
+    def flush(
+        self, time: float, context: PlatformContext
+    ) -> list[tuple[Request, Decision]]:
+        """Resolve deferred requests up to ``time`` (batching extension).
+
+        Called by the simulator before each subsequent event and once with
+        ``time = inf`` at end of stream.  Returned decisions must not be
+        DEFER.  The default (for immediate-decision algorithms) is empty.
+        """
+        return []
+
+    def reset(self, context: PlatformContext) -> None:
+        """Re-initialise per-run state (e.g. RamCOM's threshold draw)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,86 @@
+"""Post-hoc validation of the four COM constraints (Definition 2.6).
+
+Every matching produced by any algorithm in this library — online or
+offline — must satisfy:
+
+* **Time**: the worker arrived no later than the request;
+* **1-by-1**: each worker serves at most one request and vice versa;
+* **Invariable**: an assignment is never revised (enforced structurally by
+  the ledger: records are append-only — the validator re-checks uniqueness);
+* **Range**: the request's location lies within the worker's service disk.
+
+The validator is used throughout the test suite (including the
+hypothesis-driven property tests) and is cheap enough to run on full
+experiment outputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.matching import AssignmentKind, MatchRecord
+from repro.errors import ConstraintViolationError
+
+__all__ = ["validate_matching"]
+
+_EPSILON = 1e-9
+
+
+def validate_matching(records: Iterable[MatchRecord]) -> None:
+    """Raise :class:`ConstraintViolationError` on the first violation.
+
+    Also checks the COM-specific invariants that fall out of
+    Definitions 2.3-2.5: outer assignments pay within ``(0, v_r]``, inner
+    assignments pay nothing, and the record's kind is consistent with the
+    worker's home platform.
+    """
+    seen_requests: set[str] = set()
+    seen_workers: set[str] = set()
+    for record in records:
+        request = record.request
+        worker = record.worker
+
+        if worker.arrival_time > request.arrival_time + _EPSILON:
+            raise ConstraintViolationError(
+                "time",
+                f"worker {worker.worker_id} (t={worker.arrival_time}) assigned "
+                f"to earlier request {request.request_id} (t={request.arrival_time})",
+            )
+
+        if request.request_id in seen_requests:
+            raise ConstraintViolationError(
+                "1-by-1", f"request {request.request_id} served twice"
+            )
+        if worker.worker_id in seen_workers:
+            raise ConstraintViolationError(
+                "1-by-1", f"worker {worker.worker_id} assigned twice"
+            )
+        seen_requests.add(request.request_id)
+        seen_workers.add(worker.worker_id)
+
+        distance = worker.location.distance_to(request.location)
+        if distance > worker.service_radius + _EPSILON:
+            raise ConstraintViolationError(
+                "range",
+                f"worker {worker.worker_id} at distance {distance:.4f} exceeds "
+                f"radius {worker.service_radius} for request {request.request_id}",
+            )
+
+        expected_kind = (
+            AssignmentKind.INNER
+            if worker.platform_id == request.platform_id
+            else AssignmentKind.OUTER
+        )
+        if record.kind is not expected_kind:
+            raise ConstraintViolationError(
+                "kind",
+                f"record for {request.request_id}/{worker.worker_id} marked "
+                f"{record.kind.value}, but worker home={worker.platform_id} vs "
+                f"request platform={request.platform_id}",
+            )
+
+        if record.kind is AssignmentKind.OUTER and not record.worker.shareable:
+            raise ConstraintViolationError(
+                "sharing",
+                f"non-shareable worker {worker.worker_id} served an outer request",
+            )

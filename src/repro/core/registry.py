@@ -1,0 +1,60 @@
+"""Algorithm registry: string names -> algorithm factories.
+
+The experiment harness, CLI, and benchmarks refer to algorithms by name
+("DemCOM", "RamCOM", "TOTA", ...).  Baselines register themselves on import
+of :mod:`repro.baselines`; user code can register custom algorithms too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.base import OnlineAlgorithm
+from repro.core.demcom import DemCOM
+from repro.core.ramcom import RamCOM
+from repro.errors import UnknownAlgorithmError
+
+__all__ = ["register_algorithm", "make_algorithm", "available_algorithms"]
+
+_FACTORIES: dict[str, Callable[[], OnlineAlgorithm]] = {}
+
+
+def register_algorithm(name: str, factory: Callable[[], OnlineAlgorithm]) -> None:
+    """Register (or replace) an algorithm factory under ``name``.
+
+    Names are case-insensitive.
+    """
+    _FACTORIES[name.lower()] = factory
+
+
+def make_algorithm(name: str) -> OnlineAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    _ensure_baselines_loaded()
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise UnknownAlgorithmError(name, list(_FACTORIES))
+    return factory()
+
+
+def algorithm_factory(name: str) -> Callable[[], OnlineAlgorithm]:
+    """Return the factory itself (the simulator wants a callable)."""
+    _ensure_baselines_loaded()
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise UnknownAlgorithmError(name, list(_FACTORIES))
+    return factory
+
+
+def available_algorithms() -> list[str]:
+    """Registered algorithm names (lower-case), sorted."""
+    _ensure_baselines_loaded()
+    return sorted(_FACTORIES)
+
+
+def _ensure_baselines_loaded() -> None:
+    """Import the baselines package so its registrations run."""
+    import repro.baselines  # noqa: F401  (import side effect)
+
+
+register_algorithm("demcom", DemCOM)
+register_algorithm("ramcom", RamCOM)

@@ -1,0 +1,565 @@
+"""The arrival-driven online simulation engine.
+
+The simulator replays an interleaved arrival stream (paper Table II) across
+N cooperating platforms, delegating each request decision to the platform's
+:class:`~repro.core.base.OnlineAlgorithm`, enforcing the COM constraints by
+construction (workers are claimed atomically through the exchange), and
+recording the exact metrics the paper's evaluation section reports:
+per-platform revenue, completed / cooperative request counts, acceptance
+ratio, outer-payment rate, per-request response time, and memory footprint.
+
+Everything stochastic flows from ``SimulatorConfig.seed`` through labelled
+child streams, so a run is a pure function of (scenario, config).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field, replace
+
+from repro.behavior.worker_model import BehaviorOracle, WorkerBehavior
+from repro.core.acceptance import AcceptanceEstimator
+from repro.core.base import Decision, DecisionKind, OnlineAlgorithm, PlatformContext
+from repro.core.entities import Request, Worker
+from repro.core.events import EventKind, EventStream
+from repro.core.exchange import CooperationExchange
+from repro.core.matching import AssignmentKind, MatchRecord, MatchingLedger
+from repro.core.payment import MinimumOuterPaymentEstimator
+from repro.core.pricing import MaximumExpectedRevenuePricer
+from repro.errors import ConfigurationError, SimulationError
+from repro.utils.memory import approximate_size_bytes
+from repro.utils.rng import SeedSequence
+from repro.utils.timer import Stopwatch, TimingAccumulator
+
+__all__ = [
+    "Scenario",
+    "SimulatorConfig",
+    "SimulationResult",
+    "Simulator",
+    "DecisionLogEntry",
+]
+
+
+@dataclass
+class Scenario:
+    """One runnable problem instance.
+
+    Produced by the workload generators; consumed by the simulator and the
+    offline baseline.
+    """
+
+    events: EventStream
+    oracle: BehaviorOracle
+    platform_ids: list[str]
+    value_upper_bound: float = 0.0
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        if not self.platform_ids:
+            raise ConfigurationError("a scenario needs at least one platform")
+        if self.value_upper_bound <= 0.0:
+            values = [request.value for request in self.events.requests]
+            self.value_upper_bound = max(values) if values else 1.0
+
+    @property
+    def request_count(self) -> int:
+        """Total requests across platforms."""
+        return len(self.events.requests)
+
+    @property
+    def worker_count(self) -> int:
+        """Total workers across platforms."""
+        return len(self.events.workers)
+
+
+@dataclass
+class SimulatorConfig:
+    """Tunables of one simulation run."""
+
+    seed: int = 0
+    #: Lemma-1 accuracy knobs for Algorithm 2.
+    payment_xi: float = 0.1
+    payment_eta: float = 0.5
+    #: MER pricer grid resolution.
+    pricer_grid_steps: int = 50
+    #: Also evaluate history CDF breakpoints in the MER maximization.
+    pricer_history_breakpoints: bool = True
+    #: Eq.-4 estimate for workers with no history.
+    default_acceptance: float = 0.5
+    #: Grid-index cell edge (km).
+    cell_size_km: float = 1.0
+    #: When False, outer candidate queries return nothing (no-cooperation
+    #: ablation; TOTA ignores outer candidates regardless).
+    cooperation_enabled: bool = True
+    #: Wall-clock the decide() call per request (the response-time metric).
+    measure_response_time: bool = True
+    #: Extension: a served worker re-enters their platform's waiting list
+    #: after the service completes, at their home location.
+    worker_reentry: bool = False
+    #: Constant occupation per service (used when ``service_model`` is None).
+    service_duration: float = 600.0
+    #: Optional richer occupation model (e.g. TravelAwareServiceTime);
+    #: overrides ``service_duration`` when set.
+    service_model: object | None = None
+    #: Record one DecisionLogEntry per request (debugging / analysis).
+    decision_log: bool = False
+    #: Extension (paper §II): replace Euclidean range checks with
+    #: shortest-path distance over this road network.
+    road_network: object | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionLogEntry:
+    """One request's audited outcome (``SimulatorConfig.decision_log``)."""
+
+    time: float
+    platform_id: str
+    request_id: str
+    kind: str
+    worker_id: str | None
+    payment: float
+    value: float
+
+
+@dataclass
+class PlatformOutcome:
+    """Everything measured for one platform in one run."""
+
+    ledger: MatchingLedger
+    response_time: TimingAccumulator = field(default_factory=TimingAccumulator)
+    cooperative_attempts: int = 0
+    offers_made: int = 0
+
+    @property
+    def acceptance_ratio(self) -> float | None:
+        """|AcpRt| — accepted cooperative requests / attempted ones."""
+        if self.cooperative_attempts == 0:
+            return None
+        return self.ledger.cooperative_requests / self.cooperative_attempts
+
+    @property
+    def mean_payment_rate(self) -> float | None:
+        """Mean ``v'_r / v_r`` over cooperative assignments."""
+        rates = self.ledger.outer_payment_rates()
+        if not rates:
+            return None
+        return sum(rates) / len(rates)
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate output of one run."""
+
+    algorithm_name: str
+    scenario_name: str
+    seed: int
+    platforms: dict[str, PlatformOutcome]
+    memory_bytes: int = 0
+    #: Populated when ``SimulatorConfig.decision_log`` is on.
+    decisions: list[DecisionLogEntry] = field(default_factory=list)
+
+    @property
+    def total_revenue(self) -> float:
+        """Sum of Definition-2.5 revenue across platforms."""
+        return sum(p.ledger.revenue for p in self.platforms.values())
+
+    @property
+    def total_completed(self) -> int:
+        """Completed requests across platforms."""
+        return sum(p.ledger.completed_requests for p in self.platforms.values())
+
+    @property
+    def total_cooperative(self) -> int:
+        """|CoR| across platforms."""
+        return sum(p.ledger.cooperative_requests for p in self.platforms.values())
+
+    @property
+    def total_rejected(self) -> int:
+        """Rejected requests across platforms."""
+        return sum(p.ledger.rejected_requests for p in self.platforms.values())
+
+    @property
+    def mean_response_time_ms(self) -> float:
+        """Mean per-request decision latency across platforms."""
+        total_seconds = sum(
+            p.response_time.total_seconds for p in self.platforms.values()
+        )
+        count = sum(p.response_time.count for p in self.platforms.values())
+        return (total_seconds / count) * 1e3 if count else 0.0
+
+    def response_time_percentile_ms(self, q: float) -> float:
+        """Pooled per-request latency percentile (reservoir estimate)."""
+        samples: list[float] = []
+        for platform in self.platforms.values():
+            samples.extend(platform.response_time._reservoir)  # noqa: SLF001
+        if not samples:
+            return 0.0
+        from repro.utils.stats import quantile
+
+        return quantile(sorted(samples), q) * 1e3
+
+    @property
+    def overall_acceptance_ratio(self) -> float | None:
+        """|AcpRt| pooled across platforms."""
+        attempts = sum(p.cooperative_attempts for p in self.platforms.values())
+        if attempts == 0:
+            return None
+        return self.total_cooperative / attempts
+
+    @property
+    def overall_payment_rate(self) -> float | None:
+        """Mean ``v'_r / v_r`` pooled across platforms."""
+        rates: list[float] = []
+        for platform in self.platforms.values():
+            rates.extend(platform.ledger.outer_payment_rates())
+        if not rates:
+            return None
+        return sum(rates) / len(rates)
+
+    def all_records(self) -> list[MatchRecord]:
+        """Every assignment across platforms (for constraint validation)."""
+        records: list[MatchRecord] = []
+        for platform in self.platforms.values():
+            records.extend(platform.ledger.records)
+        return records
+
+
+class Simulator:
+    """Runs one online algorithm per platform over a scenario."""
+
+    def __init__(self, config: SimulatorConfig | None = None):
+        self.config = config or SimulatorConfig()
+
+    def run(
+        self,
+        scenario: Scenario,
+        algorithm_factory: Callable[[], OnlineAlgorithm],
+    ) -> SimulationResult:
+        """Replay the scenario and return the measured outcome.
+
+        ``algorithm_factory`` is called once per platform so platforms do
+        not share mutable algorithm state (each platform is an independent
+        decision maker in the paper's model).
+        """
+        config = self.config
+        seeds = SeedSequence(config.seed)
+        exchange = CooperationExchange(
+            scenario.platform_ids,
+            cell_size_km=config.cell_size_km,
+            road_network=config.road_network,
+        )
+        # The estimator interprets histories in the same space (relative
+        # rates vs absolute prices) as the scenario's ground truth.
+        acceptance = AcceptanceEstimator(
+            default_probability=config.default_acceptance,
+            mode=scenario.oracle.mode,
+        )
+        payment_estimator = MinimumOuterPaymentEstimator(
+            acceptance, xi=config.payment_xi, eta=config.payment_eta
+        )
+        pricer = MaximumExpectedRevenuePricer(
+            acceptance,
+            grid_steps=config.pricer_grid_steps,
+            include_history_breakpoints=config.pricer_history_breakpoints,
+        )
+
+        algorithms: dict[str, OnlineAlgorithm] = {}
+        contexts: dict[str, PlatformContext] = {}
+        outcomes: dict[str, PlatformOutcome] = {}
+        for platform_id in scenario.platform_ids:
+            algorithm = algorithm_factory()
+            context = PlatformContext(
+                platform_id=platform_id,
+                exchange=exchange,
+                acceptance=acceptance,
+                payment_estimator=payment_estimator,
+                pricer=pricer,
+                oracle=scenario.oracle,
+                rng=seeds.child("algorithm").rng(platform_id),
+                value_upper_bound=scenario.value_upper_bound,
+                cooperation_enabled=config.cooperation_enabled,
+            )
+            algorithm.reset(context)
+            algorithms[platform_id] = algorithm
+            contexts[platform_id] = context
+            outcomes[platform_id] = PlatformOutcome(
+                ledger=MatchingLedger(platform_id)
+            )
+
+        # Pre-load every worker's history into the Eq.-4 estimator.
+        for event in scenario.events:
+            if event.kind is EventKind.WORKER:
+                assert event.worker is not None
+                worker_id = event.worker.worker_id
+                if worker_id in scenario.oracle:
+                    acceptance.set_history(
+                        worker_id, scenario.oracle.history_of(worker_id)
+                    )
+
+        # Reentry queue: (time, sequence, worker) — sequence breaks ties.
+        reentry_heap: list[tuple[float, int, Worker]] = []
+        reentry_sequence = 0
+        # Departure queue (shift ends): (time, worker_id).
+        departure_heap: list[tuple[float, str]] = []
+
+        algorithm_name = next(iter(algorithms.values())).name
+        decision_entries: list[DecisionLogEntry] = []
+        #: request_id -> Request for every deferred, not-yet-resolved request.
+        deferred: dict[str, Request] = {}
+
+        def run_flush(platform_id: str, time: float) -> None:
+            nonlocal reentry_sequence
+            resolved = algorithms[platform_id].flush(time, contexts[platform_id])
+            for flushed_request, flushed_decision in resolved:
+                if flushed_request.request_id not in deferred:
+                    raise SimulationError(
+                        f"flush returned non-deferred request "
+                        f"{flushed_request.request_id}"
+                    )
+                if flushed_decision.kind is DecisionKind.DEFER:
+                    raise SimulationError("flush may not re-defer a request")
+                del deferred[flushed_request.request_id]
+                outcome = outcomes[flushed_request.platform_id]
+                if flushed_decision.cooperative_attempt:
+                    outcome.cooperative_attempts += 1
+                    outcome.offers_made += flushed_decision.offers_made
+                reentry_sequence = self._apply_decision(
+                    flushed_decision,
+                    flushed_request,
+                    exchange,
+                    outcomes,
+                    reentry_heap,
+                    reentry_sequence,
+                    scenario,
+                    acceptance,
+                    decision_entries,
+                )
+
+        for event in scenario.events:
+            # Inject any workers whose service completed before this event.
+            while reentry_heap and reentry_heap[0][0] <= event.time:
+                _, _, returning = heapq.heappop(reentry_heap)
+                exchange.worker_arrives(returning)
+                if returning.departure_time is not None:
+                    heapq.heappush(
+                        departure_heap,
+                        (returning.departure_time, returning.worker_id),
+                    )
+                algorithms[returning.platform_id].on_worker_arrival(
+                    returning, contexts[returning.platform_id]
+                )
+
+            # Give batching algorithms a chance to flush before this event.
+            for platform_id in scenario.platform_ids:
+                run_flush(platform_id, event.time)
+
+            # Shift ends: still-waiting workers leave every list.
+            while departure_heap and departure_heap[0][0] < event.time:
+                __, departing_id = heapq.heappop(departure_heap)
+                if exchange.is_available(departing_id):
+                    exchange.claim(departing_id)
+
+            if event.kind is EventKind.WORKER:
+                assert event.worker is not None
+                worker = event.worker
+                if worker.platform_id not in outcomes:
+                    raise SimulationError(
+                        f"worker {worker.worker_id} belongs to unknown platform "
+                        f"{worker.platform_id}"
+                    )
+                exchange.worker_arrives(worker)
+                if worker.departure_time is not None:
+                    heapq.heappush(
+                        departure_heap, (worker.departure_time, worker.worker_id)
+                    )
+                algorithms[worker.platform_id].on_worker_arrival(
+                    worker, contexts[worker.platform_id]
+                )
+                continue
+
+            assert event.request is not None
+            request = event.request
+            platform_id = request.platform_id
+            if platform_id not in outcomes:
+                raise SimulationError(
+                    f"request {request.request_id} targets unknown platform "
+                    f"{platform_id}"
+                )
+            outcome = outcomes[platform_id]
+
+            if config.measure_response_time:
+                with Stopwatch() as watch:
+                    decision = algorithms[platform_id].decide(
+                        request, contexts[platform_id]
+                    )
+                outcome.response_time.record(watch.elapsed_seconds)
+            else:
+                decision = algorithms[platform_id].decide(
+                    request, contexts[platform_id]
+                )
+
+            if decision.kind is DecisionKind.DEFER:
+                deferred[request.request_id] = request
+                continue
+
+            if decision.cooperative_attempt:
+                outcome.cooperative_attempts += 1
+                outcome.offers_made += decision.offers_made
+
+            reentry_sequence = self._apply_decision(
+                decision,
+                request,
+                exchange,
+                outcomes,
+                reentry_heap,
+                reentry_sequence,
+                scenario,
+                acceptance,
+                decision_entries,
+            )
+
+        # End of stream: final flush, then auto-reject anything left parked.
+        for platform_id in scenario.platform_ids:
+            run_flush(platform_id, float("inf"))
+        for leftover in list(deferred.values()):
+            outcomes[leftover.platform_id].ledger.record_rejection(leftover)
+        deferred.clear()
+
+        memory_bytes = approximate_size_bytes(
+            {
+                "outcomes": {
+                    pid: outcome.ledger.records for pid, outcome in outcomes.items()
+                },
+                "waiting": {
+                    pid: exchange.inner_list(pid).workers()
+                    for pid in scenario.platform_ids
+                },
+                "entities": (scenario.events.workers, scenario.events.requests),
+            }
+        )
+
+        return SimulationResult(
+            algorithm_name=algorithm_name,
+            scenario_name=scenario.name,
+            seed=config.seed,
+            platforms=outcomes,
+            memory_bytes=memory_bytes,
+            decisions=decision_entries,
+        )
+
+    def _apply_decision(
+        self,
+        decision: Decision,
+        request: Request,
+        exchange: CooperationExchange,
+        outcomes: dict[str, PlatformOutcome],
+        reentry_heap: list[tuple[float, int, Worker]],
+        reentry_sequence: int,
+        scenario: Scenario,
+        acceptance: AcceptanceEstimator,
+        decision_entries: list["DecisionLogEntry"] | None = None,
+    ) -> int:
+        """Mutate world state according to a decision; returns the updated
+        reentry sequence counter."""
+        config = self.config
+        outcome = outcomes[request.platform_id]
+
+        if config.decision_log and decision_entries is not None:
+            decision_entries.append(
+                DecisionLogEntry(
+                    time=request.arrival_time,
+                    platform_id=request.platform_id,
+                    request_id=request.request_id,
+                    kind=decision.kind.value,
+                    worker_id=(
+                        decision.worker.worker_id if decision.worker else None
+                    ),
+                    payment=decision.payment,
+                    value=request.value,
+                )
+            )
+
+        if decision.kind is DecisionKind.REJECT:
+            outcome.ledger.record_rejection(request)
+            return reentry_sequence
+
+        worker = decision.worker
+        if worker is None:
+            raise SimulationError("serve decision without a worker")
+        if not exchange.is_available(worker.worker_id):
+            raise SimulationError(
+                f"algorithm picked unavailable worker {worker.worker_id}"
+            )
+        exchange.claim(worker.worker_id)
+
+        kind = (
+            AssignmentKind.INNER
+            if decision.kind is DecisionKind.SERVE_INNER
+            else AssignmentKind.OUTER
+        )
+        record = MatchRecord(
+            request=request,
+            worker=worker,
+            kind=kind,
+            payment=decision.payment if kind is AssignmentKind.OUTER else 0.0,
+            decision_time=request.arrival_time,
+            pickup_distance=worker.location.distance_to(request.location),
+        )
+        outcome.ledger.record(record)
+
+        if kind is AssignmentKind.OUTER:
+            # Credit the lender platform and grow the worker's visible
+            # history (the online-learning loop behind Eq. 4).
+            outcomes[worker.platform_id].ledger.record_lender_income(
+                request.platform_id, decision.payment
+            )
+            acceptance.record_completion(
+                worker.worker_id, decision.payment, request.value
+            )
+
+        occupation = config.service_duration
+        if config.service_model is not None:
+            occupation = config.service_model.duration(
+                worker, request, config.seed
+            )
+        past_shift = (
+            worker.departure_time is not None
+            and request.arrival_time + occupation > worker.departure_time
+        )
+        if config.worker_reentry and not past_shift:
+            reentry_sequence += 1
+            return_time = request.arrival_time + occupation
+            returned = self._reentered_worker(worker, request, return_time, scenario)
+            acceptance.set_history(
+                returned.worker_id, scenario.oracle.history_of(worker.worker_id)
+            )
+            heapq.heappush(reentry_heap, (return_time, reentry_sequence, returned))
+        return reentry_sequence
+
+    @staticmethod
+    def _reentered_worker(
+        worker: Worker, request: Request, return_time: float, scenario: Scenario
+    ) -> Worker:
+        """Clone a worker for reentry at their home location.
+
+        The clone gets a fresh id (the 1-by-1 constraint is per engagement)
+        and inherits the original's behaviour in the oracle.  Re-entering at
+        the worker's *original* location (the "return home" model) keeps the
+        offline copy relaxation in :func:`repro.baselines.offline.
+        solve_offline_reentry` a true upper bound; see DESIGN.md §2.
+        """
+        base_id, _, suffix = worker.worker_id.partition("@reentry")
+        generation = int(suffix) + 1 if suffix else 1
+        new_id = f"{base_id}@reentry{generation}"
+        clone = replace(
+            worker,
+            worker_id=new_id,
+            arrival_time=return_time,
+        )
+        if new_id not in scenario.oracle:
+            original = scenario.oracle.behavior_of(worker.worker_id)
+            scenario.oracle.register(
+                WorkerBehavior(new_id, original.distribution, original.history)
+            )
+        return clone

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the COM reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch a single base type.  More specific subclasses exist for the
+distinct failure domains (model construction, simulation, matching
+constraints, workload configuration, experiment harness).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class ConstraintViolationError(ReproError):
+    """A matching violated one of the COM constraints (Definition 2.6).
+
+    Raised by the constraint checker when validating a matching; carries the
+    name of the violated constraint for precise test assertions.
+    """
+
+    def __init__(self, constraint: str, message: str):
+        super().__init__(f"{constraint}: {message}")
+        self.constraint = constraint
+
+
+class SimulationError(ReproError):
+    """The online simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was asked for an impossible configuration."""
+
+
+class GraphError(ReproError):
+    """A graph algorithm received malformed input."""
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """An algorithm name was not found in the registry."""
+
+    def __init__(self, name: str, known: list[str]):
+        super().__init__(
+            f"unknown algorithm {name!r}; registered algorithms: {sorted(known)}"
+        )
+        self.name = name
+        self.known = sorted(known)

@@ -1,0 +1,117 @@
+"""The one-command full reproduction: every table, every figure, one report.
+
+:func:`reproduce_all` regenerates Tables V-VII, all twelve Fig.-5 panels
+and the competitive-ratio studies, saves the raw artifacts (JSON tables,
+CSV panels) under an output directory, and writes a single markdown report
+(`REPORT.md`) with the rendered tables and ASCII charts — the programmatic
+equivalent of running the whole benchmark suite, usable from scripts and
+the ``com-repro reproduce`` subcommand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.experiments.competitive import (
+    RAMCOM_THEORETICAL_CR,
+    random_order_ratio,
+)
+from repro.experiments.figures import FigurePanel, run_figure5_axis
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.reporting import save_panel, save_table
+from repro.experiments.tables import TABLE_IDS, TableResult, run_city_table
+from repro.utils.ascii_chart import render_panel
+from repro.utils.tables import TextTable
+from repro.workloads import SyntheticWorkload, SyntheticWorkloadConfig
+
+__all__ = ["ReproductionRun", "reproduce_all"]
+
+#: Reduced sweep grids for the driver (the full Table-IV tails take hours
+#: in pure Python; pass ``full_grids=True`` for everything).
+REDUCED_SWEEPS = {
+    "requests": (500, 1000, 2500, 5000),
+    "workers": (100, 200, 500, 1000),
+    "radius": (0.5, 1.0, 1.5, 2.0, 2.5),
+}
+FULL_SWEEPS = {
+    "requests": (500, 1000, 2500, 5000, 10_000, 20_000, 50_000, 100_000),
+    "workers": (100, 200, 500, 1000, 2500, 5000, 10_000, 20_000),
+    "radius": (0.5, 1.0, 1.5, 2.0, 2.5),
+}
+
+
+@dataclass
+class ReproductionRun:
+    """Everything one full reproduction produced."""
+
+    tables: dict[str, TableResult] = field(default_factory=dict)
+    panels: dict[str, FigurePanel] = field(default_factory=dict)
+    cr_rows: list[tuple[str, float, float]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    report_path: Path | None = None
+
+
+def reproduce_all(
+    output_dir: str | Path,
+    scale: float = 0.01,
+    seeds: int = 2,
+    full_grids: bool = False,
+    cr_trials: int = 40,
+) -> ReproductionRun:
+    """Run the complete evaluation and write ``REPORT.md`` + artifacts."""
+    output = Path(output_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    config = ExperimentConfig(seeds=tuple(range(seeds)), service_duration=1800.0)
+    run = ReproductionRun()
+    started = time.perf_counter()
+    sections: list[str] = [
+        "# COM reproduction report",
+        "",
+        f"scale={scale:g}, seed-days={seeds}, "
+        f"sweeps={'full' if full_grids else 'reduced'}",
+        "",
+    ]
+
+    # --- Tables V-VII ------------------------------------------------------
+    sections.append("## Tables V-VII")
+    for table_id in TABLE_IDS:
+        result = run_city_table(table_id, scale=scale, config=config)
+        run.tables[table_id] = result
+        save_table(result, output)
+        sections.extend(["", "```", result.render(), "```"])
+
+    # --- Fig. 5 -------------------------------------------------------------
+    sections.append("\n## Figure 5")
+    sweeps = FULL_SWEEPS if full_grids else REDUCED_SWEEPS
+    for axis in ("requests", "workers", "radius"):
+        panels = run_figure5_axis(axis, values=sweeps[axis], config=config)
+        for metric, panel in panels.items():
+            run.panels[panel.panel_id] = panel
+            save_panel(panel, output)
+            sections.extend(["", "```", render_panel(panel), "```"])
+
+    # --- Competitive ratios ---------------------------------------------------
+    sections.append("\n## Competitive ratios (random-order model)")
+    cr_scenario = SyntheticWorkload(
+        SyntheticWorkloadConfig(
+            request_count=30, worker_count=12, city_km=4.0, radius_km=1.5
+        )
+    ).build(seed=3)
+    cr_table = TextTable(
+        ["Algorithm", "Mean ratio", "Min ratio", "1/(8e) bound"],
+    )
+    for name in ("tota", "demcom", "ramcom"):
+        report = random_order_ratio(cr_scenario, name, trials=cr_trials)
+        run.cr_rows.append((name, report.expectation, report.minimum))
+        cr_table.add_row(
+            [name, report.expectation, report.minimum, RAMCOM_THEORETICAL_CR]
+        )
+    sections.extend(["", "```", cr_table.render(), "```", ""])
+
+    run.elapsed_seconds = time.perf_counter() - started
+    sections.append(f"\ncompleted in {run.elapsed_seconds:.1f}s")
+    run.report_path = output / "REPORT.md"
+    run.report_path.write_text("\n".join(sections) + "\n")
+    return run

@@ -1,0 +1,86 @@
+"""Run algorithms over scenarios and collect metric rows.
+
+The harness hides the asymmetry between online algorithms (replayed by the
+simulator, averaged over seeds) and OFF (a single deterministic solve), so
+table and figure code deals only in :class:`AlgorithmMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.baselines.offline import solve_offline, solve_offline_reentry
+from repro.core.registry import algorithm_factory
+from repro.core.simulator import Scenario, Simulator, SimulatorConfig
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import AlgorithmMetrics, average_metrics
+
+__all__ = ["ExperimentConfig", "run_algorithm", "run_comparison"]
+
+#: Registry name reserved for the offline optimum.
+OFFLINE_NAME = "off"
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """How to run one experiment.
+
+    Attributes
+    ----------
+    seeds:
+        Simulator seeds to average over (the paper's tables average per-day
+        results over a month; seeds play the role of days).
+    worker_reentry / service_duration:
+        The table experiments run with reentry on (a taxi serves many
+        requests per day — Table III's |CpR| >> |W| requires it).
+    simulator:
+        Base simulator config; per-seed runs override only the seed.
+    """
+
+    seeds: tuple[int, ...] = (0, 1, 2)
+    worker_reentry: bool = True
+    service_duration: float = 1800.0
+    simulator: SimulatorConfig = field(default_factory=SimulatorConfig)
+
+    def simulator_config(self, seed: int) -> SimulatorConfig:
+        """The per-seed simulator configuration."""
+        return replace(
+            self.simulator,
+            seed=seed,
+            worker_reentry=self.worker_reentry,
+            service_duration=self.service_duration,
+        )
+
+
+def run_algorithm(
+    scenario: Scenario, algorithm: str, config: ExperimentConfig | None = None
+) -> AlgorithmMetrics:
+    """Run one algorithm (or ``"off"``) on a scenario; returns the averaged
+    metric row."""
+    config = config or ExperimentConfig()
+    if algorithm.lower() == OFFLINE_NAME:
+        if config.worker_reentry:
+            solution = solve_offline_reentry(
+                scenario, service_duration=config.service_duration
+            )
+        else:
+            solution = solve_offline(scenario)
+        return AlgorithmMetrics.from_offline(solution)
+    if not config.seeds:
+        raise ConfigurationError("ExperimentConfig.seeds must be non-empty")
+    factory = algorithm_factory(algorithm)
+    rows = []
+    for seed in config.seeds:
+        simulator = Simulator(config.simulator_config(seed))
+        rows.append(AlgorithmMetrics.from_simulation(simulator.run(scenario, factory)))
+    return average_metrics(rows)
+
+
+def run_comparison(
+    scenario: Scenario,
+    algorithms: list[str],
+    config: ExperimentConfig | None = None,
+) -> list[AlgorithmMetrics]:
+    """Run several algorithms on the same scenario (same seeds, same
+    realized worker behaviour — the oracle guarantees identical draws)."""
+    return [run_algorithm(scenario, name, config) for name in algorithms]

@@ -1,0 +1,124 @@
+"""Market-level analysis of a simulation outcome.
+
+The paper's metrics are per-platform aggregates; these helpers look at the
+*market* the cooperating platforms form:
+
+* :func:`lending_flows` — who served whose requests (the flow matrix the
+  multi-platform example prints);
+* :func:`net_lending_balance` — each platform's lender income minus what
+  it paid out for borrowed workers (a surplus/deficit view of the
+  exchange);
+* :func:`worker_income_gini` — inequality of per-worker earnings (the
+  incentive mechanism's distributional footprint);
+* :class:`MarketReport` — the bundle, with a text rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.matching import AssignmentKind
+from repro.core.simulator import SimulationResult
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "MarketReport",
+    "analyze_market",
+    "lending_flows",
+    "net_lending_balance",
+    "worker_income_gini",
+]
+
+
+def lending_flows(result: SimulationResult) -> dict[tuple[str, str], int]:
+    """``{(lender, borrower): cooperative completions}``."""
+    flows: dict[tuple[str, str], int] = {}
+    for record in result.all_records():
+        lender = record.worker.platform_id
+        borrower = record.request.platform_id
+        if lender != borrower:
+            flows[(lender, borrower)] = flows.get((lender, borrower), 0) + 1
+    return flows
+
+
+def net_lending_balance(result: SimulationResult) -> dict[str, float]:
+    """Per platform: lender income earned minus outer payments made."""
+    balance = {platform_id: 0.0 for platform_id in result.platforms}
+    for record in result.all_records():
+        if record.kind is AssignmentKind.OUTER:
+            balance[record.worker.platform_id] += record.payment
+            balance[record.request.platform_id] -= record.payment
+    return balance
+
+
+def worker_income_gini(result: SimulationResult) -> float:
+    """Gini coefficient of per-worker earnings across the market.
+
+    A worker's earnings: full request value for inner services (the
+    paper's platforms pass fares to drivers, keeping commission out of
+    scope) plus outer payments for borrowed services.  Reentry clones
+    aggregate onto their base worker.  Only workers who earned anything
+    are counted (idle workers would dominate otherwise).
+    """
+    income: dict[str, float] = {}
+    for record in result.all_records():
+        base_id = record.worker.worker_id.split("@reentry", 1)[0]
+        earned = (
+            record.payment
+            if record.kind is AssignmentKind.OUTER
+            else record.request.value
+        )
+        income[base_id] = income.get(base_id, 0.0) + earned
+    values = sorted(income.values())
+    n = len(values)
+    if n == 0:
+        return 0.0
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    weighted = sum((index + 1) * value for index, value in enumerate(values))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+@dataclass
+class MarketReport:
+    """The market view of one simulation run."""
+
+    algorithm: str
+    flows: dict[tuple[str, str], int] = field(default_factory=dict)
+    balance: dict[str, float] = field(default_factory=dict)
+    gini: float = 0.0
+    cooperative_total: int = 0
+
+    def render(self) -> str:
+        """Aligned-text rendering (flow matrix + balances)."""
+        platforms = sorted(self.balance)
+        table = TextTable(
+            ["lender \\ borrower"] + platforms + ["net balance"],
+            title=(
+                f"Market report — {self.algorithm} "
+                f"({self.cooperative_total} cooperative completions, "
+                f"worker-income Gini {self.gini:.3f})"
+            ),
+        )
+        for lender in platforms:
+            row: list[object] = [lender]
+            for borrower in platforms:
+                if lender == borrower:
+                    row.append("-")
+                else:
+                    row.append(self.flows.get((lender, borrower), 0))
+            row.append(round(self.balance[lender], 1))
+            table.add_row(row)
+        return table.render()
+
+
+def analyze_market(result: SimulationResult) -> MarketReport:
+    """Compute the full market view of one run."""
+    return MarketReport(
+        algorithm=result.algorithm_name,
+        flows=lending_flows(result),
+        balance=net_lending_balance(result),
+        gini=worker_income_gini(result),
+        cooperative_total=result.total_cooperative,
+    )

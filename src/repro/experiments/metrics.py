@@ -1,0 +1,158 @@
+"""Metric rows — the columns of the paper's Tables V-VII.
+
+One :class:`AlgorithmMetrics` holds everything a table row reports for one
+algorithm on one scenario:
+
+* ``revenue[platform]`` — the headline per-platform revenue.  As shown in
+  EXPERIMENTS.md, the paper's per-platform revenue numbers are only
+  mutually consistent if each platform's figure *includes the income its
+  workers earn serving the other platform's requests* (lender income), so
+  the headline revenue is ``Definition-2.5 revenue + lender income``; the
+  pure Definition-2.5 number is kept in ``platform_revenue``.
+* ``response_time_ms`` — mean per-request decision latency (for OFF: solve
+  time amortized per request, as the paper reports it).
+* ``memory_mb`` — the analytic footprint of the live data structures.
+* ``completed[platform]`` — |CpR| per platform.
+* ``cooperative`` — |CoR| across both platforms.
+* ``acceptance_ratio`` — |AcpRt| (None for OFF/TOTA, printed as ``-``).
+* ``payment_rate`` — mean v'_r / v_r (None for OFF/TOTA).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.baselines.offline import OfflineSolution
+from repro.core.simulator import SimulationResult
+
+__all__ = ["AlgorithmMetrics", "average_metrics"]
+
+
+@dataclass
+class AlgorithmMetrics:
+    """One table row: an algorithm's measured behaviour on a scenario."""
+
+    algorithm: str
+    scenario: str
+    revenue: dict[str, float] = field(default_factory=dict)
+    platform_revenue: dict[str, float] = field(default_factory=dict)
+    lender_income: dict[str, float] = field(default_factory=dict)
+    completed: dict[str, int] = field(default_factory=dict)
+    response_time_ms: float = 0.0
+    memory_mb: float = 0.0
+    cooperative: int = 0
+    acceptance_ratio: float | None = None
+    payment_rate: float | None = None
+    runs: int = 1
+
+    @property
+    def total_revenue(self) -> float:
+        """Headline revenue summed over platforms."""
+        return sum(self.revenue.values())
+
+    @property
+    def total_completed(self) -> float:
+        """|CpR| summed over platforms."""
+        return sum(self.completed.values())
+
+    @classmethod
+    def from_simulation(cls, result: SimulationResult) -> "AlgorithmMetrics":
+        """Build a row from an online run."""
+        revenue: dict[str, float] = {}
+        platform_revenue: dict[str, float] = {}
+        lender_income: dict[str, float] = {}
+        completed: dict[str, int] = {}
+        for platform_id, outcome in result.platforms.items():
+            ledger = outcome.ledger
+            platform_revenue[platform_id] = ledger.revenue
+            lender_income[platform_id] = ledger.total_lender_income
+            revenue[platform_id] = ledger.revenue + ledger.total_lender_income
+            completed[platform_id] = ledger.completed_requests
+        return cls(
+            algorithm=result.algorithm_name,
+            scenario=result.scenario_name,
+            revenue=revenue,
+            platform_revenue=platform_revenue,
+            lender_income=lender_income,
+            completed=completed,
+            response_time_ms=result.mean_response_time_ms,
+            memory_mb=result.memory_bytes / (1024 * 1024),
+            cooperative=result.total_cooperative,
+            acceptance_ratio=result.overall_acceptance_ratio,
+            payment_rate=result.overall_payment_rate,
+        )
+
+    @classmethod
+    def from_offline(
+        cls, solution: OfflineSolution, memory_mb: float = 0.0
+    ) -> "AlgorithmMetrics":
+        """Build a row from an OFF solve."""
+        revenue: dict[str, float] = {}
+        platform_revenue: dict[str, float] = {}
+        lender_income: dict[str, float] = {}
+        completed: dict[str, int] = {}
+        for platform_id, ledger in solution.ledgers.items():
+            platform_revenue[platform_id] = ledger.revenue
+            lender_income[platform_id] = ledger.total_lender_income
+            revenue[platform_id] = ledger.revenue + ledger.total_lender_income
+            completed[platform_id] = ledger.completed_requests
+        return cls(
+            algorithm=solution.algorithm_name,
+            scenario=solution.scenario_name,
+            revenue=revenue,
+            platform_revenue=platform_revenue,
+            lender_income=lender_income,
+            completed=completed,
+            response_time_ms=solution.mean_response_time_ms,
+            memory_mb=memory_mb,
+            cooperative=sum(
+                ledger.cooperative_requests for ledger in solution.ledgers.values()
+            ),
+            acceptance_ratio=None,
+            payment_rate=None,
+        )
+
+
+def average_metrics(rows: Sequence[AlgorithmMetrics]) -> AlgorithmMetrics:
+    """Average rows from repeated runs (different seeds) of one algorithm.
+
+    The paper's tables are per-day averages over a month of trace days; our
+    tables average over seeds the same way.  ``None`` metrics stay ``None``
+    only if no run produced a value.
+    """
+    if not rows:
+        raise ValueError("average_metrics needs at least one row")
+    first = rows[0]
+    if any(row.algorithm != first.algorithm for row in rows):
+        raise ValueError("cannot average rows from different algorithms")
+    count = len(rows)
+    platform_ids = list(first.revenue.keys())
+    averaged = AlgorithmMetrics(
+        algorithm=first.algorithm,
+        scenario=first.scenario,
+        runs=count,
+    )
+    for platform_id in platform_ids:
+        averaged.revenue[platform_id] = (
+            sum(row.revenue.get(platform_id, 0.0) for row in rows) / count
+        )
+        averaged.platform_revenue[platform_id] = (
+            sum(row.platform_revenue.get(platform_id, 0.0) for row in rows) / count
+        )
+        averaged.lender_income[platform_id] = (
+            sum(row.lender_income.get(platform_id, 0.0) for row in rows) / count
+        )
+        averaged.completed[platform_id] = round(
+            sum(row.completed.get(platform_id, 0) for row in rows) / count
+        )
+    averaged.response_time_ms = sum(row.response_time_ms for row in rows) / count
+    averaged.memory_mb = sum(row.memory_mb for row in rows) / count
+    averaged.cooperative = round(sum(row.cooperative for row in rows) / count)
+    acceptance = [r.acceptance_ratio for r in rows if r.acceptance_ratio is not None]
+    averaged.acceptance_ratio = (
+        sum(acceptance) / len(acceptance) if acceptance else None
+    )
+    payment = [r.payment_rate for r in rows if r.payment_rate is not None]
+    averaged.payment_rate = sum(payment) / len(payment) if payment else None
+    return averaged

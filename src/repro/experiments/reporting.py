@@ -1,0 +1,68 @@
+"""Persist experiment results to disk (CSV / JSON).
+
+The benches print tables; this module lets scripts and the CLI also save
+them under a results directory for downstream plotting — one file per
+artifact, named after the experiment id.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.figures import FigurePanel
+from repro.experiments.metrics import AlgorithmMetrics
+from repro.experiments.tables import TableResult
+
+__all__ = ["save_table", "save_panel", "metrics_to_dict"]
+
+
+def metrics_to_dict(row: AlgorithmMetrics) -> dict:
+    """A JSON-ready view of one metric row."""
+    return {
+        "algorithm": row.algorithm,
+        "scenario": row.scenario,
+        "revenue": row.revenue,
+        "platform_revenue": row.platform_revenue,
+        "lender_income": row.lender_income,
+        "completed": row.completed,
+        "response_time_ms": row.response_time_ms,
+        "memory_mb": row.memory_mb,
+        "cooperative": row.cooperative,
+        "acceptance_ratio": row.acceptance_ratio,
+        "payment_rate": row.payment_rate,
+        "runs": row.runs,
+    }
+
+
+def save_table(result: TableResult, directory: str | Path) -> Path:
+    """Write one regenerated table as JSON; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"table_{result.table_id}_{result.pair}.json"
+    payload = {
+        "table_id": result.table_id,
+        "pair": result.pair,
+        "scale": result.scale,
+        "platform_ids": result.platform_ids,
+        "rows": [metrics_to_dict(row) for row in result.rows],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def save_panel(panel: FigurePanel, directory: str | Path) -> Path:
+    """Write one figure panel as CSV (x column + one column per series)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    slug = panel.panel_id.replace("(", "").replace(")", "")
+    path = directory / f"fig{slug}_{panel.metric}_vs_{panel.axis}.csv"
+    algorithms = list(panel.series.keys())
+    lines = [",".join([panel.axis] + algorithms)]
+    for index, x in enumerate(panel.x_values):
+        cells = [f"{x:g}"] + [
+            f"{panel.series[name][index]:.6g}" for name in algorithms
+        ]
+        lines.append(",".join(cells))
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,49 @@
+"""Distance functions.
+
+The paper's model uses planar Euclidean distance; §II remarks that road
+network (shortest-path) distance is a drop-in replacement because only the
+*service range predicate* changes.  We provide Euclidean (default),
+Manhattan (a simple road-grid proxy used by the road-network extension), and
+haversine for geographic traces.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.point import Point
+
+__all__ = ["euclidean", "euclidean_squared", "manhattan", "haversine_km"]
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Planar Euclidean distance."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def euclidean_squared(a: Point, b: Point) -> float:
+    """Squared planar Euclidean distance."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return dx * dx + dy * dy
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """L1 distance — the simplest road-grid travel model."""
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+def haversine_km(a: Point, b: Point) -> float:
+    """Great-circle distance in kilometres.
+
+    Points are interpreted as ``(x=longitude, y=latitude)`` in degrees.
+    Used when loading geographic trace data instead of the planar city model.
+    """
+    lon1, lat1 = math.radians(a.x), math.radians(a.y)
+    lon2, lat2 = math.radians(b.x), math.radians(b.y)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))

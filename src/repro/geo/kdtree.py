@@ -1,0 +1,110 @@
+"""A from-scratch 2-d k-d tree.
+
+Static index built once over a point set; supports nearest-neighbour and
+radius queries with standard branch-and-bound pruning.  The online waiting
+lists use :class:`~repro.geo.grid_index.GridIndex` (dynamic deletes); the
+k-d tree serves the offline baseline (batch eligibility-graph construction)
+and is cross-checked against brute force in the property tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.geo.point import Point
+
+__all__ = ["KDTree"]
+
+
+class _Node:
+    __slots__ = ("key", "point", "axis", "left", "right")
+
+    def __init__(self, key: Hashable, point: Point, axis: int):
+        self.key = key
+        self.point = point
+        self.axis = axis
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+
+
+class KDTree:
+    """An immutable 2-d tree over ``(key, point)`` pairs.
+
+    Built by median splitting, guaranteeing O(log n) expected depth
+    regardless of input order.
+    """
+
+    def __init__(self, items: Sequence[tuple[Hashable, Point]]):
+        self._size = len(items)
+        self._root = self._build(list(items), depth=0)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @classmethod
+    def _build(
+        cls, items: list[tuple[Hashable, Point]], depth: int
+    ) -> _Node | None:
+        if not items:
+            return None
+        axis = depth % 2
+        items.sort(key=lambda pair: pair[1].x if axis == 0 else pair[1].y)
+        median = len(items) // 2
+        key, point = items[median]
+        node = _Node(key, point, axis)
+        node.left = cls._build(items[:median], depth + 1)
+        node.right = cls._build(items[median + 1 :], depth + 1)
+        return node
+
+    @staticmethod
+    def _coordinate(point: Point, axis: int) -> float:
+        return point.x if axis == 0 else point.y
+
+    def nearest(self, target: Point) -> tuple[Hashable, float] | None:
+        """The nearest stored key to ``target`` and its distance."""
+        if self._root is None:
+            return None
+        best: list[object] = [None, math.inf]  # key, squared distance
+
+        def visit(node: _Node | None) -> None:
+            if node is None:
+                return
+            squared = node.point.squared_distance_to(target)
+            if squared < best[1]:
+                best[0] = node.key
+                best[1] = squared
+            delta = self._coordinate(target, node.axis) - self._coordinate(
+                node.point, node.axis
+            )
+            near, far = (node.left, node.right) if delta <= 0 else (node.right, node.left)
+            visit(near)
+            if delta * delta < best[1]:
+                visit(far)
+
+        visit(self._root)
+        return best[0], math.sqrt(best[1])  # type: ignore[arg-type]
+
+    def query_radius(self, center: Point, radius: float) -> list[Hashable]:
+        """All keys within the closed disk ``(center, radius)``."""
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        radius_squared = radius * radius
+        found: list[Hashable] = []
+
+        def visit(node: _Node | None) -> None:
+            if node is None:
+                return
+            if node.point.squared_distance_to(center) <= radius_squared:
+                found.append(node.key)
+            delta = self._coordinate(center, node.axis) - self._coordinate(
+                node.point, node.axis
+            )
+            if delta <= radius:
+                visit(node.left)
+            if delta >= -radius:
+                visit(node.right)
+
+        visit(self._root)
+        return found

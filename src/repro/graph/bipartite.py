@@ -1,0 +1,153 @@
+"""Sparse weighted bipartite graphs.
+
+Left vertices model requests, right vertices model workers (the paper's
+Fig. 4 orientation).  Vertices are arbitrary hashable keys; internally they
+are mapped to dense integer ids so the matching algorithms can use flat
+lists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+
+__all__ = ["BipartiteGraph", "MatchingResult"]
+
+
+@dataclass
+class MatchingResult:
+    """A matching over a :class:`BipartiteGraph`.
+
+    Attributes
+    ----------
+    pairs:
+        ``{left_key: right_key}`` for every matched left vertex.
+    total_weight:
+        Sum of the weights of the matched edges.
+    """
+
+    pairs: dict[Hashable, Hashable] = field(default_factory=dict)
+    total_weight: float = 0.0
+
+    @property
+    def cardinality(self) -> int:
+        """Number of matched pairs."""
+        return len(self.pairs)
+
+    def right_to_left(self) -> dict[Hashable, Hashable]:
+        """The inverse mapping ``{right_key: left_key}``."""
+        return {right: left for left, right in self.pairs.items()}
+
+
+class BipartiteGraph:
+    """A weighted bipartite graph with O(1) edge lookup.
+
+    Edges are directed left -> right conceptually; ``add_edge`` replaces any
+    existing edge between the same pair (keep-max is the caller's choice).
+    """
+
+    def __init__(self) -> None:
+        self._left_ids: dict[Hashable, int] = {}
+        self._right_ids: dict[Hashable, int] = {}
+        self._left_keys: list[Hashable] = []
+        self._right_keys: list[Hashable] = []
+        # adjacency[left_id] = {right_id: weight}
+        self._adjacency: list[dict[int, float]] = []
+
+    # -- construction -----------------------------------------------------
+
+    def add_left(self, key: Hashable) -> int:
+        """Add (or look up) a left vertex, returning its dense id."""
+        if key in self._left_ids:
+            return self._left_ids[key]
+        vertex_id = len(self._left_keys)
+        self._left_ids[key] = vertex_id
+        self._left_keys.append(key)
+        self._adjacency.append({})
+        return vertex_id
+
+    def add_right(self, key: Hashable) -> int:
+        """Add (or look up) a right vertex, returning its dense id."""
+        if key in self._right_ids:
+            return self._right_ids[key]
+        vertex_id = len(self._right_keys)
+        self._right_ids[key] = vertex_id
+        self._right_keys.append(key)
+        return vertex_id
+
+    def add_edge(self, left_key: Hashable, right_key: Hashable, weight: float) -> None:
+        """Add an edge, creating endpoints as needed.
+
+        Weights must be finite; the matching algorithms assume real weights.
+        """
+        if weight != weight or weight in (float("inf"), float("-inf")):
+            raise GraphError(f"edge weight must be finite, got {weight}")
+        left_id = self.add_left(left_key)
+        right_id = self.add_right(right_key)
+        self._adjacency[left_id][right_id] = float(weight)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def left_count(self) -> int:
+        """Number of left vertices."""
+        return len(self._left_keys)
+
+    @property
+    def right_count(self) -> int:
+        """Number of right vertices."""
+        return len(self._right_keys)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return sum(len(neighbours) for neighbours in self._adjacency)
+
+    def left_keys(self) -> list[Hashable]:
+        """Left vertex keys in insertion order."""
+        return list(self._left_keys)
+
+    def right_keys(self) -> list[Hashable]:
+        """Right vertex keys in insertion order."""
+        return list(self._right_keys)
+
+    def weight(self, left_key: Hashable, right_key: Hashable) -> float | None:
+        """The weight of edge ``(left, right)`` or ``None`` if absent."""
+        left_id = self._left_ids.get(left_key)
+        right_id = self._right_ids.get(right_key)
+        if left_id is None or right_id is None:
+            return None
+        return self._adjacency[left_id].get(right_id)
+
+    def neighbours(self, left_key: Hashable) -> dict[Hashable, float]:
+        """``{right_key: weight}`` for a left vertex."""
+        left_id = self._left_ids.get(left_key)
+        if left_id is None:
+            raise GraphError(f"unknown left vertex {left_key!r}")
+        return {
+            self._right_keys[right_id]: weight
+            for right_id, weight in self._adjacency[left_id].items()
+        }
+
+    def edges(self) -> Iterable[tuple[Hashable, Hashable, float]]:
+        """Iterate over ``(left_key, right_key, weight)`` triples."""
+        for left_id, neighbours in enumerate(self._adjacency):
+            left_key = self._left_keys[left_id]
+            for right_id, weight in neighbours.items():
+                yield left_key, self._right_keys[right_id], weight
+
+    # -- dense ids for the algorithms ---------------------------------------
+
+    def adjacency_by_id(self) -> list[dict[int, float]]:
+        """Internal adjacency, ``adjacency[left_id] -> {right_id: weight}``."""
+        return self._adjacency
+
+    def left_key_of(self, left_id: int) -> Hashable:
+        """Key of a left id."""
+        return self._left_keys[left_id]
+
+    def right_key_of(self, right_id: int) -> Hashable:
+        """Key of a right id."""
+        return self._right_keys[right_id]

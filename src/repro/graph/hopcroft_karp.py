@@ -1,0 +1,90 @@
+"""Hopcroft-Karp maximum-cardinality bipartite matching.
+
+Used by the unweighted baselines (RANKING's offline reference point) and by
+the test suite as an independent check on matching feasibility.  Runs in
+``O(E * sqrt(V))``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable
+
+from repro.graph.bipartite import BipartiteGraph, MatchingResult
+
+__all__ = ["HopcroftKarp"]
+
+_INF = float("inf")
+
+
+class HopcroftKarp:
+    """Maximum-cardinality matching over a :class:`BipartiteGraph`.
+
+    Edge weights are ignored; only adjacency matters.
+
+    >>> graph = BipartiteGraph()
+    >>> graph.add_edge("r1", "w1", 1.0)
+    >>> graph.add_edge("r2", "w1", 1.0)
+    >>> HopcroftKarp(graph).solve().cardinality
+    1
+    """
+
+    def __init__(self, graph: BipartiteGraph):
+        self._graph = graph
+        self._adjacency = [
+            list(neighbours.keys()) for neighbours in graph.adjacency_by_id()
+        ]
+        self._left_count = graph.left_count
+        self._right_count = graph.right_count
+        self._match_left = [-1] * self._left_count
+        self._match_right = [-1] * self._right_count
+        self._distance: list[float] = []
+
+    def _bfs(self) -> bool:
+        self._distance = [_INF] * self._left_count
+        queue: deque[int] = deque()
+        for left in range(self._left_count):
+            if self._match_left[left] == -1:
+                self._distance[left] = 0
+                queue.append(left)
+        found_augmenting = False
+        while queue:
+            left = queue.popleft()
+            for right in self._adjacency[left]:
+                matched = self._match_right[right]
+                if matched == -1:
+                    found_augmenting = True
+                elif self._distance[matched] == _INF:
+                    self._distance[matched] = self._distance[left] + 1
+                    queue.append(matched)
+        return found_augmenting
+
+    def _dfs(self, left: int) -> bool:
+        for right in self._adjacency[left]:
+            matched = self._match_right[right]
+            if matched == -1 or (
+                self._distance[matched] == self._distance[left] + 1
+                and self._dfs(matched)
+            ):
+                self._match_left[left] = right
+                self._match_right[right] = left
+                return True
+        self._distance[left] = _INF
+        return False
+
+    def solve(self) -> MatchingResult:
+        """Compute and return the maximum-cardinality matching."""
+        while self._bfs():
+            for left in range(self._left_count):
+                if self._match_left[left] == -1:
+                    self._dfs(left)
+        result = MatchingResult()
+        for left, right in enumerate(self._match_left):
+            if right == -1:
+                continue
+            left_key: Hashable = self._graph.left_key_of(left)
+            right_key: Hashable = self._graph.right_key_of(right)
+            result.pairs[left_key] = right_key
+            weight = self._graph.adjacency_by_id()[left].get(right, 0.0)
+            result.total_weight += weight
+        return result

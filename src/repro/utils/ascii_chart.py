@@ -1,0 +1,132 @@
+"""ASCII line charts — plot figure panels without matplotlib.
+
+The evaluation environment is offline and dependency-free, so the figure
+benches and the CLI render their series as text charts: one marker per
+algorithm, a left value axis, and the sweep values along the bottom.
+
+>>> chart = AsciiChart(width=40, height=8)
+>>> chart.add_series("a", [1.0, 2.0, 3.0])
+>>> print(chart.render([10, 20, 30]))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.utils.tables import format_si
+
+__all__ = ["AsciiChart", "render_panel"]
+
+#: Marker characters assigned to series in insertion order.
+MARKERS = "ox+*#@%&"
+
+
+class AsciiChart:
+    """A multi-series line chart rendered with text markers.
+
+    Parameters
+    ----------
+    width, height:
+        Plot-area size in characters (excluding axes and labels).
+    """
+
+    def __init__(self, width: int = 60, height: int = 12, title: str = ""):
+        if width < 10 or height < 4:
+            raise ConfigurationError("chart needs width >= 10 and height >= 4")
+        self.width = width
+        self.height = height
+        self.title = title
+        self._series: dict[str, list[float]] = {}
+
+    def add_series(self, name: str, values: list[float]) -> None:
+        """Add one named series; all series must share a length."""
+        if not values:
+            raise ConfigurationError(f"series {name!r} is empty")
+        for existing in self._series.values():
+            if len(existing) != len(values):
+                raise ConfigurationError("all series must have equal length")
+        if len(self._series) >= len(MARKERS):
+            raise ConfigurationError(f"at most {len(MARKERS)} series supported")
+        self._series[name] = list(values)
+
+    def _scale(self) -> tuple[float, float]:
+        lows, highs = [], []
+        for values in self._series.values():
+            lows.append(min(values))
+            highs.append(max(values))
+        low, high = min(lows), max(highs)
+        if high == low:
+            high = low + 1.0
+        return low, high
+
+    def render(self, x_labels: list[float] | None = None) -> str:
+        """Render the chart; ``x_labels`` annotate the bottom axis."""
+        if not self._series:
+            raise ConfigurationError("no series to render")
+        low, high = self._scale()
+        length = len(next(iter(self._series.values())))
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def column_of(index: int) -> int:
+            if length == 1:
+                return self.width // 2
+            return round(index * (self.width - 1) / (length - 1))
+
+        def row_of(value: float) -> int:
+            fraction = (value - low) / (high - low)
+            return (self.height - 1) - round(fraction * (self.height - 1))
+
+        for marker, (name, values) in zip(MARKERS, self._series.items()):
+            previous: tuple[int, int] | None = None
+            for index, value in enumerate(values):
+                column, row = column_of(index), row_of(value)
+                # Connect consecutive points with a sparse dotted segment.
+                if previous is not None:
+                    prev_col, prev_row = previous
+                    steps = max(abs(column - prev_col), abs(row - prev_row))
+                    for step in range(1, steps):
+                        interp_col = prev_col + round(
+                            step * (column - prev_col) / steps
+                        )
+                        interp_row = prev_row + round(step * (row - prev_row) / steps)
+                        if grid[interp_row][interp_col] == " ":
+                            grid[interp_row][interp_col] = "."
+                grid[row][column] = marker
+                previous = (column, row)
+
+        label_width = max(len(format_si(high)), len(format_si(low)))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for row_index, row in enumerate(grid):
+            if row_index == 0:
+                label = format_si(high).rjust(label_width)
+            elif row_index == self.height - 1:
+                label = format_si(low).rjust(label_width)
+            else:
+                label = " " * label_width
+            lines.append(f"{label} |{''.join(row)}")
+        lines.append(" " * label_width + " +" + "-" * self.width)
+        if x_labels:
+            first = format_si(x_labels[0])
+            last = format_si(x_labels[-1])
+            padding = self.width - len(first) - len(last)
+            lines.append(
+                " " * (label_width + 2) + first + " " * max(1, padding) + last
+            )
+        legend = "   ".join(
+            f"{marker}={name}" for marker, name in zip(MARKERS, self._series)
+        )
+        lines.append(" " * (label_width + 2) + legend)
+        return "\n".join(lines)
+
+
+def render_panel(panel, width: int = 60, height: int = 12) -> str:
+    """Render a :class:`~repro.experiments.figures.FigurePanel` as a chart."""
+    chart = AsciiChart(
+        width=width,
+        height=height,
+        title=f"Fig. {panel.panel_id} — {panel.metric} vs {panel.axis}",
+    )
+    for name, values in panel.series.items():
+        chart.add_series(name, values)
+    return chart.render(panel.x_values)

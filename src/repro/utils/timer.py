@@ -1,0 +1,118 @@
+"""Wall-clock timing helpers for the response-time metric (paper §V-C1).
+
+The paper reports the *average response time of each request* — the latency
+between a request arriving and the platform's serve/borrow/reject decision.
+:class:`Stopwatch` wraps ``time.perf_counter`` and :class:`TimingAccumulator`
+aggregates per-request latencies into streaming statistics.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.utils.stats import RunningStats, quantile
+
+__all__ = ["Stopwatch", "TimingAccumulator"]
+
+
+class Stopwatch:
+    """A restartable high-resolution stopwatch.
+
+    Usable as a context manager::
+
+        with Stopwatch() as watch:
+            decide(request)
+        latency = watch.elapsed_seconds
+    """
+
+    __slots__ = ("_start", "elapsed_seconds")
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed_seconds = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Begin (or restart) timing."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed_seconds = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed_seconds
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class TimingAccumulator:
+    """Accumulates per-event latencies into streaming statistics.
+
+    Latencies are recorded in seconds and reported in milliseconds, matching
+    the paper's tables.  A bounded reservoir keeps a uniform sample of
+    latencies so tail percentiles stay available without storing every
+    measurement (100k requests would otherwise distort the memory metric).
+    """
+
+    RESERVOIR_SIZE = 1000
+
+    def __init__(self) -> None:
+        self._stats = RunningStats()
+        self._reservoir: list[float] = []
+        self._reservoir_rng = random.Random(0x5EED)
+
+    def record(self, seconds: float) -> None:
+        """Record one latency sample, in seconds."""
+        self._stats.add(seconds)
+        if len(self._reservoir) < self.RESERVOIR_SIZE:
+            self._reservoir.append(seconds)
+        else:
+            slot = self._reservoir_rng.randrange(self._stats.count)
+            if slot < self.RESERVOIR_SIZE:
+                self._reservoir[slot] = seconds
+
+    def percentile_ms(self, q: float) -> float:
+        """Latency percentile in milliseconds, from the reservoir sample.
+
+        Exact while fewer than ``RESERVOIR_SIZE`` samples were recorded; a
+        uniform-sample estimate afterwards.  Returns 0.0 with no samples.
+        """
+        if not self._reservoir:
+            return 0.0
+        return quantile(sorted(self._reservoir), q) * 1e3
+
+    def time(self) -> Stopwatch:
+        """Return a started stopwatch whose ``stop()`` must be recorded
+        manually; provided for callers that need the raw value too."""
+        return Stopwatch().start()
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return self._stats.count
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean latency in milliseconds (0.0 if no samples)."""
+        if self._stats.count == 0:
+            return 0.0
+        return self._stats.mean * 1e3
+
+    @property
+    def max_ms(self) -> float:
+        """Maximum latency in milliseconds (0.0 if no samples)."""
+        if self._stats.count == 0:
+            return 0.0
+        return self._stats.max * 1e3
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all recorded latencies, in seconds."""
+        return self._stats.total

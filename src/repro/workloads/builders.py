@@ -1,0 +1,184 @@
+"""Shared machinery for building scenarios from patterns + models.
+
+Both the synthetic sweeps and the simulated city traces reduce to the same
+operation: for each platform, place ``n`` workers and ``m`` requests
+according to spatial patterns, stamp arrival times, draw request values,
+and equip every worker with a behaviour (history + reservation
+distribution).
+
+Behaviour model (see DESIGN.md §1.4/§2): each worker has a personal
+**going rate** ``gamma_w ~ N(0.80, 0.05)`` — the fraction of a request's
+value below which they will not serve it as a borrowed worker.  The
+worker's visible history is a tight sample of payment *rates* around that
+going rate (the normalized payments of cooperative requests they completed
+before), and their latent reservation distribution *is* the empirical
+distribution of the history, so Definition 3.1's estimator is exact and
+acceptance decisions follow the paper's Bernoulli-vs-history-CDF mechanics
+to the letter, applied in rate space.
+
+This concentrated shape is the one consistent with all of the paper's
+incentive measurements simultaneously: the Algorithm-2 minimum payment
+lands just under the cheapest candidate's going rate (~0.70 x v_r) where
+fresh offers mostly fail (DemCOM's low acceptance ratio), while the MER
+pricer pays just *above* the cliff (~0.8 x v_r) and clears most workers
+(RamCOM's ~0.7 acceptance ratio).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.behavior.distributions import EmpiricalDistribution
+from repro.behavior.worker_model import BehaviorOracle, WorkerBehavior
+from repro.core.entities import Request, Worker
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedSequence
+from repro.workloads.arrival import ArrivalProcess
+from repro.workloads.spatial import SpatialPattern
+from repro.workloads.value_models import ValueModel
+
+__all__ = ["BehaviorConfig", "PlatformPopulation", "populate_platform"]
+
+
+@dataclass(frozen=True)
+class BehaviorConfig:
+    """Calibration of the going-rate behaviour model.
+
+    Attributes
+    ----------
+    going_rate_mean:
+        Mean of ``gamma_w`` — a worker's going rate as a fraction of the
+        request's value.
+    going_rate_spread:
+        Std-dev of ``gamma_w`` across workers (worker heterogeneity; the
+        cheapest nearby worker sets DemCOM's minimum payment).
+    jitter:
+        Within-worker spread of accepted payment rates (how sharp each
+        worker's acceptance cliff is).
+    """
+
+    going_rate_mean: float = 0.80
+    going_rate_spread: float = 0.05
+    jitter: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.going_rate_mean <= 1.5:
+            raise ConfigurationError("going_rate_mean out of range")
+        if self.going_rate_spread < 0 or self.jitter < 0:
+            raise ConfigurationError("spreads must be non-negative")
+
+    def sample_history(self, length: int, rng: random.Random) -> list[float]:
+        """Draw one worker's going rate and their payment-*rate* history."""
+        gamma = rng.gauss(self.going_rate_mean, self.going_rate_spread)
+        gamma = min(1.15, max(0.4, gamma))
+        return [
+            min(1.2, max(0.05, rng.gauss(gamma, self.jitter)))
+            for _ in range(length)
+        ]
+
+
+class PlatformPopulation:
+    """The generated entities of one platform."""
+
+    def __init__(
+        self,
+        platform_id: str,
+        workers: list[Worker],
+        requests: list[Request],
+        behaviors: list[WorkerBehavior],
+    ):
+        self.platform_id = platform_id
+        self.workers = workers
+        self.requests = requests
+        self.behaviors = behaviors
+
+
+def populate_platform(
+    platform_id: str,
+    worker_count: int,
+    request_count: int,
+    worker_pattern: SpatialPattern,
+    request_pattern: SpatialPattern,
+    arrivals: ArrivalProcess,
+    value_model: ValueModel,
+    radius_km: float,
+    history_length: int,
+    seeds: SeedSequence,
+    behavior: BehaviorConfig | None = None,
+    worker_arrivals: ArrivalProcess | None = None,
+    shift_seconds: float | None = None,
+) -> PlatformPopulation:
+    """Generate one platform's workers, requests and behaviours.
+
+    Ids embed the platform so they are globally unique
+    (``{platform}-w{i}`` / ``{platform}-r{i}``).
+
+    ``worker_arrivals`` lets workers follow a different (typically earlier,
+    flatter) arrival profile than requests: drivers go on duty before the
+    demand peaks they serve.  Defaults to the request process.
+
+    ``shift_seconds`` gives every worker a departure time (shift length)
+    after their arrival; ``None`` (default) means workers wait all day, as
+    in the paper's model.
+    """
+    if worker_count < 0 or request_count < 0:
+        raise ConfigurationError("counts must be non-negative")
+    if radius_km <= 0:
+        raise ConfigurationError(f"radius must be positive, got {radius_km}")
+    if history_length < 1:
+        raise ConfigurationError("history_length must be >= 1")
+
+    worker_rng = seeds.rng(f"{platform_id}/workers")
+    request_rng = seeds.rng(f"{platform_id}/requests")
+    history_rng = seeds.rng(f"{platform_id}/history")
+    behavior_config = behavior or BehaviorConfig()
+
+    worker_times = (worker_arrivals or arrivals).sample_times(
+        worker_count, worker_rng
+    )
+    workers: list[Worker] = []
+    behaviors: list[WorkerBehavior] = []
+    for index, arrival_time in enumerate(worker_times):
+        worker_id = f"{platform_id}-w{index}"
+        departure = (
+            arrival_time + shift_seconds if shift_seconds is not None else None
+        )
+        workers.append(
+            Worker(
+                worker_id=worker_id,
+                platform_id=platform_id,
+                arrival_time=arrival_time,
+                location=worker_pattern.sample(worker_rng),
+                service_radius=radius_km,
+                departure_time=departure,
+            )
+        )
+        history = behavior_config.sample_history(history_length, history_rng)
+        behaviors.append(
+            WorkerBehavior(worker_id, EmpiricalDistribution(history), history)
+        )
+
+    request_times = arrivals.sample_times(request_count, request_rng)
+    requests: list[Request] = []
+    for index, arrival_time in enumerate(request_times):
+        requests.append(
+            Request(
+                request_id=f"{platform_id}-r{index}",
+                platform_id=platform_id,
+                arrival_time=arrival_time,
+                location=request_pattern.sample(request_rng),
+                value=value_model.sample(request_rng),
+            )
+        )
+
+    return PlatformPopulation(platform_id, workers, requests, behaviors)
+
+
+def register_behaviors(
+    oracle: BehaviorOracle, populations: list[PlatformPopulation]
+) -> None:
+    """Register every generated worker's behaviour with the oracle."""
+    for population in populations:
+        for behavior in population.behaviors:
+            oracle.register(behavior)

@@ -1,0 +1,105 @@
+"""The named dataset registry — Table III.
+
+Six datasets, two companies x three city-months:
+
+======  =========  ==============  =======  ======
+name    company    city / month    |R|      |W|
+======  =========  ==============  =======  ======
+RDC10   DiDi       Chengdu Oct'16  91,321    9,145
+RDC11   DiDi       Chengdu Nov'16  100,973  11,199
+RDX11   DiDi       Xi'an  Nov'16   57,611    2,441
+RYC10   Yueche     Chengdu Oct'16  90,589    7,038
+RYC11   Yueche     Chengdu Nov'16  100,448   9,333
+RYX11   Yueche     Xi'an  Nov'16   57,638    2,686
+======  =========  ==============  =======  ======
+
+All with ``rad = 1.0 km``.  Tables V-VII pair the two companies of the same
+city-month: (RDC10, RYC10), (RDC11, RYC11), (RDX11, RYX11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.simulator import Scenario
+from repro.errors import WorkloadError
+from repro.workloads.gaia import CityTraceConfig, CityTraceGenerator
+
+__all__ = ["DatasetSpec", "DATASETS", "CITY_PAIRS", "build_city_pair", "dataset_statistics"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table-III row."""
+
+    name: str
+    company: str
+    city: str
+    month: str
+    requests: int
+    workers: int
+    radius_km: float = 1.0
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "RDC10": DatasetSpec("RDC10", "DiDi", "Chengdu", "2016-10", 91_321, 9_145),
+    "RDC11": DatasetSpec("RDC11", "DiDi", "Chengdu", "2016-11", 100_973, 11_199),
+    "RDX11": DatasetSpec("RDX11", "DiDi", "Xi'an", "2016-11", 57_611, 2_441),
+    "RYC10": DatasetSpec("RYC10", "Yueche", "Chengdu", "2016-10", 90_589, 7_038),
+    "RYC11": DatasetSpec("RYC11", "Yueche", "Chengdu", "2016-11", 100_448, 9_333),
+    "RYX11": DatasetSpec("RYX11", "Yueche", "Xi'an", "2016-11", 57_638, 2_686),
+}
+
+#: Table pairs: experiment name -> (DiDi dataset, Yueche dataset, city box km).
+CITY_PAIRS: dict[str, tuple[str, str, float]] = {
+    "chengdu-oct": ("RDC10", "RYC10", 20.0),  # Table V
+    "chengdu-nov": ("RDC11", "RYC11", 20.0),  # Table VI
+    "xian-nov": ("RDX11", "RYX11", 16.0),  # Table VII (smaller, worker-scarce)
+}
+
+
+def build_city_pair(pair: str, scale: float = 0.02, seed: int = 0) -> Scenario:
+    """Build the two-platform scenario behind Table V, VI or VII.
+
+    ``pair`` is one of ``"chengdu-oct"``, ``"chengdu-nov"``, ``"xian-nov"``.
+    ``scale`` multiplies the Table-III entity counts (see
+    :mod:`repro.workloads.gaia` for the density-preserving geometry).
+    """
+    if pair not in CITY_PAIRS:
+        raise WorkloadError(
+            f"unknown city pair {pair!r}; choose from {sorted(CITY_PAIRS)}"
+        )
+    didi_name, yueche_name, city_km = CITY_PAIRS[pair]
+    didi = DATASETS[didi_name]
+    yueche = DATASETS[yueche_name]
+    config = CityTraceConfig(
+        name=pair,
+        requests_per_platform={didi.name: didi.requests, yueche.name: yueche.requests},
+        workers_per_platform={didi.name: didi.workers, yueche.name: yueche.workers},
+        radius_km=didi.radius_km,
+        city_km=city_km,
+    )
+    return CityTraceGenerator(config).build(seed=seed, scale=scale)
+
+
+def dataset_statistics(scenario: Scenario) -> dict[str, dict[str, float]]:
+    """Per-platform counts and value statistics of a built scenario.
+
+    Used by the Table-III bench to show the generated traces match the
+    published statistics (after scaling).
+    """
+    stats: dict[str, dict[str, float]] = {}
+    for platform_id in scenario.platform_ids:
+        requests = [
+            r for r in scenario.events.requests if r.platform_id == platform_id
+        ]
+        workers = [w for w in scenario.events.workers if w.platform_id == platform_id]
+        values = [r.value for r in requests]
+        stats[platform_id] = {
+            "requests": len(requests),
+            "workers": len(workers),
+            "radius_km": workers[0].service_radius if workers else 0.0,
+            "mean_value": sum(values) / len(values) if values else 0.0,
+            "ratio": len(requests) / len(workers) if workers else float("inf"),
+        }
+    return stats

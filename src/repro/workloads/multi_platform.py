@@ -1,0 +1,151 @@
+"""N-platform workloads — beyond the paper's two-platform experiments.
+
+The COM model places no limit on the number of cooperating platforms
+(Definition 2.3's outer workers "may belong to several cooperative
+platforms"); the paper's evaluation uses two.  This generator builds
+scenarios for N >= 2 platforms over a shared hotspot set with *rotated*
+mixture weights: platform ``i``'s workers concentrate where platform
+``(i+1) mod N``'s requests do, closing a cycle of complementary imbalance —
+every platform is simultaneously a borrower (from its clockwise neighbour)
+and a lender (to its counter-clockwise neighbour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.behavior.worker_model import BehaviorOracle
+from repro.core.events import EventStream
+from repro.core.simulator import Scenario
+from repro.errors import ConfigurationError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.utils.rng import SeedSequence
+from repro.workloads.arrival import DiurnalArrivals
+from repro.workloads.builders import (
+    BehaviorConfig,
+    populate_platform,
+    register_behaviors,
+)
+from repro.workloads.spatial import HotspotPattern
+from repro.workloads.value_models import make_value_model
+
+__all__ = ["MultiPlatformConfig", "MultiPlatformWorkload"]
+
+
+@dataclass
+class MultiPlatformConfig:
+    """Knobs of an N-platform scenario."""
+
+    platform_count: int = 3
+    #: Total requests / workers across all platforms (split evenly).
+    request_count: int = 1500
+    worker_count: int = 300
+    radius_km: float = 1.0
+    value_distribution: str = "real"
+    city_km: float = 12.0
+    #: Hotspots per platform-slot; the full set is platform_count * this.
+    hotspots_per_platform: int = 2
+    #: How strongly each platform's workers avoid its own request regions.
+    skew: float = 0.45
+    gradient: float = 3.0
+    horizon_seconds: float = 86_400.0
+    history_length: int = 50
+    behavior: BehaviorConfig = field(default_factory=BehaviorConfig)
+
+    def __post_init__(self) -> None:
+        if self.platform_count < 2:
+            raise ConfigurationError("need at least two platforms to cooperate")
+        if not 0.0 <= self.skew <= 1.0:
+            raise ConfigurationError(f"skew must be in [0, 1], got {self.skew}")
+        if self.hotspots_per_platform < 1:
+            raise ConfigurationError("need at least one hotspot per platform")
+
+    @property
+    def platform_ids(self) -> list[str]:
+        """``P0 .. P{N-1}``."""
+        return [f"P{i}" for i in range(self.platform_count)]
+
+
+class MultiPlatformWorkload:
+    """Builds N-platform scenarios with cyclic complementary imbalance."""
+
+    def __init__(self, config: MultiPlatformConfig | None = None):
+        self.config = config or MultiPlatformConfig()
+
+    def _rotated_weights(self, owner: int, total: int) -> list[float]:
+        """Weights peaked on the owner's hotspot block, graded by skew."""
+        config = self.config
+        ratio = config.gradient**config.skew
+        block = config.hotspots_per_platform
+        weights = []
+        for index in range(total):
+            # Cyclic distance from the owner's block (in blocks).
+            distance = ((index // block) - owner) % config.platform_count
+            weights.append(ratio ** (config.platform_count - 1 - distance))
+        return weights
+
+    def build(self, seed: int = 0) -> Scenario:
+        """Generate one N-platform scenario deterministically from ``seed``."""
+        config = self.config
+        seeds = SeedSequence(seed).child("multi-platform")
+        box = BoundingBox.square(config.city_km)
+        value_model = make_value_model(config.value_distribution)
+        arrivals = DiurnalArrivals(config.horizon_seconds)
+        worker_arrivals = DiurnalArrivals(
+            config.horizon_seconds, peak_hours=(7.0, 17.0), base_level=0.8
+        )
+
+        hotspot_rng = seeds.rng("hotspots")
+        total_hotspots = config.platform_count * config.hotspots_per_platform
+        centers = [
+            Point(
+                hotspot_rng.uniform(box.min_x, box.max_x),
+                hotspot_rng.uniform(box.min_y, box.max_y),
+            )
+            for _ in range(total_hotspots)
+        ]
+        hotspots = [(center, 1.0) for center in centers]
+
+        populations = []
+        per_workers = config.worker_count // config.platform_count
+        per_requests = config.request_count // config.platform_count
+        for index, platform_id in enumerate(config.platform_ids):
+            # Workers sit on the *next* platform's request block: a cycle of
+            # borrow-from-clockwise, lend-to-counter-clockwise.
+            worker_weights = self._rotated_weights(
+                (index + 1) % config.platform_count, total_hotspots
+            )
+            request_weights = self._rotated_weights(index, total_hotspots)
+            populations.append(
+                populate_platform(
+                    platform_id=platform_id,
+                    worker_count=per_workers,
+                    request_count=per_requests,
+                    worker_pattern=HotspotPattern(
+                        box, hotspots, worker_weights, background=0.05
+                    ),
+                    request_pattern=HotspotPattern(
+                        box, hotspots, request_weights, background=0.05
+                    ),
+                    arrivals=arrivals,
+                    value_model=value_model,
+                    radius_km=config.radius_km,
+                    history_length=config.history_length,
+                    seeds=seeds,
+                    behavior=config.behavior,
+                    worker_arrivals=worker_arrivals,
+                )
+            )
+
+        oracle = BehaviorOracle(seed=seeds.derived_seed("oracle"))
+        register_behaviors(oracle, populations)
+        workers = [worker for pop in populations for worker in pop.workers]
+        requests = [request for pop in populations for request in pop.requests]
+        return Scenario(
+            events=EventStream.from_entities(workers, requests),
+            oracle=oracle,
+            platform_ids=config.platform_ids,
+            value_upper_bound=value_model.upper_bound,
+            name=f"multi-{config.platform_count}p-R{config.request_count}",
+        )

@@ -1,0 +1,140 @@
+"""Scenario serialization — share and archive workload instances.
+
+A :class:`~repro.core.simulator.Scenario` round-trips through JSON so that
+experiment inputs can be archived next to their results, shipped in bug
+reports, or regenerated bit-for-bit on another machine without rerunning
+the generators.
+
+Worker behaviour serializes via each worker's *history* (the generators
+equip every worker with an :class:`~repro.behavior.distributions.
+EmpiricalDistribution` over their history, so history + oracle seed/mode
+reconstructs behaviour exactly).  Scenarios holding analytic distributions
+(hand-built test fixtures) are rejected with a clear error rather than
+silently altered.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.behavior.distributions import EmpiricalDistribution
+from repro.behavior.worker_model import BehaviorOracle, WorkerBehavior
+from repro.core.entities import Request, Worker
+from repro.core.events import EventStream
+from repro.core.simulator import Scenario
+from repro.errors import WorkloadError
+from repro.geo.point import Point
+
+__all__ = ["scenario_to_dict", "scenario_from_dict", "save_scenario", "load_scenario"]
+
+FORMAT_VERSION = 1
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """A JSON-ready representation of a scenario."""
+    workers = []
+    for worker in scenario.events.workers:
+        if worker.worker_id not in scenario.oracle:
+            raise WorkloadError(
+                f"worker {worker.worker_id} has no registered behaviour; "
+                "only fully generated scenarios serialize"
+            )
+        behavior = scenario.oracle.behavior_of(worker.worker_id)
+        if not isinstance(behavior.distribution, EmpiricalDistribution):
+            raise WorkloadError(
+                f"worker {worker.worker_id} uses a non-empirical reservation "
+                "distribution; serialization supports generator-built "
+                "scenarios (empirical behaviour) only"
+            )
+        workers.append(
+            {
+                "id": worker.worker_id,
+                "platform": worker.platform_id,
+                "t": worker.arrival_time,
+                "x": worker.location.x,
+                "y": worker.location.y,
+                "radius": worker.service_radius,
+                "shareable": worker.shareable,
+                "departure": worker.departure_time,
+                "history": behavior.history,
+            }
+        )
+    requests = [
+        {
+            "id": request.request_id,
+            "platform": request.platform_id,
+            "t": request.arrival_time,
+            "x": request.location.x,
+            "y": request.location.y,
+            "value": request.value,
+        }
+        for request in scenario.events.requests
+    ]
+    return {
+        "format": FORMAT_VERSION,
+        "name": scenario.name,
+        "platform_ids": scenario.platform_ids,
+        "value_upper_bound": scenario.value_upper_bound,
+        "oracle": {"seed": scenario.oracle.seed, "mode": scenario.oracle.mode},
+        "workers": workers,
+        "requests": requests,
+    }
+
+
+def scenario_from_dict(payload: dict) -> Scenario:
+    """Reconstruct a scenario from :func:`scenario_to_dict`'s output."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported scenario format {payload.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    oracle_info = payload["oracle"]
+    oracle = BehaviorOracle(seed=oracle_info["seed"], mode=oracle_info["mode"])
+    workers: list[Worker] = []
+    for entry in payload["workers"]:
+        workers.append(
+            Worker(
+                worker_id=entry["id"],
+                platform_id=entry["platform"],
+                arrival_time=entry["t"],
+                location=Point(entry["x"], entry["y"]),
+                service_radius=entry["radius"],
+                shareable=entry["shareable"],
+                departure_time=entry["departure"],
+            )
+        )
+        history = entry["history"]
+        oracle.register(
+            WorkerBehavior(entry["id"], EmpiricalDistribution(history), history)
+        )
+    requests = [
+        Request(
+            request_id=entry["id"],
+            platform_id=entry["platform"],
+            arrival_time=entry["t"],
+            location=Point(entry["x"], entry["y"]),
+            value=entry["value"],
+        )
+        for entry in payload["requests"]
+    ]
+    return Scenario(
+        events=EventStream.from_entities(workers, requests),
+        oracle=oracle,
+        platform_ids=list(payload["platform_ids"]),
+        value_upper_bound=payload["value_upper_bound"],
+        name=payload["name"],
+    )
+
+
+def save_scenario(scenario: Scenario, path: str | Path) -> Path:
+    """Write a scenario to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(scenario_to_dict(scenario)))
+    return path
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Read a scenario saved by :func:`save_scenario`."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,168 @@
+"""Spatial placement patterns.
+
+The whole point of COM is the *non-uniform* distribution of workers and
+requests (paper Fig. 2): in one region platform A has idle workers where
+platform B has queueing requests, and vice versa.  The generators here
+produce exactly that structure:
+
+* :class:`UniformPattern` — uniform over the city box (control);
+* :class:`HotspotPattern` — a mixture of Gaussian hotspots clipped to the
+  box (real taxi demand is hotspot-shaped);
+* :func:`complementary_hotspots` — builds, for two platforms, worker and
+  request patterns over a shared hotspot set with *anti-correlated* mixture
+  weights: where platform A's workers concentrate, platform A's requests
+  are thin but platform B's requests are dense.  The ``skew`` knob
+  interpolates from identical (0.0) to fully complementary (1.0).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+__all__ = [
+    "SpatialPattern",
+    "UniformPattern",
+    "HotspotPattern",
+    "complementary_hotspots",
+]
+
+
+class SpatialPattern(ABC):
+    """A distribution over locations inside a city box."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> Point:
+        """Draw one location."""
+
+
+class UniformPattern(SpatialPattern):
+    """Uniform over the bounding box."""
+
+    def __init__(self, box: BoundingBox):
+        self.box = box
+
+    def sample(self, rng: random.Random) -> Point:
+        return Point(
+            rng.uniform(self.box.min_x, self.box.max_x),
+            rng.uniform(self.box.min_y, self.box.max_y),
+        )
+
+    def __repr__(self) -> str:
+        return f"UniformPattern({self.box})"
+
+
+@dataclass(frozen=True)
+class _Hotspot:
+    center: Point
+    sigma_km: float
+
+
+class HotspotPattern(SpatialPattern):
+    """A weighted mixture of Gaussian hotspots, clipped to the box.
+
+    A small ``background`` fraction of samples is uniform over the box so no
+    region has literally zero density (real cities have background demand).
+    """
+
+    def __init__(
+        self,
+        box: BoundingBox,
+        hotspots: list[tuple[Point, float]],
+        weights: list[float],
+        background: float = 0.10,
+    ):
+        if not hotspots:
+            raise ConfigurationError("HotspotPattern needs at least one hotspot")
+        if len(weights) != len(hotspots):
+            raise ConfigurationError("weights and hotspots must align")
+        if any(weight < 0 for weight in weights) or sum(weights) <= 0:
+            raise ConfigurationError("weights must be non-negative, not all zero")
+        if not 0.0 <= background <= 1.0:
+            raise ConfigurationError(f"background must be in [0, 1], got {background}")
+        self.box = box
+        self._hotspots = [_Hotspot(center, sigma) for center, sigma in hotspots]
+        total = sum(weights)
+        self._cumulative: list[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            self._cumulative.append(running)
+        self.background = background
+        self._uniform = UniformPattern(box)
+
+    def sample(self, rng: random.Random) -> Point:
+        if rng.random() < self.background:
+            return self._uniform.sample(rng)
+        pick = rng.random()
+        index = 0
+        while index < len(self._cumulative) - 1 and pick > self._cumulative[index]:
+            index += 1
+        hotspot = self._hotspots[index]
+        point = Point(
+            rng.gauss(hotspot.center.x, hotspot.sigma_km),
+            rng.gauss(hotspot.center.y, hotspot.sigma_km),
+        )
+        return self.box.clamp(point)
+
+    def __repr__(self) -> str:
+        return f"HotspotPattern(n={len(self._hotspots)}, background={self.background})"
+
+
+def complementary_hotspots(
+    box: BoundingBox,
+    hotspot_count: int,
+    skew: float,
+    rng: random.Random,
+    sigma_km: float = 1.2,
+    gradient: float = 3.0,
+    background: float = 0.05,
+) -> dict[str, tuple[SpatialPattern, SpatialPattern]]:
+    """Fig.-2-style anti-correlated patterns for two platforms.
+
+    Returns ``{"A": (worker_pattern, request_pattern), "B": (...)}``.
+
+    Hotspot centres are drawn uniformly in the box.  Platform A's workers
+    get geometrically graded mixture weights (ratio ``gradient`` between
+    consecutive hotspots); platform A's *requests* get the reversed
+    weights, and platform B mirrors A (B's workers match A's requests).
+    ``skew`` interpolates between no imbalance (0.0: all four patterns
+    identical) and the full gradient (1.0); it is the single knob that
+    controls how much one platform's requests sit in regions dominated by
+    the *other* platform's workers — i.e. how much cross-platform
+    cooperation can possibly help.
+    """
+    if hotspot_count < 2:
+        raise ConfigurationError("need at least two hotspots for complementarity")
+    if not 0.0 <= skew <= 1.0:
+        raise ConfigurationError(f"skew must be in [0, 1], got {skew}")
+    if gradient < 1.0:
+        raise ConfigurationError(f"gradient must be >= 1, got {gradient}")
+    centers = [
+        Point(rng.uniform(box.min_x, box.max_x), rng.uniform(box.min_y, box.max_y))
+        for _ in range(hotspot_count)
+    ]
+    hotspots = [(center, sigma_km) for center in centers]
+
+    # skew scales the gradient's exponent so the imbalance interpolates
+    # geometrically: ratio 1 (flat) at skew 0, the full `gradient` ratio at
+    # skew 1.  A linear mix would let the steep tail dominate at any skew.
+    effective_ratio = gradient**skew
+    forward = [effective_ratio**index for index in range(hotspot_count)]
+    backward = list(reversed(forward))
+
+    return {
+        "A": (
+            HotspotPattern(box, hotspots, forward, background=background),
+            HotspotPattern(box, hotspots, backward, background=background),
+        ),
+        "B": (
+            HotspotPattern(box, hotspots, backward, background=background),
+            HotspotPattern(box, hotspots, forward, background=background),
+        ),
+    }

@@ -1,0 +1,216 @@
+"""Real-trace loading — run COM on actual ride-hailing data.
+
+The paper's datasets come from DiDi's GAIA open-data program (ride requests
+with timestamps and pickup coordinates) and a Yueche dump.  Those files
+cannot be redistributed here, but a user who obtains them (or any trace in
+the same shape) can load them directly:
+
+CSV columns (header required, extra columns ignored)::
+
+    kind,id,timestamp,lon,lat[,value][,radius]
+
+* ``kind`` — ``request`` or ``worker``;
+* ``timestamp`` — seconds (epoch or day offset) or ``HH:MM:SS``;
+* ``lon,lat`` — WGS-84 degrees, projected to the planar km model via a
+  local equirectangular projection around the trace's centroid;
+* ``value`` — request fare (requests only; defaults drawn from
+  :class:`~repro.workloads.value_models.RealFareModel` when absent);
+* ``radius`` — worker service radius km (workers only; default 1.0).
+
+:func:`load_trace_csv` parses one platform's file;
+:func:`scenario_from_traces` combines per-platform traces into a runnable
+:class:`~repro.core.simulator.Scenario`, generating worker behaviour with
+the calibrated going-rate model (the part no public trace contains).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.behavior.distributions import EmpiricalDistribution
+from repro.behavior.worker_model import BehaviorOracle, WorkerBehavior
+from repro.core.entities import Request, Worker
+from repro.core.events import EventStream
+from repro.core.simulator import Scenario
+from repro.errors import WorkloadError
+from repro.geo.point import Point
+from repro.utils.rng import SeedSequence
+from repro.workloads.builders import BehaviorConfig
+from repro.workloads.value_models import RealFareModel, ValueModel
+
+__all__ = ["RawTrace", "load_trace_csv", "scenario_from_traces"]
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass
+class RawTrace:
+    """One platform's parsed trace, still in geographic coordinates."""
+
+    platform_id: str
+    #: (entity_id, time_seconds, lon, lat, value) — value None for defaults.
+    requests: list[tuple[str, float, float, float, float | None]] = field(
+        default_factory=list
+    )
+    #: (entity_id, time_seconds, lon, lat, radius_km).
+    workers: list[tuple[str, float, float, float, float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def all_coordinates(self) -> list[tuple[float, float]]:
+        """Every (lon, lat) in the trace."""
+        coords = [(lon, lat) for __, __, lon, lat, __ in self.requests]
+        coords.extend((lon, lat) for __, __, lon, lat, __ in self.workers)
+        return coords
+
+
+def _parse_timestamp(raw: str, line: int) -> float:
+    raw = raw.strip()
+    if ":" in raw:
+        parts = raw.split(":")
+        if len(parts) != 3:
+            raise WorkloadError(f"line {line}: bad HH:MM:SS timestamp {raw!r}")
+        try:
+            hours, minutes, seconds = (float(part) for part in parts)
+        except ValueError as error:
+            raise WorkloadError(f"line {line}: bad timestamp {raw!r}") from error
+        return hours * 3600 + minutes * 60 + seconds
+    try:
+        return float(raw)
+    except ValueError as error:
+        raise WorkloadError(f"line {line}: bad timestamp {raw!r}") from error
+
+
+def load_trace_csv(path: str | Path, platform_id: str) -> RawTrace:
+    """Parse one platform's trace CSV (see module docstring for columns)."""
+    path = Path(path)
+    trace = RawTrace(platform_id=platform_id)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise WorkloadError(f"{path}: empty trace file")
+        required = {"kind", "id", "timestamp", "lon", "lat"}
+        missing = required - {name.strip() for name in reader.fieldnames}
+        if missing:
+            raise WorkloadError(f"{path}: missing columns {sorted(missing)}")
+        for line, row in enumerate(reader, start=2):
+            kind = (row.get("kind") or "").strip().lower()
+            entity_id = (row.get("id") or "").strip()
+            if not entity_id:
+                raise WorkloadError(f"{path} line {line}: empty id")
+            time_seconds = _parse_timestamp(row.get("timestamp") or "", line)
+            try:
+                lon = float(row["lon"])
+                lat = float(row["lat"])
+            except (TypeError, ValueError) as error:
+                raise WorkloadError(
+                    f"{path} line {line}: bad coordinates"
+                ) from error
+            if kind == "request":
+                value_raw = (row.get("value") or "").strip()
+                value = float(value_raw) if value_raw else None
+                trace.requests.append((entity_id, time_seconds, lon, lat, value))
+            elif kind == "worker":
+                radius_raw = (row.get("radius") or "").strip()
+                radius = float(radius_raw) if radius_raw else 1.0
+                trace.workers.append((entity_id, time_seconds, lon, lat, radius))
+            else:
+                raise WorkloadError(
+                    f"{path} line {line}: kind must be request/worker, "
+                    f"got {kind!r}"
+                )
+    return trace
+
+
+def _projector(traces: list[RawTrace]):
+    """A local equirectangular lon/lat -> planar km projection.
+
+    Accurate to well under 1% over a metro-scale extent, which is all the
+    range constraint needs.
+    """
+    coordinates = [c for trace in traces for c in trace.all_coordinates]
+    if not coordinates:
+        raise WorkloadError("traces contain no entities")
+    lon0 = sum(lon for lon, __ in coordinates) / len(coordinates)
+    lat0 = sum(lat for __, lat in coordinates) / len(coordinates)
+    cos_lat0 = math.cos(math.radians(lat0))
+
+    def project(lon: float, lat: float) -> Point:
+        x = math.radians(lon - lon0) * cos_lat0 * EARTH_RADIUS_KM
+        y = math.radians(lat - lat0) * EARTH_RADIUS_KM
+        return Point(x, y)
+
+    return project
+
+
+def scenario_from_traces(
+    traces: list[RawTrace],
+    seed: int = 0,
+    value_model: ValueModel | None = None,
+    behavior: BehaviorConfig | None = None,
+    history_length: int = 50,
+    name: str = "trace",
+) -> Scenario:
+    """Combine per-platform traces into a runnable scenario.
+
+    Coordinates are projected to the planar km model; requests without a
+    ``value`` column draw from ``value_model`` (default: the calibrated
+    fare model); worker behaviour is generated with the going-rate model
+    (no public trace records willingness-to-accept).
+    """
+    if not traces:
+        raise WorkloadError("need at least one trace")
+    platform_ids = [trace.platform_id for trace in traces]
+    if len(set(platform_ids)) != len(platform_ids):
+        raise WorkloadError("duplicate platform ids across traces")
+    value_model = value_model or RealFareModel()
+    behavior = behavior or BehaviorConfig()
+    project = _projector(traces)
+    seeds = SeedSequence(seed).child(f"trace/{name}")
+
+    workers: list[Worker] = []
+    requests: list[Request] = []
+    oracle = BehaviorOracle(seed=seeds.derived_seed("oracle"))
+    for trace in traces:
+        value_rng = seeds.rng(f"{trace.platform_id}/values")
+        history_rng = seeds.rng(f"{trace.platform_id}/history")
+        for entity_id, time_seconds, lon, lat, radius in trace.workers:
+            worker_id = f"{trace.platform_id}-{entity_id}"
+            workers.append(
+                Worker(
+                    worker_id=worker_id,
+                    platform_id=trace.platform_id,
+                    arrival_time=time_seconds,
+                    location=project(lon, lat),
+                    service_radius=radius,
+                )
+            )
+            history = behavior.sample_history(history_length, history_rng)
+            oracle.register(
+                WorkerBehavior(worker_id, EmpiricalDistribution(history), history)
+            )
+        for entity_id, time_seconds, lon, lat, value in trace.requests:
+            requests.append(
+                Request(
+                    request_id=f"{trace.platform_id}-{entity_id}",
+                    platform_id=trace.platform_id,
+                    arrival_time=time_seconds,
+                    location=project(lon, lat),
+                    value=value if value is not None else value_model.sample(value_rng),
+                )
+            )
+
+    return Scenario(
+        events=EventStream.from_entities(workers, requests),
+        oracle=oracle,
+        platform_ids=platform_ids,
+        value_upper_bound=max(
+            value_model.upper_bound,
+            max((request.value for request in requests), default=1.0),
+        ),
+        name=name,
+    )

@@ -1,0 +1,111 @@
+"""Shared fixtures and instance builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.behavior.distributions import EmpiricalDistribution, UniformDistribution
+from repro.behavior.worker_model import BehaviorOracle, WorkerBehavior
+from repro.core.entities import Request, Worker
+from repro.core.events import EventStream
+from repro.core.simulator import Scenario
+from repro.geo.point import Point
+
+
+def make_worker(
+    worker_id: str = "w0",
+    platform: str = "A",
+    t: float = 0.0,
+    x: float = 0.0,
+    y: float = 0.0,
+    radius: float = 1.0,
+    shareable: bool = True,
+) -> Worker:
+    """A worker with compact positional defaults."""
+    return Worker(worker_id, platform, t, Point(x, y), radius, shareable)
+
+
+def make_request(
+    request_id: str = "r0",
+    platform: str = "A",
+    t: float = 1.0,
+    x: float = 0.0,
+    y: float = 0.0,
+    value: float = 10.0,
+) -> Request:
+    """A request with compact positional defaults."""
+    return Request(request_id, platform, t, Point(x, y), value)
+
+
+def make_oracle(
+    workers: list[Worker],
+    seed: int = 0,
+    rate_low: float = 0.5,
+    rate_high: float = 0.9,
+    history_length: int = 30,
+) -> BehaviorOracle:
+    """An oracle giving every worker a uniform reservation-rate behaviour."""
+    oracle = BehaviorOracle(seed=seed)
+    rng = random.Random(seed)
+    for worker in workers:
+        history = [rng.uniform(rate_low, rate_high) for _ in range(history_length)]
+        oracle.register(
+            WorkerBehavior(worker.worker_id, EmpiricalDistribution(history), history)
+        )
+    return oracle
+
+
+def make_scenario(
+    workers: list[Worker],
+    requests: list[Request],
+    platform_ids: list[str] | None = None,
+    seed: int = 0,
+    **oracle_kwargs,
+) -> Scenario:
+    """Bundle workers/requests into a runnable scenario."""
+    if platform_ids is None:
+        platform_ids = sorted(
+            {w.platform_id for w in workers} | {r.platform_id for r in requests}
+        )
+    return Scenario(
+        events=EventStream.from_entities(workers, requests),
+        oracle=make_oracle(workers, seed=seed, **oracle_kwargs),
+        platform_ids=platform_ids,
+    )
+
+
+def make_fixed_rate_oracle(
+    workers: list[Worker], rate: float = 0.5, seed: int = 0
+) -> BehaviorOracle:
+    """Every worker accepts exactly at payment rate >= ``rate``."""
+    oracle = BehaviorOracle(seed=seed)
+    for worker in workers:
+        oracle.register(
+            WorkerBehavior(
+                worker.worker_id, UniformDistribution(rate, rate), [rate] * 10
+            )
+        )
+    return oracle
+
+
+@pytest.fixture
+def two_platform_scenario() -> Scenario:
+    """A small deterministic two-platform instance used across tests.
+
+    Platform A: workers a0 (covers r0, r1), a1 (covers r2).
+    Platform B: worker b0 (covers r1).
+    Requests (all platform A): r0 (v=8), r1 (v=12), r2 (v=6).
+    """
+    workers = [
+        make_worker("a0", "A", 0.0, 0.0, 0.0, radius=1.5),
+        make_worker("a1", "A", 1.0, 5.0, 0.0, radius=1.0),
+        make_worker("b0", "B", 0.5, 1.0, 0.0, radius=1.0),
+    ]
+    requests = [
+        make_request("r0", "A", 2.0, 0.5, 0.0, value=8.0),
+        make_request("r1", "A", 3.0, 1.2, 0.0, value=12.0),
+        make_request("r2", "A", 4.0, 5.2, 0.0, value=6.0),
+    ]
+    return make_scenario(workers, requests, platform_ids=["A", "B"])

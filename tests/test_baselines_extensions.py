@@ -1,0 +1,241 @@
+"""Tests for the extension baselines: GeoCrowd max-flow assignment and
+batch-based matching (defer/flush protocol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BatchMatching, TOTA, solve_geocrowd
+from repro.baselines.offline import solve_offline
+from repro.core import Simulator, SimulatorConfig, validate_matching
+from repro.core.base import Decision, DecisionKind, OnlineAlgorithm
+from repro.errors import ConfigurationError, SimulationError
+from repro.graph.hopcroft_karp import HopcroftKarp
+from repro.graph.bipartite import BipartiteGraph
+
+from conftest import make_request, make_scenario, make_worker
+
+
+class TestGeoCrowd:
+    def test_invalid_max_tasks(self):
+        scenario = make_scenario([make_worker()], [make_request()])
+        with pytest.raises(ConfigurationError):
+            solve_geocrowd(scenario, max_tasks_per_worker=0)
+
+    def test_empty(self):
+        scenario = make_scenario([], [], platform_ids=["A"])
+        solution = solve_geocrowd(scenario)
+        assert solution.assigned_tasks == 0
+        assert solution.assignments == {}
+
+    def test_unit_capacity_matches_hopcroft_karp(self):
+        workers = [
+            make_worker(f"w{i}", "A", 0.0, x=i * 0.5, radius=1.0) for i in range(6)
+        ]
+        requests = [
+            make_request(f"r{i}", "A", 1.0, x=i * 0.7, value=5.0) for i in range(8)
+        ]
+        scenario = make_scenario(workers, requests)
+        solution = solve_geocrowd(scenario, max_tasks_per_worker=1)
+
+        graph = BipartiteGraph()
+        for request in requests:
+            graph.add_left(request.request_id)
+            for worker in workers:
+                if worker.arrived_before(request) and worker.can_reach(request):
+                    graph.add_edge(request.request_id, worker.worker_id, 1.0)
+        expected = HopcroftKarp(graph).solve().cardinality
+        assert solution.assigned_tasks == expected
+
+    def test_capacity_multiplies_throughput(self):
+        workers = [make_worker("w", "A", 0.0, radius=2.0)]
+        requests = [
+            make_request(f"r{i}", "A", 1.0 + i, x=0.3 * i) for i in range(4)
+        ]
+        scenario = make_scenario(workers, requests)
+        assert solve_geocrowd(scenario, max_tasks_per_worker=1).assigned_tasks == 1
+        assert solve_geocrowd(scenario, max_tasks_per_worker=3).assigned_tasks == 3
+
+    def test_assignments_respect_capacity(self):
+        workers = [make_worker(f"w{i}", "A", 0.0, x=i * 0.2, radius=3.0) for i in range(2)]
+        requests = [make_request(f"r{i}", "A", 1.0, x=0.1 * i) for i in range(10)]
+        scenario = make_scenario(workers, requests)
+        solution = solve_geocrowd(scenario, max_tasks_per_worker=3)
+        assert solution.assigned_tasks == 6
+        assert all(
+            load <= 3 for load in solution.completed_per_worker.values()
+        )
+
+    def test_cooperation_toggle(self):
+        workers = [make_worker("b", "B", 0.0, x=0.1)]
+        requests = [make_request("r", "A", 1.0)]
+        scenario = make_scenario(workers, requests, platform_ids=["A", "B"])
+        assert solve_geocrowd(scenario, include_cooperation=True).assigned_tasks == 1
+        assert solve_geocrowd(scenario, include_cooperation=False).assigned_tasks == 0
+
+    def test_shift_respected(self):
+        from repro.core.entities import Worker
+        from repro.geo.point import Point
+
+        worker = Worker("w", "A", 0.0, Point(0, 0), 1.0, departure_time=5.0)
+        requests = [make_request("r", "A", 10.0)]
+        scenario = make_scenario([worker], requests)
+        assert solve_geocrowd(scenario).assigned_tasks == 0
+
+    def test_cardinality_at_least_revenue_optimum_cardinality(self):
+        """GeoCrowd maximizes count; OFF maximizes value.  GeoCrowd's count
+        is an upper bound on any matching's count under equal capacity."""
+        import random
+
+        rng = random.Random(3)
+        workers = [
+            make_worker(
+                f"w{i}", "A", rng.uniform(0, 3), rng.uniform(0, 3),
+                rng.uniform(0, 3), radius=1.0,
+            )
+            for i in range(8)
+        ]
+        requests = [
+            make_request(
+                f"r{i}", "A", rng.uniform(3, 9), rng.uniform(0, 3),
+                rng.uniform(0, 3), value=rng.uniform(1, 30),
+            )
+            for i in range(15)
+        ]
+        scenario = make_scenario(workers, requests)
+        geocrowd = solve_geocrowd(scenario, max_tasks_per_worker=1)
+        off = solve_offline(scenario)
+        assert geocrowd.assigned_tasks >= off.total_completed
+        assert off.total_revenue >= geocrowd.total_value - 1e9 * 0  # sanity type check
+
+
+class TestBatchMatching:
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            BatchMatching(delta_seconds=-1.0)
+
+    def test_registered(self):
+        from repro.core.registry import make_algorithm
+
+        assert make_algorithm("batch").name == "Batch"
+
+    def test_batch_beats_greedy_on_crossing_pairs(self):
+        """The classic batching win: two requests, two workers, where
+        greedy's first match blocks the valuable second request."""
+        workers = [
+            make_worker("w1", "A", 0.0, 0.0, 0.0, radius=1.0),
+            make_worker("w2", "A", 0.0, 2.0, 0.0, radius=1.0),
+        ]
+        # r1 (cheap) reachable by both; r2 (rich) only by w1.
+        requests = [
+            make_request("r1", "A", 1.0, 1.0, 0.0, value=2.0),
+            make_request("r2", "A", 2.0, 0.5, 0.0, value=20.0),
+        ]
+        # Make both reachable: w1 covers r1 (1.0) and r2 (0.5); w2 covers r1.
+        scenario = make_scenario(workers, requests)
+        config = SimulatorConfig(seed=0, measure_response_time=False)
+
+        greedy = Simulator(config).run(scenario, TOTA)  # nearest-first
+        batch = Simulator(config).run(
+            scenario, lambda: BatchMatching(delta_seconds=10.0, cooperate=False)
+        )
+        # TOTA assigns w1 (nearest to r1) then cannot serve r2 with w2.
+        assert greedy.total_revenue == 2.0
+        # The batch sees both and assigns r1->w2, r2->w1.
+        assert batch.total_revenue == 22.0
+        validate_matching(batch.all_records())
+
+    def test_all_requests_resolved(self):
+        scenario = make_scenario(
+            [make_worker("w", "A", 0.0)],
+            [make_request(f"r{i}", "A", float(i + 1)) for i in range(5)],
+        )
+        result = Simulator(
+            SimulatorConfig(seed=0, measure_response_time=False)
+        ).run(scenario, lambda: BatchMatching(delta_seconds=100.0))
+        assert result.total_completed + result.total_rejected == 5
+
+    def test_constraints_hold(self):
+        from repro.workloads import SyntheticWorkload, SyntheticWorkloadConfig
+
+        scenario = SyntheticWorkload(
+            SyntheticWorkloadConfig(request_count=120, worker_count=40, city_km=5.0)
+        ).build(seed=1)
+        result = Simulator(
+            SimulatorConfig(seed=0, measure_response_time=False)
+        ).run(scenario, lambda: BatchMatching(delta_seconds=300.0))
+        validate_matching(result.all_records())
+
+    def test_zero_delta_still_works(self):
+        scenario = make_scenario(
+            [make_worker("w", "A", 0.0)], [make_request("r", "A", 1.0)]
+        )
+        result = Simulator(
+            SimulatorConfig(seed=0, measure_response_time=False)
+        ).run(scenario, lambda: BatchMatching(delta_seconds=0.0))
+        assert result.total_completed == 1
+
+
+class TestDeferProtocol:
+    def test_flush_may_not_redefer(self):
+        class Redefer(OnlineAlgorithm):
+            name = "redefer"
+
+            def decide(self, request, context):
+                self._request = request
+                return Decision.defer()
+
+            def flush(self, time, context):
+                if hasattr(self, "_request"):
+                    request, self._stash = self._request, None
+                    del self._request
+                    return [(request, Decision.defer())]
+                return []
+
+        scenario = make_scenario(
+            [make_worker("w", "A", 0.0)],
+            [make_request("r1", "A", 1.0), make_request("r2", "A", 2.0)],
+        )
+        with pytest.raises(SimulationError):
+            Simulator(SimulatorConfig(measure_response_time=False)).run(
+                scenario, Redefer
+            )
+
+    def test_flush_of_unknown_request_rejected(self):
+        class Fabricator(OnlineAlgorithm):
+            name = "fabricator"
+
+            def decide(self, request, context):
+                return Decision.reject()
+
+            def flush(self, time, context):
+                ghost = make_request("ghost", "A", 0.5)
+                return [(ghost, Decision.reject())]
+
+        scenario = make_scenario(
+            [make_worker("w", "A", 0.0)], [make_request("r", "A", 1.0)]
+        )
+        with pytest.raises(SimulationError):
+            Simulator(SimulatorConfig(measure_response_time=False)).run(
+                scenario, Fabricator
+            )
+
+    def test_unflushed_deferrals_auto_rejected(self):
+        class ForeverDefer(OnlineAlgorithm):
+            name = "forever"
+
+            def decide(self, request, context):
+                return Decision.defer()
+
+        scenario = make_scenario(
+            [make_worker("w", "A", 0.0)],
+            [make_request(f"r{i}", "A", float(i + 1)) for i in range(3)],
+        )
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            scenario, ForeverDefer
+        )
+        assert result.total_rejected == 3
+        assert result.total_completed == 0
+
+    def test_decision_kind_defer_constructor(self):
+        assert Decision.defer().kind is DecisionKind.DEFER

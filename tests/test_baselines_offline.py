@@ -1,0 +1,216 @@
+"""Tests for the offline optimum (OFF) and its reentry relaxation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TOTA, solve_offline, solve_offline_reentry
+from repro.core import DemCOM, RamCOM, Simulator, SimulatorConfig, validate_matching
+from repro.core.events import EventStream
+from repro.core.simulator import Scenario
+
+from conftest import (
+    make_fixed_rate_oracle,
+    make_request,
+    make_scenario,
+    make_worker,
+)
+
+
+class TestSolveOffline:
+    def test_empty_scenario(self):
+        scenario = make_scenario([], [], platform_ids=["A"])
+        solution = solve_offline(scenario)
+        assert solution.total_revenue == 0.0
+        assert solution.total_completed == 0
+
+    def test_inner_preferred_over_outer(self):
+        # Inner edge is worth v, outer only v - rho: OFF uses the inner.
+        workers = [
+            make_worker("a", "A", 0.0, 0.5, 0.0),
+            make_worker("b", "B", 0.0, 0.1, 0.0),
+        ]
+        requests = [make_request("r", "A", 1.0, value=10.0)]
+        scenario = Scenario(
+            events=EventStream.from_entities(workers, requests),
+            oracle=make_fixed_rate_oracle(workers, rate=0.5),
+            platform_ids=["A", "B"],
+        )
+        solution = solve_offline(scenario)
+        assert solution.ledgers["A"].records[0].worker.worker_id == "a"
+        assert solution.total_revenue == 10.0
+
+    def test_outer_pays_realized_reservation(self):
+        workers = [make_worker("b", "B", 0.0, 0.1, 0.0)]
+        requests = [make_request("r", "A", 1.0, value=10.0)]
+        scenario = Scenario(
+            events=EventStream.from_entities(workers, requests),
+            oracle=make_fixed_rate_oracle(workers, rate=0.3),
+            platform_ids=["A", "B"],
+        )
+        solution = solve_offline(scenario)
+        record = solution.ledgers["A"].records[0]
+        assert record.payment == pytest.approx(3.0)
+        assert solution.ledgers["A"].revenue == pytest.approx(7.0)
+        assert solution.ledgers["B"].total_lender_income == pytest.approx(3.0)
+
+    def test_unprofitable_outer_excluded(self):
+        workers = [make_worker("b", "B", 0.0, 0.1, 0.0)]
+        requests = [make_request("r", "A", 1.0, value=10.0)]
+        scenario = Scenario(
+            events=EventStream.from_entities(workers, requests),
+            oracle=make_fixed_rate_oracle(workers, rate=1.5),
+            platform_ids=["A", "B"],
+        )
+        solution = solve_offline(scenario)
+        assert solution.total_completed == 0
+
+    def test_no_cooperation_variant(self):
+        workers = [
+            make_worker("a", "A", 0.0, 5.0, 5.0),
+            make_worker("b", "B", 0.0, 0.1, 0.0),
+        ]
+        requests = [make_request("r", "A", 1.0, value=10.0)]
+        scenario = Scenario(
+            events=EventStream.from_entities(workers, requests),
+            oracle=make_fixed_rate_oracle(workers, rate=0.3),
+            platform_ids=["A", "B"],
+        )
+        with_coop = solve_offline(scenario, include_cooperation=True)
+        without = solve_offline(scenario, include_cooperation=False)
+        assert with_coop.total_completed == 1
+        assert without.total_completed == 0
+
+    def test_time_constraint_respected(self):
+        workers = [make_worker("late", "A", 10.0, 0.1, 0.0)]
+        requests = [make_request("r", "A", 1.0)]
+        scenario = make_scenario(workers, requests)
+        assert solve_offline(scenario).total_completed == 0
+
+    def test_records_validate(self, two_platform_scenario):
+        solution = solve_offline(two_platform_scenario)
+        validate_matching(solution.records)
+
+    def test_rejections_recorded(self):
+        workers = [make_worker("a", "A", 0.0, 9.0, 9.0)]
+        requests = [make_request("r", "A", 1.0)]
+        solution = solve_offline(make_scenario(workers, requests))
+        assert solution.ledgers["A"].rejected_requests == 1
+
+    def test_optimal_vs_greedy_trap(self):
+        # Greedy would burn the single worker on the early cheap request.
+        workers = [make_worker("w", "A", 0.0, 0.0, 0.0, radius=2.0)]
+        requests = [
+            make_request("cheap", "A", 1.0, x=0.5, value=1.0),
+            make_request("rich", "A", 2.0, x=-0.5, value=50.0),
+        ]
+        scenario = make_scenario(workers, requests)
+        solution = solve_offline(scenario)
+        assert solution.total_revenue == 50.0
+
+
+class TestOfflineDominatesOnline:
+    """OFF >= every online algorithm on identical realized randomness."""
+
+    def _scenario(self, seed: int) -> Scenario:
+        import random
+
+        rng = random.Random(seed)
+        workers = [
+            make_worker(
+                f"{platform}{i}",
+                platform,
+                rng.uniform(0, 5),
+                rng.uniform(0, 3),
+                rng.uniform(0, 3),
+                radius=1.2,
+            )
+            for platform in ("A", "B")
+            for i in range(5)
+        ]
+        requests = [
+            make_request(
+                f"r{i}",
+                rng.choice(["A", "B"]),
+                rng.uniform(5, 10),
+                rng.uniform(0, 3),
+                rng.uniform(0, 3),
+                value=rng.uniform(5, 30),
+            )
+            for i in range(12)
+        ]
+        return make_scenario(workers, requests, platform_ids=["A", "B"], seed=seed)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("factory", [TOTA, DemCOM, RamCOM])
+    def test_off_upper_bounds_online(self, seed, factory):
+        scenario = self._scenario(seed)
+        offline_revenue = solve_offline(scenario).total_revenue
+        result = Simulator(
+            SimulatorConfig(seed=seed, measure_response_time=False)
+        ).run(scenario, factory)
+        assert offline_revenue >= result.total_revenue - 1e-9
+
+
+class TestSolveOfflineReentry:
+    def test_invalid_arguments(self):
+        scenario = make_scenario([make_worker()], [make_request()])
+        with pytest.raises(ValueError):
+            solve_offline_reentry(scenario, service_duration=0.0)
+        with pytest.raises(ValueError):
+            solve_offline_reentry(scenario, service_duration=10.0, max_services=0)
+
+    def test_capacity_allows_multiple_services(self):
+        workers = [make_worker("w", "A", 0.0)]
+        requests = [
+            make_request("r1", "A", 10.0, value=5.0),
+            make_request("r2", "A", 400.0, value=7.0),
+        ]
+        scenario = make_scenario(workers, requests)
+        solution = solve_offline_reentry(scenario, service_duration=100.0)
+        assert solution.total_completed == 2
+        assert solution.total_revenue == 12.0
+        validate_matching(solution.records)
+
+    def test_capacity_limits_services(self):
+        workers = [make_worker("w", "A", 0.0)]
+        requests = [
+            make_request(f"r{i}", "A", float(10 + i), value=5.0) for i in range(5)
+        ]
+        scenario = make_scenario(workers, requests)
+        # horizon = 14s, duration 1000s: capacity 1.
+        solution = solve_offline_reentry(scenario, service_duration=1000.0)
+        assert solution.total_completed == 1
+
+    @pytest.mark.parametrize("factory", [TOTA, DemCOM, RamCOM])
+    def test_reentry_off_dominates_online_reentry(self, factory):
+        import random
+
+        rng = random.Random(4)
+        workers = [
+            make_worker(
+                f"{p}{i}", p, rng.uniform(0, 500), rng.uniform(0, 2),
+                rng.uniform(0, 2), radius=1.5,
+            )
+            for p in ("A", "B")
+            for i in range(4)
+        ]
+        requests = [
+            make_request(
+                f"r{i}", rng.choice(["A", "B"]), rng.uniform(500, 5000),
+                rng.uniform(0, 2), rng.uniform(0, 2), value=rng.uniform(5, 20),
+            )
+            for i in range(15)
+        ]
+        scenario = make_scenario(workers, requests, platform_ids=["A", "B"])
+        duration = 600.0
+        bound = solve_offline_reentry(scenario, service_duration=duration)
+        result = Simulator(
+            SimulatorConfig(
+                seed=0,
+                worker_reentry=True,
+                service_duration=duration,
+                measure_response_time=False,
+            )
+        ).run(scenario, factory)
+        assert bound.total_revenue >= result.total_revenue - 1e-9

@@ -1,0 +1,231 @@
+"""Tests for reservation distributions and the behaviour oracle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.behavior import (
+    BehaviorOracle,
+    EmpiricalDistribution,
+    LognormalDistribution,
+    NormalDistribution,
+    UniformDistribution,
+    WorkerBehavior,
+    generate_history,
+)
+from repro.errors import ConfigurationError
+
+probabilities = st.floats(min_value=0.001, max_value=0.999)
+
+
+class TestUniformDistribution:
+    def test_cdf_endpoints(self):
+        dist = UniformDistribution(2.0, 4.0)
+        assert dist.cdf(1.9) == 0.0
+        assert dist.cdf(3.0) == 0.5
+        assert dist.cdf(4.1) == 1.0
+
+    def test_degenerate(self):
+        dist = UniformDistribution(3.0, 3.0)
+        assert dist.cdf(3.0) == 1.0
+        assert dist.cdf(2.999) == 0.0
+        assert dist.sample(random.Random(0)) == 3.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformDistribution(4.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            UniformDistribution(-1.0, 2.0)
+
+    def test_mean(self):
+        assert UniformDistribution(2.0, 4.0).mean() == 3.0
+
+    @given(probabilities)
+    def test_quantile_inverts_cdf(self, q):
+        dist = UniformDistribution(1.0, 9.0)
+        assert dist.cdf(dist.quantile(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_samples_in_support(self):
+        dist = UniformDistribution(2.0, 4.0)
+        rng = random.Random(7)
+        assert all(2.0 <= dist.sample(rng) <= 4.0 for _ in range(100))
+
+
+class TestNormalDistribution:
+    def test_cdf_median(self):
+        dist = NormalDistribution(5.0, 1.0)
+        assert dist.cdf(5.0) == pytest.approx(0.5)
+
+    def test_truncation_at_zero(self):
+        dist = NormalDistribution(0.5, 2.0)
+        rng = random.Random(1)
+        assert all(dist.sample(rng) >= 0.0 for _ in range(200))
+        assert dist.cdf(-0.1) == 0.0
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ConfigurationError):
+            NormalDistribution(1.0, 0.0)
+
+    @given(probabilities)
+    def test_quantile_inverts_cdf(self, q):
+        dist = NormalDistribution(5.0, 2.0)
+        value = dist.quantile(q)
+        if value > 0:
+            assert dist.cdf(value) == pytest.approx(q, abs=1e-6)
+
+    def test_truncated_mean_above_naive(self):
+        # Truncation moves mass up from negative values.
+        dist = NormalDistribution(0.0, 1.0)
+        assert dist.mean() > 0.0
+
+    def test_sample_mean_close(self):
+        dist = NormalDistribution(10.0, 1.0)
+        rng = random.Random(0)
+        mean = sum(dist.sample(rng) for _ in range(4000)) / 4000
+        assert mean == pytest.approx(10.0, abs=0.1)
+
+
+class TestLognormalDistribution:
+    def test_median(self):
+        dist = LognormalDistribution(mu=1.0, sigma=0.5)
+        import math
+
+        assert dist.cdf(math.e) == pytest.approx(0.5)
+
+    def test_positive_support(self):
+        dist = LognormalDistribution(0.0, 1.0)
+        assert dist.cdf(0.0) == 0.0
+        assert dist.cdf(-1.0) == 0.0
+
+    @given(probabilities)
+    def test_quantile_inverts_cdf(self, q):
+        dist = LognormalDistribution(0.5, 0.7)
+        assert dist.cdf(dist.quantile(q)) == pytest.approx(q, abs=1e-6)
+
+    def test_mean_formula(self):
+        import math
+
+        dist = LognormalDistribution(1.0, 0.5)
+        assert dist.mean() == pytest.approx(math.exp(1.0 + 0.125))
+
+
+class TestEmpiricalDistribution:
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalDistribution([])
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalDistribution([1.0, -0.5])
+
+    def test_cdf_is_step_function(self):
+        dist = EmpiricalDistribution([1.0, 2.0, 2.0, 4.0])
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(1.0) == 0.25
+        assert dist.cdf(2.0) == 0.75
+        assert dist.cdf(4.0) == 1.0
+
+    def test_sample_from_support(self):
+        values = [1.0, 3.0, 5.0]
+        dist = EmpiricalDistribution(values)
+        rng = random.Random(0)
+        assert all(dist.sample(rng) in values for _ in range(50))
+
+    def test_mean(self):
+        assert EmpiricalDistribution([1.0, 3.0]).mean() == 2.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_cdf_monotone(self, values):
+        dist = EmpiricalDistribution(values)
+        grid = sorted(values)
+        cdfs = [dist.cdf(v) for v in grid]
+        assert cdfs == sorted(cdfs)
+        assert cdfs[-1] == 1.0
+
+
+class TestGenerateHistory:
+    def test_length(self):
+        dist = UniformDistribution(0.0, 1.0)
+        assert len(generate_history(dist, 25, random.Random(0))) == 25
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            generate_history(UniformDistribution(0, 1), -1, random.Random(0))
+
+    def test_empirical_cdf_consistency(self):
+        # Eq. 4 over a generated history converges to the true CDF.
+        dist = UniformDistribution(0.2, 0.8)
+        history = generate_history(dist, 4000, random.Random(3))
+        empirical = EmpiricalDistribution(history)
+        for probe in (0.3, 0.5, 0.7):
+            assert empirical.cdf(probe) == pytest.approx(dist.cdf(probe), abs=0.04)
+
+
+class TestBehaviorOracle:
+    def _oracle(self, mode: str = "relative") -> BehaviorOracle:
+        oracle = BehaviorOracle(seed=5, mode=mode)
+        oracle.register(
+            WorkerBehavior("w1", UniformDistribution(0.4, 0.8), [0.5, 0.6])
+        )
+        return oracle
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            BehaviorOracle(seed=0, mode="nonsense")
+
+    def test_duplicate_registration_raises(self):
+        oracle = self._oracle()
+        with pytest.raises(ConfigurationError):
+            oracle.register(WorkerBehavior("w1", UniformDistribution(0, 1), []))
+
+    def test_reservation_deterministic(self):
+        oracle = self._oracle()
+        assert oracle.reservation("w1", "r1") == oracle.reservation("w1", "r1")
+
+    def test_reservation_varies_by_request(self):
+        oracle = self._oracle()
+        draws = {oracle.reservation("w1", f"r{i}") for i in range(20)}
+        assert len(draws) > 1
+
+    def test_reentry_clone_shares_draw(self):
+        oracle = self._oracle()
+        base = oracle.reservation("w1", "r9")
+        assert oracle.reservation("w1@reentry1", "r9") == base
+        assert oracle.reservation("w1@reentry3", "r9") == base
+
+    def test_offer_relative_mode(self):
+        oracle = self._oracle()
+        rate = oracle.reservation("w1", "r1")
+        value = 10.0
+        assert oracle.offer("w1", "r1", rate * value, value)
+        assert not oracle.offer("w1", "r1", rate * value - 0.01, value)
+
+    def test_offer_absolute_mode(self):
+        oracle = BehaviorOracle(seed=5, mode="absolute")
+        oracle.register(WorkerBehavior("w1", UniformDistribution(3.0, 3.0), [3.0]))
+        assert oracle.offer("w1", "r1", 3.0, 100.0)
+        assert not oracle.offer("w1", "r1", 2.99, 100.0)
+
+    def test_reservation_price_scales_with_value(self):
+        oracle = self._oracle()
+        small = oracle.reservation_price("w1", "r1", 10.0)
+        large = oracle.reservation_price("w1", "r1", 20.0)
+        assert large == pytest.approx(2 * small)
+
+    def test_history_of(self):
+        oracle = self._oracle()
+        assert oracle.history_of("w1") == [0.5, 0.6]
+        assert oracle.history_of("w1@reentry2") == [0.5, 0.6]
+
+    def test_contains_and_len(self):
+        oracle = self._oracle()
+        assert "w1" in oracle
+        assert "w2" not in oracle
+        assert len(oracle) == 1
+
+    def test_true_acceptance_probability(self):
+        behavior = WorkerBehavior("w", UniformDistribution(0.4, 0.8), [])
+        assert behavior.true_acceptance_probability(0.6) == pytest.approx(0.5)

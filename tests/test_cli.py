@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_arguments(self):
+        args = build_parser().parse_args(["table", "V", "--scale", "0.01"])
+        assert args.command == "table"
+        assert args.table_id == "V"
+        assert args.scale == 0.01
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "IX"])
+
+    def test_figure_arguments(self):
+        args = build_parser().parse_args(["figure", "radius", "acceptance"])
+        assert args.axis == "radius"
+        assert args.metric == "acceptance"
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "RDC10" in out and "91321" in out
+
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("demcom", "ramcom", "tota"):
+            assert name in out
+
+    def test_table_small(self, capsys):
+        assert (
+            main(
+                [
+                    "table",
+                    "VII",
+                    "--scale",
+                    "0.003",
+                    "--seeds",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table VII" in out
+        assert "RamCOM" in out
+
+    def test_figure_small(self, capsys):
+        assert (
+            main(
+                [
+                    "figure",
+                    "workers",
+                    "revenue",
+                    "--values",
+                    "10,20",
+                    "--seeds",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fig. 5(e)" in out
+
+    def test_cr_random_order(self, capsys):
+        assert main(["cr", "tota", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "random-order" in out

@@ -1,0 +1,139 @@
+"""Tests for the worker shift-departure extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TOTA
+from repro.core import Simulator, SimulatorConfig, validate_matching
+from repro.core.entities import Worker
+from repro.errors import ConfigurationError
+from repro.geo.point import Point
+
+from conftest import make_request, make_scenario, make_worker
+
+
+def shift_worker(worker_id="w", platform="A", t=0.0, departure=100.0, **kwargs):
+    base = make_worker(worker_id, platform, t, **kwargs)
+    return Worker(
+        worker_id=base.worker_id,
+        platform_id=base.platform_id,
+        arrival_time=base.arrival_time,
+        location=base.location,
+        service_radius=base.service_radius,
+        shareable=base.shareable,
+        departure_time=departure,
+    )
+
+
+class TestWorkerShift:
+    def test_departure_before_arrival_raises(self):
+        with pytest.raises(ConfigurationError):
+            shift_worker(t=10.0, departure=5.0)
+
+    def test_on_shift_at(self):
+        worker = shift_worker(t=5.0, departure=10.0)
+        assert not worker.on_shift_at(4.0)
+        assert worker.on_shift_at(5.0)
+        assert worker.on_shift_at(10.0)
+        assert not worker.on_shift_at(10.1)
+
+    def test_no_departure_means_always_on(self):
+        worker = make_worker(t=5.0)
+        assert worker.on_shift_at(1e9)
+
+
+class TestSimulatorDepartures:
+    def test_departed_worker_not_matched(self):
+        workers = [shift_worker("w", t=0.0, departure=50.0)]
+        requests = [make_request("r", t=100.0)]
+        scenario = make_scenario(workers, requests)
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            scenario, TOTA
+        )
+        assert result.total_completed == 0
+        assert result.total_rejected == 1
+
+    def test_worker_matched_within_shift(self):
+        workers = [shift_worker("w", t=0.0, departure=50.0)]
+        requests = [make_request("r", t=25.0)]
+        scenario = make_scenario(workers, requests)
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            scenario, TOTA
+        )
+        assert result.total_completed == 1
+        validate_matching(result.all_records())
+
+    def test_departure_is_exclusive_of_boundary(self):
+        # Departure fires strictly *before* the next event's time; a
+        # request arriving exactly at the departure instant still matches.
+        workers = [shift_worker("w", t=0.0, departure=25.0)]
+        requests = [make_request("r", t=25.0)]
+        scenario = make_scenario(workers, requests)
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            scenario, TOTA
+        )
+        assert result.total_completed == 1
+
+    def test_no_reentry_past_shift_end(self):
+        workers = [shift_worker("w", t=0.0, departure=150.0)]
+        requests = [
+            make_request("r1", t=10.0),
+            # Service 10->110 ends inside the shift: reentry happens.
+            make_request("r2", t=120.0),
+            # Service 120->220 would end past the shift: no second reentry.
+            make_request("r3", t=300.0),
+        ]
+        scenario = make_scenario(workers, requests)
+        result = Simulator(
+            SimulatorConfig(
+                worker_reentry=True,
+                service_duration=100.0,
+                measure_response_time=False,
+            )
+        ).run(scenario, TOTA)
+        assert result.total_completed == 2
+        assert result.total_rejected == 1
+
+    def test_busy_worker_is_not_force_departed(self):
+        """A worker mid-service at shift end completes the service (the
+        departure queue only removes *waiting* workers)."""
+        workers = [shift_worker("w", t=0.0, departure=50.0)]
+        requests = [make_request("r1", t=40.0), make_request("r2", t=60.0)]
+        scenario = make_scenario(workers, requests)
+        result = Simulator(
+            SimulatorConfig(
+                worker_reentry=True,
+                service_duration=100.0,
+                measure_response_time=False,
+            )
+        ).run(scenario, TOTA)
+        # r1 served (assignment at t=40 < departure); r2 rejected (worker
+        # busy, and past shift anyway).
+        assert result.total_completed == 1
+        assert result.all_records()[0].request.request_id == "r1"
+
+    def test_departed_outer_worker_not_borrowed(self):
+        from repro.core import DemCOM
+        from repro.core.events import EventStream
+        from repro.core.simulator import Scenario
+        from conftest import make_fixed_rate_oracle
+
+        outer = Worker(
+            worker_id="b",
+            platform_id="B",
+            arrival_time=0.0,
+            location=Point(0.1, 0.0),
+            service_radius=1.0,
+            departure_time=10.0,
+        )
+        requests = [make_request("r", "A", 50.0, value=10.0)]
+        scenario = Scenario(
+            events=EventStream.from_entities([outer], requests),
+            oracle=make_fixed_rate_oracle([outer], rate=0.1),
+            platform_ids=["A", "B"],
+        )
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            scenario, DemCOM
+        )
+        assert result.total_completed == 0

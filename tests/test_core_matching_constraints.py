@@ -1,0 +1,173 @@
+"""Tests for match records, ledgers (Definition 2.5) and the constraint
+validator (Definition 2.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matching import AssignmentKind, MatchRecord, MatchingLedger
+from repro.core.constraints import validate_matching
+from repro.errors import ConfigurationError, ConstraintViolationError, SimulationError
+
+from conftest import make_request, make_worker
+
+
+def inner_record(request_id="r0", worker_id="w0", value=10.0, t=1.0):
+    return MatchRecord(
+        request=make_request(request_id, value=value, t=t),
+        worker=make_worker(worker_id, t=0.0),
+        kind=AssignmentKind.INNER,
+    )
+
+
+def outer_record(request_id="r0", worker_id="b0", value=10.0, payment=6.0, t=1.0):
+    return MatchRecord(
+        request=make_request(request_id, "A", t, value=value),
+        worker=make_worker(worker_id, "B", 0.0),
+        kind=AssignmentKind.OUTER,
+        payment=payment,
+    )
+
+
+class TestMatchRecord:
+    def test_inner_with_payment_raises(self):
+        with pytest.raises(ConfigurationError):
+            MatchRecord(
+                request=make_request(),
+                worker=make_worker(),
+                kind=AssignmentKind.INNER,
+                payment=1.0,
+            )
+
+    def test_outer_payment_bounds(self):
+        with pytest.raises(ConfigurationError):
+            outer_record(payment=0.0)
+        with pytest.raises(ConfigurationError):
+            outer_record(payment=11.0, value=10.0)
+        assert outer_record(payment=10.0, value=10.0).payment == 10.0
+
+    def test_platform_revenue(self):
+        assert inner_record(value=10.0).platform_revenue == 10.0
+        assert outer_record(value=10.0, payment=6.0).platform_revenue == 4.0
+
+
+class TestMatchingLedger:
+    def test_revenue_decomposition_eq1(self):
+        ledger = MatchingLedger("A")
+        ledger.record(inner_record("r1", "w1", value=10.0))
+        ledger.record(outer_record("r2", "b1", value=8.0, payment=5.0))
+        assert ledger.revenue_inner == 10.0
+        assert ledger.revenue_outer == 3.0
+        assert ledger.revenue == 13.0
+
+    def test_counters(self):
+        ledger = MatchingLedger("A")
+        ledger.record(inner_record("r1", "w1"))
+        ledger.record(outer_record("r2", "b1"))
+        ledger.record_rejection(make_request("r3"))
+        assert ledger.completed_requests == 2
+        assert ledger.cooperative_requests == 1
+        assert ledger.rejected_requests == 1
+
+    def test_double_request_raises(self):
+        ledger = MatchingLedger("A")
+        ledger.record(inner_record("r1", "w1"))
+        with pytest.raises(SimulationError):
+            ledger.record(inner_record("r1", "w2"))
+
+    def test_double_worker_raises(self):
+        ledger = MatchingLedger("A")
+        ledger.record(inner_record("r1", "w1"))
+        with pytest.raises(SimulationError):
+            ledger.record(inner_record("r2", "w1"))
+
+    def test_match_then_reject_raises(self):
+        ledger = MatchingLedger("A")
+        ledger.record(inner_record("r1", "w1"))
+        with pytest.raises(SimulationError):
+            ledger.record_rejection(make_request("r1"))
+
+    def test_lender_income(self):
+        ledger = MatchingLedger("B")
+        ledger.record_lender_income("A", 5.0)
+        ledger.record_lender_income("A", 2.0)
+        ledger.record_lender_income("C", 1.0)
+        assert ledger.lender_income == {"A": 7.0, "C": 1.0}
+        assert ledger.total_lender_income == 8.0
+
+    def test_payment_rates(self):
+        ledger = MatchingLedger("A")
+        ledger.record(outer_record("r1", "b1", value=10.0, payment=7.0))
+        assert ledger.outer_payment_rates() == [0.7]
+
+    def test_mean_pickup_distance_empty(self):
+        assert MatchingLedger("A").mean_pickup_distance() == 0.0
+
+
+class TestValidateMatching:
+    def test_empty_is_valid(self):
+        validate_matching([])
+
+    def test_valid_mixed(self):
+        validate_matching([inner_record("r1", "w1"), outer_record("r2", "b1")])
+
+    def test_time_violation(self):
+        record = MatchRecord(
+            request=make_request(t=1.0),
+            worker=make_worker(t=2.0),
+            kind=AssignmentKind.INNER,
+        )
+        with pytest.raises(ConstraintViolationError) as exc:
+            validate_matching([record])
+        assert exc.value.constraint == "time"
+
+    def test_one_by_one_request_violation(self):
+        records = [inner_record("r1", "w1"), inner_record("r1", "w2")]
+        with pytest.raises(ConstraintViolationError) as exc:
+            validate_matching(records)
+        assert exc.value.constraint == "1-by-1"
+
+    def test_one_by_one_worker_violation(self):
+        records = [inner_record("r1", "w1"), inner_record("r2", "w1")]
+        with pytest.raises(ConstraintViolationError) as exc:
+            validate_matching(records)
+        assert exc.value.constraint == "1-by-1"
+
+    def test_range_violation(self):
+        record = MatchRecord(
+            request=make_request(x=5.0),
+            worker=make_worker(x=0.0, radius=1.0),
+            kind=AssignmentKind.INNER,
+        )
+        with pytest.raises(ConstraintViolationError) as exc:
+            validate_matching([record])
+        assert exc.value.constraint == "range"
+
+    def test_kind_mismatch(self):
+        record = MatchRecord(
+            request=make_request(platform="A"),
+            worker=make_worker(platform="B"),
+            kind=AssignmentKind.OUTER,
+            payment=5.0,
+        )
+        validate_matching([record])  # consistent
+        bad = MatchRecord(
+            request=make_request(platform="A"),
+            worker=make_worker(platform="A"),
+            kind=AssignmentKind.OUTER,
+            payment=5.0,
+        )
+        with pytest.raises(ConstraintViolationError) as exc:
+            validate_matching([bad])
+        assert exc.value.constraint == "kind"
+
+    def test_sharing_violation(self):
+        record = MatchRecord(
+            request=make_request(platform="A"),
+            worker=make_worker(platform="B", shareable=False),
+            kind=AssignmentKind.OUTER,
+            payment=5.0,
+        )
+        with pytest.raises(ConstraintViolationError) as exc:
+            validate_matching([record])
+        assert exc.value.constraint == "sharing"

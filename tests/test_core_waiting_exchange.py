@@ -1,0 +1,145 @@
+"""Tests for waiting lists and the cooperation exchange."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exchange import CooperationExchange
+from repro.core.waiting_list import WaitingList
+from repro.errors import SimulationError
+
+from conftest import make_request, make_worker
+
+
+class TestWaitingList:
+    def test_add_and_len(self):
+        waiting = WaitingList()
+        waiting.add(make_worker("w1"))
+        assert len(waiting) == 1
+        assert "w1" in waiting
+
+    def test_duplicate_add_raises(self):
+        waiting = WaitingList()
+        waiting.add(make_worker("w1"))
+        with pytest.raises(SimulationError):
+            waiting.add(make_worker("w1"))
+
+    def test_remove_returns_worker(self):
+        waiting = WaitingList()
+        worker = make_worker("w1")
+        waiting.add(worker)
+        assert waiting.remove("w1") is worker
+        assert len(waiting) == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(SimulationError):
+            WaitingList().remove("ghost")
+
+    def test_discard(self):
+        waiting = WaitingList()
+        assert waiting.discard("ghost") is None
+        waiting.add(make_worker("w1"))
+        assert waiting.discard("w1") is not None
+
+    def test_iteration_in_arrival_order(self):
+        waiting = WaitingList()
+        for worker_id, t in (("a", 3.0), ("b", 1.0), ("c", 2.0)):
+            waiting.add(make_worker(worker_id, t=t))
+        # Insertion order is the simulator's arrival order.
+        assert [w.worker_id for w in waiting] == ["a", "b", "c"]
+
+    def test_eligible_filters_time(self):
+        waiting = WaitingList()
+        waiting.add(make_worker("early", t=0.0))
+        waiting.add(make_worker("late", t=10.0, x=0.1))
+        eligible = waiting.eligible_for(make_request(t=5.0))
+        assert [w.worker_id for w in eligible] == ["early"]
+
+    def test_eligible_filters_range(self):
+        waiting = WaitingList()
+        waiting.add(make_worker("near", x=0.5, radius=1.0))
+        waiting.add(make_worker("far", x=5.0, radius=1.0))
+        eligible = waiting.eligible_for(make_request(x=0.0))
+        assert [w.worker_id for w in eligible] == ["near"]
+
+    def test_eligible_respects_per_worker_radius(self):
+        waiting = WaitingList()
+        waiting.add(make_worker("small", x=2.0, radius=1.0))
+        waiting.add(make_worker("big", x=2.0, radius=3.0))
+        eligible = waiting.eligible_for(make_request(x=0.0))
+        assert [w.worker_id for w in eligible] == ["big"]
+
+    def test_eligible_sorted_by_distance(self):
+        waiting = WaitingList()
+        waiting.add(make_worker("far", x=0.9))
+        waiting.add(make_worker("near", x=0.1))
+        eligible = waiting.eligible_for(make_request(x=0.0))
+        assert [w.worker_id for w in eligible] == ["near", "far"]
+
+    def test_nearest_eligible(self):
+        waiting = WaitingList()
+        assert waiting.nearest_eligible(make_request()) is None
+        waiting.add(make_worker("w", x=0.2))
+        assert waiting.nearest_eligible(make_request(x=0.0)).worker_id == "w"
+
+    def test_clear(self):
+        waiting = WaitingList()
+        waiting.add(make_worker("w"))
+        waiting.clear()
+        assert len(waiting) == 0
+        assert waiting.eligible_for(make_request()) == []
+
+
+class TestCooperationExchange:
+    def _exchange(self) -> CooperationExchange:
+        exchange = CooperationExchange(["A", "B"])
+        exchange.worker_arrives(make_worker("a0", "A", 0.0, 0.0, 0.0))
+        exchange.worker_arrives(make_worker("b0", "B", 0.0, 0.3, 0.0))
+        exchange.worker_arrives(
+            make_worker("b1", "B", 0.0, 0.6, 0.0, shareable=False)
+        )
+        return exchange
+
+    def test_duplicate_platforms_raise(self):
+        with pytest.raises(SimulationError):
+            CooperationExchange(["A", "A"])
+
+    def test_unknown_platform_worker_raises(self):
+        exchange = CooperationExchange(["A"])
+        with pytest.raises(SimulationError):
+            exchange.worker_arrives(make_worker("x", "Z"))
+
+    def test_inner_candidates_only_home_platform(self):
+        exchange = self._exchange()
+        inner = exchange.inner_candidates("A", make_request(platform="A", t=1.0))
+        assert [w.worker_id for w in inner] == ["a0"]
+
+    def test_outer_candidates_exclude_home_and_unshareable(self):
+        exchange = self._exchange()
+        outer = exchange.outer_candidates("A", make_request(platform="A", t=1.0))
+        assert [w.worker_id for w in outer] == ["b0"]  # b1 not shareable
+
+    def test_outer_candidates_sorted_by_distance(self):
+        exchange = CooperationExchange(["A", "B", "C"])
+        exchange.worker_arrives(make_worker("b0", "B", 0.0, 0.5, 0.0))
+        exchange.worker_arrives(make_worker("c0", "C", 0.0, 0.2, 0.0))
+        outer = exchange.outer_candidates("A", make_request(platform="A", t=1.0))
+        assert [w.worker_id for w in outer] == ["c0", "b0"]
+
+    def test_claim_removes_everywhere(self):
+        exchange = self._exchange()
+        exchange.claim("b0")
+        assert not exchange.is_available("b0")
+        assert exchange.outer_candidates("A", make_request(t=1.0)) == []
+        with pytest.raises(SimulationError):
+            exchange.claim("b0")
+
+    def test_available_count(self):
+        exchange = self._exchange()
+        assert exchange.available_count() == 3
+        assert exchange.available_count("B") == 2
+        exchange.claim("a0")
+        assert exchange.available_count("A") == 0
+
+    def test_platform_ids(self):
+        assert self._exchange().platform_ids == ["A", "B"]

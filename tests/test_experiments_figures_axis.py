@@ -1,0 +1,49 @@
+"""Tests for the shared-sweep figure runner (run_figure5_axis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentConfig
+from repro.experiments.figures import run_figure5_axis, run_figure5_panel
+from repro.workloads import SyntheticWorkloadConfig
+
+TINY = ExperimentConfig(seeds=(0,))
+BASE = SyntheticWorkloadConfig(request_count=40, worker_count=16, city_km=4.0)
+
+
+class TestRunFigure5Axis:
+    def test_returns_all_four_metrics(self):
+        panels = run_figure5_axis(
+            "radius",
+            values=(1.0, 2.0),
+            base=BASE,
+            config=TINY,
+            algorithms=["tota", "ramcom"],
+        )
+        assert set(panels) == {"revenue", "time", "memory", "acceptance"}
+        for panel in panels.values():
+            assert panel.x_values == [1.0, 2.0]
+            assert set(panel.series) == {"tota", "ramcom"}
+
+    def test_panel_ids_assigned(self):
+        panels = run_figure5_axis(
+            "workers", values=(10,), base=BASE, config=TINY, algorithms=["tota"]
+        )
+        assert panels["revenue"].panel_id == "5(e)"
+        assert panels["acceptance"].panel_id == "5(h)"
+
+    def test_unknown_axis(self):
+        with pytest.raises(ConfigurationError):
+            run_figure5_axis("altitude")
+
+    def test_consistent_with_single_panel_runner(self):
+        """The shared sweep produces exactly the per-panel runner's data
+        (same seeds, same scenarios)."""
+        kwargs = dict(
+            values=(1.0,), base=BASE, config=TINY, algorithms=["tota", "demcom"]
+        )
+        shared = run_figure5_axis("radius", **kwargs)
+        single = run_figure5_panel("radius", "revenue", **kwargs)
+        assert shared["revenue"].series == single.series

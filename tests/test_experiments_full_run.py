@@ -1,0 +1,59 @@
+"""Tests for the one-command reproduction driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.full_run import reproduce_all
+
+
+@pytest.fixture(scope="module")
+def full_run(tmp_path_factory):
+    """One shared driver run (reproduce_all is the suite's slowest call)."""
+    output = tmp_path_factory.mktemp("reproduction")
+    return output, reproduce_all(output, scale=0.003, seeds=1, cr_trials=5)
+
+
+class TestReproduceAll:
+    def test_produces_report_and_artifacts(self, full_run):
+        tmp_path, run = full_run
+        assert run.report_path is not None and run.report_path.exists()
+        report = run.report_path.read_text()
+        assert "Table V " in report or "Table V —" in report
+        assert "Fig. 5(a)" in report
+        assert "Competitive ratios" in report
+        # Three tables + twelve panels were produced and saved.
+        assert set(run.tables) == {"V", "VI", "VII"}
+        assert len(run.panels) == 12
+        assert len(list(tmp_path.glob("fig5*.csv"))) == 12
+        assert len(list(tmp_path.glob("table_*.json"))) == 3
+        assert run.elapsed_seconds > 0
+
+    def test_cr_rows_cover_algorithms(self, full_run):
+        __, run = full_run
+        names = [name for name, __, __ in run.cr_rows]
+        assert names == ["tota", "demcom", "ramcom"]
+        for __, mean, minimum in run.cr_rows:
+            assert 0.0 <= minimum <= mean <= 1.0 + 1e-9
+
+
+class TestReproduceCli:
+    def test_subcommand(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "reproduce",
+                    "--output",
+                    str(tmp_path),
+                    "--scale",
+                    "0.003",
+                    "--seeds",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "report:" in out
+        assert (tmp_path / "REPORT.md").exists()

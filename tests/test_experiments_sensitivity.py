@@ -1,0 +1,54 @@
+"""Tests for the sensitivity-study module (tiny sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.sensitivity import (
+    SensitivityResult,
+    going_rate_sensitivity,
+    jitter_sensitivity,
+    occupation_sensitivity,
+    skew_sensitivity,
+)
+
+TINY = ExperimentConfig(seeds=(0,), service_duration=1800.0)
+
+
+class TestSensitivityResult:
+    def test_series_extraction(self):
+        result = going_rate_sensitivity(values=(0.6, 0.9), config=TINY)
+        revenue = result.series("ramcom", "total_revenue")
+        assert len(revenue) == 2
+        assert all(value > 0 for value in revenue)
+
+    def test_render(self):
+        result = skew_sensitivity(values=(0.0, 0.9), config=TINY)
+        rendered = result.render()
+        assert "Sensitivity — skew" in rendered
+        assert "rev(RamCOM)" in rendered
+
+
+class TestDirections:
+    def test_going_rate_moves_payment_rates(self):
+        result = going_rate_sensitivity(values=(0.6, 0.9), config=TINY)
+        low, high = result.series("ramcom", "payment_rate")
+        assert high > low
+
+    def test_occupation_reduces_completions(self):
+        result = occupation_sensitivity(values=(900.0, 3600.0), config=TINY)
+        fast, slow = result.series("tota", "total_completed")
+        assert fast > slow
+
+    def test_jitter_rows_shape(self):
+        result = jitter_sensitivity(values=(0.02,), config=TINY)
+        assert isinstance(result, SensitivityResult)
+        value, by_algorithm = result.rows[0]
+        assert value == 0.02
+        assert set(by_algorithm) == {"tota", "demcom", "ramcom"}
+
+    def test_skew_zero_still_runs_all_algorithms(self):
+        result = skew_sensitivity(values=(0.0,), config=TINY)
+        __, by_algorithm = result.rows[0]
+        assert by_algorithm["tota"].total_completed > 0

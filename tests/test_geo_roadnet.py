@@ -1,0 +1,222 @@
+"""Tests for the road-network distance substrate (paper §II extension)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo import BoundingBox, Point, RoadNetwork
+from repro.geo.distance import manhattan
+
+
+class TestConstruction:
+    def test_empty_network_queries_raise(self):
+        with pytest.raises(ConfigurationError):
+            RoadNetwork().nearest_node(Point(0, 0))
+
+    def test_add_road_defaults_to_euclidean_length(self):
+        net = RoadNetwork()
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(3, 4))
+        net.add_road(a, b)
+        assert net.node_distance(a, b) == 5.0
+
+    def test_add_road_validation(self):
+        net = RoadNetwork()
+        a = net.add_node(Point(0, 0))
+        with pytest.raises(ConfigurationError):
+            net.add_road(a, a)
+        with pytest.raises(ConfigurationError):
+            net.add_road(a, 99)
+        b = net.add_node(Point(1, 0))
+        with pytest.raises(ConfigurationError):
+            net.add_road(a, b, length=0.0)
+
+    def test_grid_validation(self):
+        box = BoundingBox.square(2.0)
+        with pytest.raises(ConfigurationError):
+            RoadNetwork.grid(box, spacing_km=0.0)
+        with pytest.raises(ConfigurationError):
+            RoadNetwork.grid(box, blocked_fraction=1.0)
+
+    def test_grid_node_count(self):
+        net = RoadNetwork.grid(BoundingBox.square(2.0), spacing_km=1.0)
+        assert net.node_count == 9  # 3x3 lattice
+
+
+class TestDistances:
+    def test_full_grid_is_manhattan_between_nodes(self):
+        net = RoadNetwork.grid(BoundingBox.square(4.0), spacing_km=1.0)
+        a, b = Point(0, 0), Point(3, 2)
+        assert net.distance(a, b) == pytest.approx(manhattan(a, b))
+
+    def test_distance_symmetric(self):
+        net = RoadNetwork.grid(BoundingBox.square(3.0), spacing_km=0.5, seed=2)
+        a, b = Point(0.3, 0.7), Point(2.2, 1.9)
+        assert net.distance(a, b) == pytest.approx(net.distance(b, a))
+
+    def test_distance_dominates_euclidean(self):
+        rng = random.Random(0)
+        net = RoadNetwork.grid(
+            BoundingBox.square(4.0), spacing_km=0.5, blocked_fraction=0.15, seed=3
+        )
+        for _ in range(30):
+            a = Point(rng.uniform(0, 4), rng.uniform(0, 4))
+            b = Point(rng.uniform(0, 4), rng.uniform(0, 4))
+            road = net.distance(a, b)
+            if math.isfinite(road):
+                assert road >= a.distance_to(b) - 1e-9
+
+    def test_disconnected_components_are_infinite(self):
+        net = RoadNetwork()
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(1, 0))
+        c = net.add_node(Point(5, 0))
+        net.add_road(a, b)
+        assert math.isinf(net.node_distance(a, c))
+        assert math.isinf(net.distance(Point(0, 0), Point(5, 0)))
+
+    def test_blocking_increases_distances(self):
+        box = BoundingBox.square(4.0)
+        full = RoadNetwork.grid(box, spacing_km=0.5)
+        blocked = RoadNetwork.grid(box, spacing_km=0.5, blocked_fraction=0.3, seed=7)
+        rng = random.Random(1)
+        increased = 0
+        for _ in range(20):
+            a = Point(rng.uniform(0, 4), rng.uniform(0, 4))
+            b = Point(rng.uniform(0, 4), rng.uniform(0, 4))
+            d_full = full.distance(a, b)
+            d_blocked = blocked.distance(a, b)
+            assert d_blocked >= d_full - 1e-9
+            if d_blocked > d_full + 1e-9:
+                increased += 1
+        assert increased > 0  # blocking actually bites somewhere
+
+    def test_within_uses_road_metric(self):
+        # Straight-line 1.41 km apart, but the grid forces a 2 km detour.
+        net = RoadNetwork.grid(BoundingBox.square(2.0), spacing_km=1.0)
+        a, b = Point(0, 0), Point(1, 1)
+        assert a.distance_to(b) < 1.5
+        assert not net.within(a, b, 1.5)
+        assert net.within(a, b, 2.0)
+
+    def test_path_cache_consistency(self):
+        net = RoadNetwork.grid(BoundingBox.square(3.0), spacing_km=0.5)
+        a, b = Point(0.2, 0.4), Point(2.5, 2.5)
+        first = net.distance(a, b)
+        second = net.distance(a, b)  # served from the cache
+        assert first == second
+
+
+class TestSimulatorIntegration:
+    def test_road_network_restricts_matching(self):
+        """A worker Euclidean-within range but road-unreachable is skipped."""
+        from repro.core import Simulator, SimulatorConfig
+        from repro.baselines import TOTA
+        from conftest import make_request, make_scenario, make_worker
+
+        # Two islands with no connecting road.
+        net = RoadNetwork()
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(0.4, 0))
+        net.add_road(a, b)
+        net.add_node(Point(2, 0))  # isolated node near the request
+
+        workers = [make_worker("w", "A", 0.0, 2.0, 0.0, radius=3.0)]
+        requests = [make_request("r", "A", 1.0, 0.0, 0.0)]
+        scenario = make_scenario(workers, requests)
+
+        euclidean_run = Simulator(
+            SimulatorConfig(measure_response_time=False)
+        ).run(scenario, TOTA)
+        assert euclidean_run.total_completed == 1
+
+        road_run = Simulator(
+            SimulatorConfig(measure_response_time=False, road_network=net)
+        ).run(scenario, TOTA)
+        assert road_run.total_completed == 0
+
+    def test_road_mode_subset_of_euclidean_matches(self):
+        """Road mode can only shrink the eligible sets (soundness of the
+        Euclidean prefilter)."""
+        from repro.core.waiting_list import WaitingList
+        from conftest import make_request, make_worker
+
+        net = RoadNetwork.grid(
+            BoundingBox.square(4.0), spacing_km=0.5, blocked_fraction=0.25, seed=5
+        )
+        rng = random.Random(2)
+        euclidean_list = WaitingList()
+        road_list = WaitingList(road_network=net)
+        for i in range(25):
+            worker = make_worker(
+                f"w{i}",
+                "A",
+                0.0,
+                rng.uniform(0, 4),
+                rng.uniform(0, 4),
+                radius=1.2,
+            )
+            euclidean_list.add(worker)
+            road_list.add(worker)
+        for i in range(10):
+            request = make_request(
+                f"r{i}", "A", 1.0, rng.uniform(0, 4), rng.uniform(0, 4)
+            )
+            road_ids = {w.worker_id for w in road_list.eligible_for(request)}
+            euclid_ids = {w.worker_id for w in euclidean_list.eligible_for(request)}
+            assert road_ids <= euclid_ids
+
+
+class TestAgainstNetworkx:
+    def test_shortest_paths_match_networkx(self):
+        """The Dijkstra metric agrees with networkx on random road graphs."""
+        import networkx as nx
+
+        rng = random.Random(17)
+        for trial in range(5):
+            net = RoadNetwork()
+            graph = nx.Graph()
+            node_count = rng.randint(5, 25)
+            for i in range(node_count):
+                net.add_node(Point(rng.uniform(0, 10), rng.uniform(0, 10)))
+                graph.add_node(i)
+            for __ in range(node_count * 2):
+                a, b = rng.sample(range(node_count), 2)
+                length = rng.uniform(0.1, 5.0)
+                net.add_road(a, b, length)
+                # networkx keeps the lighter parallel edge; mirror RoadNetwork,
+                # which overwrites — so assign rather than min().
+                graph.add_edge(a, b, weight=length)
+            expected = dict(nx.all_pairs_dijkstra_path_length(graph, weight="weight"))
+            for a in range(node_count):
+                for b in range(node_count):
+                    ours = net.node_distance(a, b)
+                    theirs = expected.get(a, {}).get(b, math.inf)
+                    assert ours == pytest.approx(theirs)
+
+
+class TestCacheInvalidation:
+    def test_new_road_invalidates_cached_paths(self):
+        net = RoadNetwork()
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(10, 0))
+        c = net.add_node(Point(5, 0))
+        net.add_road(a, c, 5.0)
+        net.add_road(c, b, 5.0)
+        assert net.node_distance(a, b) == 10.0  # populates the cache
+        net.add_road(a, b, 3.0)  # a shortcut appears
+        assert net.node_distance(a, b) == 3.0
+
+    def test_new_node_invalidates_cached_paths(self):
+        net = RoadNetwork()
+        a = net.add_node(Point(0, 0))
+        b = net.add_node(Point(1, 0))
+        net.add_road(a, b)
+        assert net.node_distance(a, b) == 1.0
+        c = net.add_node(Point(2, 0))
+        net.add_road(b, c)
+        assert net.node_distance(a, c) == 2.0

@@ -1,0 +1,205 @@
+"""Tests for the auction mechanism and market analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import AuctionCOM, TOTA
+from repro.core import DemCOM, Simulator, SimulatorConfig, validate_matching
+from repro.core.events import EventStream
+from repro.core.matching import AssignmentKind
+from repro.core.simulator import Scenario
+from repro.errors import ConfigurationError
+from repro.experiments.market import (
+    analyze_market,
+    lending_flows,
+    net_lending_balance,
+    worker_income_gini,
+)
+
+from conftest import (
+    make_fixed_rate_oracle,
+    make_request,
+    make_scenario,
+    make_worker,
+)
+
+
+class TestAuctionCOM:
+    def test_margin_validation(self):
+        with pytest.raises(ConfigurationError):
+            AuctionCOM(margin=-0.1)
+
+    def test_registered(self):
+        from repro.core.registry import make_algorithm
+
+        assert make_algorithm("auction").name == "AuctionCOM"
+
+    def test_inner_priority(self):
+        workers = [
+            make_worker("a", "A", 0.0, 0.5, 0.0),
+            make_worker("b", "B", 0.0, 0.1, 0.0),
+        ]
+        scenario = Scenario(
+            events=EventStream.from_entities(
+                workers, [make_request("r", "A", 1.0)]
+            ),
+            oracle=make_fixed_rate_oracle(workers, rate=0.1),
+            platform_ids=["A", "B"],
+        )
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            scenario, AuctionCOM
+        )
+        assert result.all_records()[0].worker.worker_id == "a"
+
+    def test_pays_winning_bid(self):
+        workers = [make_worker("b", "B", 0.0, 0.1, 0.0)]
+        scenario = Scenario(
+            events=EventStream.from_entities(
+                workers, [make_request("r", "A", 1.0, value=10.0)]
+            ),
+            oracle=make_fixed_rate_oracle(workers, rate=0.5),
+            platform_ids=["A", "B"],
+        )
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            scenario, lambda: AuctionCOM(margin=0.1)
+        )
+        record = result.all_records()[0]
+        assert record.kind is AssignmentKind.OUTER
+        # reservation 0.5 * 10 = 5.0; bid = 5.5
+        assert record.payment == pytest.approx(5.5)
+
+    def test_picks_cheapest_bidder(self):
+        cheap = make_worker("cheap", "B", 0.0, 0.9, 0.0)
+        dear = make_worker("dear", "C", 0.0, 0.1, 0.0)
+        from repro.behavior import BehaviorOracle, UniformDistribution, WorkerBehavior
+
+        oracle = BehaviorOracle(seed=0)
+        oracle.register(
+            WorkerBehavior("cheap", UniformDistribution(0.3, 0.3), [0.3])
+        )
+        oracle.register(WorkerBehavior("dear", UniformDistribution(0.8, 0.8), [0.8]))
+        scenario = Scenario(
+            events=EventStream.from_entities(
+                [cheap, dear], [make_request("r", "A", 1.0, value=10.0)]
+            ),
+            oracle=oracle,
+            platform_ids=["A", "B", "C"],
+        )
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            scenario, lambda: AuctionCOM(margin=0.0)
+        )
+        record = result.all_records()[0]
+        assert record.worker.worker_id == "cheap"
+        assert record.payment == pytest.approx(3.0)
+
+    def test_unaffordable_bids_rejected(self):
+        workers = [make_worker("b", "B", 0.0, 0.1, 0.0)]
+        scenario = Scenario(
+            events=EventStream.from_entities(
+                workers, [make_request("r", "A", 1.0, value=10.0)]
+            ),
+            # reservation rate 0.95 -> bid 0.95 * 1.1 * 10 = 10.45 > 10.
+            oracle=make_fixed_rate_oracle(workers, rate=0.95),
+            platform_ids=["A", "B"],
+        )
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            scenario, lambda: AuctionCOM(margin=0.1)
+        )
+        assert result.total_rejected == 1
+        assert result.platforms["A"].cooperative_attempts == 1
+
+    def test_constraints_hold_on_random_city(self):
+        from repro.workloads import SyntheticWorkload, SyntheticWorkloadConfig
+
+        scenario = SyntheticWorkload(
+            SyntheticWorkloadConfig(request_count=150, worker_count=50, city_km=5.0)
+        ).build(seed=4)
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            scenario, AuctionCOM
+        )
+        validate_matching(result.all_records())
+
+    def test_zero_margin_dominates_posted_minimum(self):
+        """A truthful auction never misses a willing, affordable worker, so
+        it completes at least as many cooperative requests as DemCOM on the
+        same one-sided instance."""
+        import random
+
+        rng = random.Random(5)
+        workers = [
+            make_worker(f"b{i}", "B", 0.0, rng.uniform(0, 2), rng.uniform(0, 2), radius=1.5)
+            for i in range(5)
+        ]
+        requests = [
+            make_request(
+                f"r{i}", "A", 10.0 + i, rng.uniform(0, 2), rng.uniform(0, 2),
+                value=rng.uniform(5, 20),
+            )
+            for i in range(12)
+        ]
+        scenario = make_scenario(workers, requests, platform_ids=["A", "B"])
+        config = SimulatorConfig(seed=0, measure_response_time=False)
+        auction = Simulator(config).run(scenario, lambda: AuctionCOM(margin=0.0))
+        demcom = Simulator(config).run(scenario, DemCOM)
+        assert auction.total_completed >= demcom.total_completed
+
+
+class TestMarketAnalysis:
+    def _run(self, factory=DemCOM):
+        workers = [
+            make_worker("a0", "A", 0.0, 0.1, 0.0),
+            make_worker("b0", "B", 0.0, 0.2, 0.0),
+        ]
+        requests = [
+            make_request("r1", "A", 1.0, value=10.0),
+            make_request("r2", "B", 2.0, value=8.0),
+        ]
+        scenario = Scenario(
+            events=EventStream.from_entities(workers, requests),
+            oracle=make_fixed_rate_oracle(workers, rate=0.4),
+            platform_ids=["A", "B"],
+        )
+        return Simulator(SimulatorConfig(measure_response_time=False)).run(
+            scenario, factory
+        )
+
+    def test_flows_empty_without_cooperation(self):
+        result = self._run(TOTA)
+        assert lending_flows(result) == {}
+
+    def test_balance_sums_to_zero(self):
+        result = self._run()
+        balance = net_lending_balance(result)
+        assert sum(balance.values()) == pytest.approx(0.0)
+
+    def test_gini_bounds(self):
+        result = self._run()
+        gini = worker_income_gini(result)
+        assert 0.0 <= gini <= 1.0
+
+    def test_gini_zero_for_equal_earners(self):
+        workers = [make_worker(f"w{i}", "A", 0.0, 0.1 * i, 0.0) for i in range(3)]
+        requests = [
+            make_request(f"r{i}", "A", 1.0 + i, 0.1 * i, 0.0, value=10.0)
+            for i in range(3)
+        ]
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            make_scenario(workers, requests), TOTA
+        )
+        assert result.total_completed == 3
+        assert worker_income_gini(result) == pytest.approx(0.0)
+
+    def test_report_render(self):
+        report = analyze_market(self._run())
+        rendered = report.render()
+        assert "Market report" in rendered
+        assert "net balance" in rendered
+
+    def test_empty_result_gini_zero(self):
+        workers = [make_worker("w", "A", 0.0, 9.0, 9.0)]
+        requests = [make_request("r", "A", 1.0)]
+        result = Simulator(SimulatorConfig(measure_response_time=False)).run(
+            make_scenario(workers, requests), TOTA
+        )
+        assert worker_income_gini(result) == 0.0

@@ -1,0 +1,232 @@
+"""Cross-cutting property-based tests on randomly generated COM instances.
+
+These are the load-bearing invariants of the whole system:
+
+* every algorithm's matching satisfies the four Definition-2.6 constraints;
+* revenue accounting (Eq. 1) is internally consistent;
+* OFF upper-bounds every online algorithm on identical randomness;
+* simulation results are a pure function of (scenario, seed);
+* served + rejected == arrived.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import TOTA, BatchMatching, GreedyRT, Ranking, solve_offline
+from repro.core import (
+    DemCOM,
+    RamCOM,
+    Simulator,
+    SimulatorConfig,
+    validate_matching,
+)
+from repro.core.matching import AssignmentKind
+
+from conftest import make_request, make_scenario, make_worker
+
+ALGORITHMS = [
+    TOTA,
+    DemCOM,
+    RamCOM,
+    GreedyRT,
+    Ranking,
+    lambda: BatchMatching(delta_seconds=30.0),
+]
+
+
+def random_instance(seed: int, platforms=("A", "B")):
+    """A random two-platform instance with mixed geometry and timing."""
+    rng = random.Random(seed)
+    workers = []
+    for platform in platforms:
+        for i in range(rng.randint(1, 6)):
+            workers.append(
+                make_worker(
+                    f"{platform}-w{i}",
+                    platform,
+                    t=rng.uniform(0, 50),
+                    x=rng.uniform(0, 4),
+                    y=rng.uniform(0, 4),
+                    radius=rng.uniform(0.5, 2.0),
+                    shareable=rng.random() > 0.2,
+                )
+            )
+    requests = []
+    for i in range(rng.randint(1, 15)):
+        requests.append(
+            make_request(
+                f"r{i}",
+                rng.choice(platforms),
+                t=rng.uniform(0, 100),
+                x=rng.uniform(0, 4),
+                y=rng.uniform(0, 4),
+                value=rng.uniform(1, 50),
+            )
+        )
+    return make_scenario(workers, requests, platform_ids=list(platforms), seed=seed)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+@pytest.mark.parametrize("factory", ALGORITHMS)
+def test_constraints_hold_for_every_algorithm(factory, seed):
+    scenario = random_instance(seed)
+    result = Simulator(SimulatorConfig(seed=seed, measure_response_time=False)).run(
+        scenario, factory
+    )
+    validate_matching(result.all_records())
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+@pytest.mark.parametrize("factory", ALGORITHMS)
+def test_request_conservation(factory, seed):
+    scenario = random_instance(seed)
+    result = Simulator(SimulatorConfig(seed=seed, measure_response_time=False)).run(
+        scenario, factory
+    )
+    assert result.total_completed + result.total_rejected == scenario.request_count
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+@pytest.mark.parametrize("factory", [DemCOM, RamCOM])
+def test_revenue_accounting_identity(factory, seed):
+    """Eq. 1 holds record by record, and lender income mirrors payments."""
+    scenario = random_instance(seed)
+    result = Simulator(SimulatorConfig(seed=seed, measure_response_time=False)).run(
+        scenario, factory
+    )
+    for platform_id, outcome in result.platforms.items():
+        ledger = outcome.ledger
+        inner = sum(
+            record.request.value
+            for record in ledger.records
+            if record.kind is AssignmentKind.INNER
+        )
+        outer = sum(
+            record.request.value - record.payment
+            for record in ledger.records
+            if record.kind is AssignmentKind.OUTER
+        )
+        assert ledger.revenue == pytest.approx(inner + outer)
+    total_payments = sum(
+        record.payment for record in result.all_records() if record.payment > 0
+    )
+    total_lender = sum(
+        p.ledger.total_lender_income for p in result.platforms.values()
+    )
+    assert total_lender == pytest.approx(total_payments)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+@pytest.mark.parametrize("factory", [TOTA, DemCOM, RamCOM])
+def test_offline_dominates_online(factory, seed):
+    scenario = random_instance(seed)
+    optimum = solve_offline(scenario).total_revenue
+    result = Simulator(SimulatorConfig(seed=seed, measure_response_time=False)).run(
+        scenario, factory
+    )
+    assert optimum >= result.total_revenue - 1e-9
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_determinism_across_algorithm_runs(seed):
+    scenario = random_instance(seed)
+    config = SimulatorConfig(seed=seed, measure_response_time=False)
+    for factory in (DemCOM, RamCOM):
+        first = Simulator(config).run(scenario, factory)
+        second = Simulator(config).run(scenario, factory)
+        assert first.total_revenue == second.total_revenue
+        assert first.total_completed == second.total_completed
+
+
+def one_sided_instance(seed: int):
+    """All requests target platform A; platform B only supplies workers.
+
+    With no demand of its own, B's lent workers displace nothing, so
+    cooperation can only add revenue for A.  (On general two-sided
+    instances a borrow may displace the lender's own future assignment, so
+    "cooperation never hurts" is NOT an invariant there — the tables merely
+    show it helps on realistic workloads.)
+    """
+    rng = random.Random(seed)
+    workers = [
+        make_worker(
+            f"{platform}-w{i}",
+            platform,
+            t=rng.uniform(0, 50),
+            x=rng.uniform(0, 4),
+            y=rng.uniform(0, 4),
+            radius=rng.uniform(0.5, 2.0),
+        )
+        for platform in ("A", "B")
+        for i in range(rng.randint(1, 5))
+    ]
+    requests = [
+        make_request(
+            f"r{i}",
+            "A",
+            t=rng.uniform(0, 100),
+            x=rng.uniform(0, 4),
+            y=rng.uniform(0, 4),
+            value=rng.uniform(1, 50),
+        )
+        for i in range(rng.randint(1, 12))
+    ]
+    return make_scenario(workers, requests, platform_ids=["A", "B"], seed=seed)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_cooperation_never_hurts_demcom_one_sided(seed):
+    """DemCOM reaches the outer path only when no inner worker exists, so
+    on one-sided demand enabling cooperation cannot reduce revenue."""
+    scenario = one_sided_instance(seed)
+    with_coop = Simulator(
+        SimulatorConfig(seed=seed, measure_response_time=False)
+    ).run(scenario, DemCOM)
+    without = Simulator(
+        SimulatorConfig(
+            seed=seed, measure_response_time=False, cooperation_enabled=False
+        )
+    ).run(scenario, DemCOM)
+    assert with_coop.total_revenue >= without.total_revenue - 1e-9
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_outer_payments_within_definition_2_4(seed):
+    """Every outer payment lies in (0, v_r] (Definition 2.4)."""
+    scenario = random_instance(seed)
+    for factory in (DemCOM, RamCOM):
+        result = Simulator(
+            SimulatorConfig(seed=seed, measure_response_time=False)
+        ).run(scenario, factory)
+        for record in result.all_records():
+            if record.kind is AssignmentKind.OUTER:
+                assert 0.0 < record.payment <= record.request.value + 1e-9
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_offers_respect_realized_reservations(seed):
+    """Accepted outer assignments actually cleared the oracle's draw."""
+    scenario = random_instance(seed)
+    result = Simulator(SimulatorConfig(seed=seed, measure_response_time=False)).run(
+        scenario, DemCOM
+    )
+    for record in result.all_records():
+        if record.kind is AssignmentKind.OUTER:
+            reservation = scenario.oracle.reservation_price(
+                record.worker.worker_id,
+                record.request.request_id,
+                record.request.value,
+            )
+            assert record.payment >= reservation - 1e-9

@@ -1,0 +1,100 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.ascii_chart import MARKERS, AsciiChart, render_panel
+
+
+class TestAsciiChart:
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            AsciiChart(width=5, height=12)
+        with pytest.raises(ConfigurationError):
+            AsciiChart(width=40, height=2)
+
+    def test_empty_series_rejected(self):
+        chart = AsciiChart()
+        with pytest.raises(ConfigurationError):
+            chart.add_series("a", [])
+
+    def test_mismatched_lengths_rejected(self):
+        chart = AsciiChart()
+        chart.add_series("a", [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            chart.add_series("b", [1.0])
+
+    def test_render_without_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AsciiChart().render()
+
+    def test_too_many_series_rejected(self):
+        chart = AsciiChart()
+        for index in range(len(MARKERS)):
+            chart.add_series(f"s{index}", [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            chart.add_series("overflow", [1.0, 2.0])
+
+    def test_markers_present(self):
+        chart = AsciiChart(width=30, height=6)
+        chart.add_series("up", [1.0, 2.0, 3.0])
+        chart.add_series("down", [3.0, 2.0, 1.0])
+        rendered = chart.render()
+        assert "o" in rendered and "x" in rendered
+        assert "o=up" in rendered and "x=down" in rendered
+
+    def test_monotone_series_monotone_rows(self):
+        chart = AsciiChart(width=30, height=10)
+        chart.add_series("up", [0.0, 5.0, 10.0])
+        lines = chart.render().splitlines()
+        plot = [line.split("|", 1)[1] for line in lines if "|" in line]
+        rows_of_o = [row for row, content in enumerate(plot) if "o" in content]
+        # Later (higher-value) points occupy higher rows (smaller indices).
+        assert rows_of_o == sorted(rows_of_o)
+        # min at the bottom row, max at the top row
+        assert "o" in plot[0] and "o" in plot[-1]
+
+    def test_constant_series_renders(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.add_series("flat", [2.0, 2.0, 2.0])
+        rendered = chart.render()
+        assert rendered.count("o") == 3 or "o" in rendered
+
+    def test_single_point(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.add_series("dot", [1.5])
+        assert "o" in chart.render()
+
+    def test_x_labels(self):
+        chart = AsciiChart(width=30, height=5, title="T")
+        chart.add_series("a", [1.0, 2.0])
+        rendered = chart.render([100, 2500])
+        assert rendered.splitlines()[0] == "T"
+        assert "100" in rendered
+        assert "2.5k" in rendered
+
+    def test_axis_labels_show_extremes(self):
+        chart = AsciiChart(width=20, height=6)
+        chart.add_series("a", [10.0, 90.0])
+        rendered = chart.render()
+        assert "90" in rendered
+        assert "10" in rendered
+
+
+class TestRenderPanel:
+    def test_renders_figure_panel(self):
+        from repro.experiments.figures import FigurePanel
+
+        panel = FigurePanel(
+            panel_id="5(a)",
+            axis="requests",
+            metric="revenue",
+            x_values=[500.0, 1000.0],
+            series={"tota": [1.0, 2.0], "ramcom": [2.0, 3.0]},
+        )
+        rendered = render_panel(panel)
+        assert "Fig. 5(a)" in rendered
+        assert "o=tota" in rendered
+        assert "x=ramcom" in rendered

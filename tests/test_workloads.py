@@ -1,0 +1,319 @@
+"""Tests for workload generation: values, spatial patterns, arrivals,
+synthetic sweeps and the simulated city traces."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.geo.bbox import BoundingBox
+from repro.utils.rng import SeedSequence
+from repro.workloads import (
+    CITY_PAIRS,
+    DATASETS,
+    DiurnalArrivals,
+    HotspotPattern,
+    NormalValueModel,
+    RealFareModel,
+    SyntheticWorkload,
+    SyntheticWorkloadConfig,
+    UniformArrivals,
+    UniformPattern,
+    build_city_pair,
+    complementary_hotspots,
+    dataset_statistics,
+    make_value_model,
+)
+from repro.workloads.builders import BehaviorConfig
+from repro.geo.point import Point
+
+
+class TestValueModels:
+    def test_factory(self):
+        assert isinstance(make_value_model("real"), RealFareModel)
+        assert isinstance(make_value_model("NORMAL"), NormalValueModel)
+        with pytest.raises(ConfigurationError):
+            make_value_model("exotic")
+
+    def test_real_fare_bounds(self):
+        model = RealFareModel()
+        rng = random.Random(0)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert all(model.minimum <= v <= model.maximum for v in samples)
+        assert max(samples) <= model.upper_bound
+
+    def test_real_fare_mean_band(self):
+        model = RealFareModel()
+        rng = random.Random(1)
+        mean = sum(model.sample(rng) for _ in range(5000)) / 5000
+        # Paper-recoverable band: mean fare ~ 18-20 CNY.
+        assert 15.0 <= mean <= 22.0
+
+    def test_real_fare_invalid(self):
+        with pytest.raises(ConfigurationError):
+            RealFareModel(median=-1)
+        with pytest.raises(ConfigurationError):
+            RealFareModel(minimum=10, maximum=5)
+
+    def test_normal_model(self):
+        model = NormalValueModel(mu=20, sigma=5)
+        rng = random.Random(2)
+        samples = [model.sample(rng) for _ in range(2000)]
+        assert all(v > 0 for v in samples)
+        assert sum(samples) / len(samples) == pytest.approx(20.0, abs=1.0)
+
+    def test_normal_invalid(self):
+        with pytest.raises(ConfigurationError):
+            NormalValueModel(sigma=0)
+        with pytest.raises(ConfigurationError):
+            NormalValueModel(mu=20, maximum=10)
+
+
+class TestSpatialPatterns:
+    def test_uniform_in_box(self):
+        box = BoundingBox.square(5.0)
+        pattern = UniformPattern(box)
+        rng = random.Random(0)
+        assert all(box.contains(pattern.sample(rng)) for _ in range(200))
+
+    def test_hotspot_clipped_to_box(self):
+        box = BoundingBox.square(2.0)
+        pattern = HotspotPattern(box, [(Point(1, 1), 5.0)], [1.0])
+        rng = random.Random(0)
+        assert all(box.contains(pattern.sample(rng)) for _ in range(200))
+
+    def test_hotspot_validation(self):
+        box = BoundingBox.square(2.0)
+        with pytest.raises(ConfigurationError):
+            HotspotPattern(box, [], [])
+        with pytest.raises(ConfigurationError):
+            HotspotPattern(box, [(Point(0, 0), 1.0)], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            HotspotPattern(box, [(Point(0, 0), 1.0)], [0.0])
+        with pytest.raises(ConfigurationError):
+            HotspotPattern(box, [(Point(0, 0), 1.0)], [1.0], background=2.0)
+
+    def test_hotspot_concentration(self):
+        box = BoundingBox.square(10.0)
+        pattern = HotspotPattern(
+            box, [(Point(2, 2), 0.3)], [1.0], background=0.0
+        )
+        rng = random.Random(1)
+        near = sum(
+            1
+            for _ in range(300)
+            if pattern.sample(rng).distance_to(Point(2, 2)) < 1.0
+        )
+        assert near > 270
+
+    def test_complementary_validation(self):
+        box = BoundingBox.square(5.0)
+        rng = random.Random(0)
+        with pytest.raises(ConfigurationError):
+            complementary_hotspots(box, 1, 0.5, rng)
+        with pytest.raises(ConfigurationError):
+            complementary_hotspots(box, 4, 1.5, rng)
+        with pytest.raises(ConfigurationError):
+            complementary_hotspots(box, 4, 0.5, rng, gradient=0.5)
+
+    def test_complementary_mirror_structure(self):
+        box = BoundingBox.square(5.0)
+        patterns = complementary_hotspots(box, 4, 0.8, random.Random(0))
+        assert set(patterns) == {"A", "B"}
+        a_workers, a_requests = patterns["A"]
+        b_workers, b_requests = patterns["B"]
+        # B's workers share A's request weights: sampling many points, the
+        # two should concentrate in the same region.
+        rng1, rng2 = random.Random(1), random.Random(1)
+        a_req_mean = sum(a_requests.sample(rng1).x for _ in range(400)) / 400
+        b_wrk_mean = sum(b_workers.sample(rng2).x for _ in range(400)) / 400
+        assert a_req_mean == pytest.approx(b_wrk_mean, abs=0.8)
+
+    def test_skew_zero_is_balanced(self):
+        box = BoundingBox.square(5.0)
+        patterns = complementary_hotspots(box, 4, 0.0, random.Random(0))
+        a_workers, a_requests = patterns["A"]
+        rng1, rng2 = random.Random(2), random.Random(2)
+        worker_mean = sum(a_workers.sample(rng1).x for _ in range(500)) / 500
+        request_mean = sum(a_requests.sample(rng2).x for _ in range(500)) / 500
+        assert worker_mean == pytest.approx(request_mean, abs=0.01)
+
+
+class TestArrivals:
+    def test_uniform_sorted_in_horizon(self):
+        process = UniformArrivals(1000.0)
+        times = process.sample_times(100, random.Random(0))
+        assert times == sorted(times)
+        assert all(0 <= t <= 1000 for t in times)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ConfigurationError):
+            UniformArrivals(0.0)
+
+    def test_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            UniformArrivals(10.0).sample_times(-1, random.Random(0))
+
+    def test_diurnal_peaks_concentrate_mass(self):
+        process = DiurnalArrivals(86400.0, peak_hours=(12.0,), base_level=0.05)
+        times = process.sample_times(3000, random.Random(0))
+        near_noon = sum(1 for t in times if 10 * 3600 <= t <= 14 * 3600)
+        assert near_noon > 1500  # far above the uniform share (~1/6)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(86400.0, peak_hours=())
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(86400.0, peak_width_hours=0.0)
+
+    def test_diurnal_sorted(self):
+        process = DiurnalArrivals(86400.0)
+        times = process.sample_times(200, random.Random(3))
+        assert times == sorted(times)
+
+
+class TestBehaviorConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BehaviorConfig(going_rate_mean=0.0)
+        with pytest.raises(ConfigurationError):
+            BehaviorConfig(jitter=-0.1)
+
+    def test_history_rates_bounded(self):
+        config = BehaviorConfig()
+        history = config.sample_history(200, random.Random(0))
+        assert len(history) == 200
+        assert all(0.05 <= rate <= 1.2 for rate in history)
+
+    def test_history_centered_near_going_rate(self):
+        config = BehaviorConfig(going_rate_mean=0.8, going_rate_spread=0.0, jitter=0.0)
+        history = config.sample_history(10, random.Random(0))
+        assert all(rate == pytest.approx(0.8) for rate in history)
+
+
+class TestSyntheticWorkload:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkloadConfig(request_count=1)
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkloadConfig(arrival="weekly")
+
+    def test_build_counts(self):
+        workload = SyntheticWorkload(
+            SyntheticWorkloadConfig(request_count=100, worker_count=40)
+        )
+        scenario = workload.build(seed=0)
+        assert scenario.request_count == 100
+        assert scenario.worker_count == 40
+        # equal split per platform
+        per_platform = {
+            pid: sum(1 for w in scenario.events.workers if w.platform_id == pid)
+            for pid in scenario.platform_ids
+        }
+        assert set(per_platform.values()) == {20}
+
+    def test_deterministic_build(self):
+        workload = SyntheticWorkload(
+            SyntheticWorkloadConfig(request_count=50, worker_count=20)
+        )
+        a = workload.build(seed=3)
+        b = workload.build(seed=3)
+        assert [r.request_id for r in a.events.requests] == [
+            r.request_id for r in b.events.requests
+        ]
+        assert [r.value for r in a.events.requests] == [
+            r.value for r in b.events.requests
+        ]
+
+    def test_seed_changes_content(self):
+        workload = SyntheticWorkload(
+            SyntheticWorkloadConfig(request_count=50, worker_count=20)
+        )
+        a = workload.build(seed=1)
+        b = workload.build(seed=2)
+        assert [r.value for r in a.events.requests] != [
+            r.value for r in b.events.requests
+        ]
+
+    def test_all_workers_have_behaviour(self):
+        scenario = SyntheticWorkload(
+            SyntheticWorkloadConfig(request_count=30, worker_count=10)
+        ).build(seed=0)
+        assert all(w.worker_id in scenario.oracle for w in scenario.events.workers)
+
+    def test_radius_applied(self):
+        scenario = SyntheticWorkload(
+            SyntheticWorkloadConfig(request_count=10, worker_count=4, radius_km=2.5)
+        ).build(seed=0)
+        assert all(w.service_radius == 2.5 for w in scenario.events.workers)
+
+    def test_uniform_arrival_mode(self):
+        scenario = SyntheticWorkload(
+            SyntheticWorkloadConfig(
+                request_count=30, worker_count=10, arrival="uniform"
+            )
+        ).build(seed=0)
+        assert scenario.request_count == 30
+
+    def test_value_upper_bound_from_model(self):
+        scenario = SyntheticWorkload(
+            SyntheticWorkloadConfig(request_count=10, worker_count=4)
+        ).build(seed=0)
+        assert scenario.value_upper_bound == 100.0
+
+
+class TestCityTraces:
+    def test_table3_registry_matches_paper(self):
+        assert DATASETS["RDC10"].requests == 91_321
+        assert DATASETS["RDC10"].workers == 9_145
+        assert DATASETS["RYX11"].workers == 2_686
+        assert all(spec.radius_km == 1.0 for spec in DATASETS.values())
+
+    def test_pairs_cover_three_tables(self):
+        assert set(CITY_PAIRS) == {"chengdu-oct", "chengdu-nov", "xian-nov"}
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(WorkloadError):
+            build_city_pair("tokyo-jan")
+
+    def test_scaled_counts(self):
+        scenario = build_city_pair("chengdu-oct", scale=0.005, seed=0)
+        stats = dataset_statistics(scenario)
+        assert stats["RDC10"]["requests"] == round(91_321 * 0.005)
+        assert stats["RDC10"]["workers"] == round(9_145 * 0.005)
+        assert stats["RYC10"]["requests"] == round(90_589 * 0.005)
+
+    def test_ratio_preserved(self):
+        scenario = build_city_pair("xian-nov", scale=0.01, seed=0)
+        stats = dataset_statistics(scenario)
+        # Xi'an is the worker-scarce city: |R|/|W| ~ 21-24.
+        assert 18 <= stats["RDX11"]["ratio"] <= 28
+
+    def test_deterministic(self):
+        a = build_city_pair("chengdu-oct", scale=0.003, seed=5)
+        b = build_city_pair("chengdu-oct", scale=0.003, seed=5)
+        assert [r.value for r in a.events.requests] == [
+            r.value for r in b.events.requests
+        ]
+
+    def test_mean_value_in_fare_band(self):
+        scenario = build_city_pair("chengdu-nov", scale=0.01, seed=0)
+        stats = dataset_statistics(scenario)
+        for platform_stats in stats.values():
+            assert 14.0 <= platform_stats["mean_value"] <= 24.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            build_city_pair("chengdu-oct", scale=0.0)
+        with pytest.raises(ConfigurationError):
+            build_city_pair("chengdu-oct", scale=2.0)
+
+
+class TestSeedSequenceIntegration:
+    def test_platform_streams_differ(self):
+        seeds = SeedSequence(0).child("test")
+        a = seeds.rng("A/workers").random()
+        b = seeds.rng("B/workers").random()
+        assert a != b

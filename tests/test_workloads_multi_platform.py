@@ -1,0 +1,125 @@
+"""Tests for the N-platform workload extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TOTA, solve_offline
+from repro.core import RamCOM, Simulator, SimulatorConfig, validate_matching
+from repro.errors import ConfigurationError
+from repro.workloads import MultiPlatformConfig, MultiPlatformWorkload
+
+
+def build(platforms: int = 3, seed: int = 1, **kwargs):
+    defaults = dict(
+        platform_count=platforms,
+        request_count=300,
+        worker_count=90,
+        city_km=6.0,
+    )
+    defaults.update(kwargs)
+    return MultiPlatformWorkload(MultiPlatformConfig(**defaults)).build(seed=seed)
+
+
+class TestConfig:
+    def test_requires_two_platforms(self):
+        with pytest.raises(ConfigurationError):
+            MultiPlatformConfig(platform_count=1)
+
+    def test_skew_range(self):
+        with pytest.raises(ConfigurationError):
+            MultiPlatformConfig(skew=1.5)
+
+    def test_platform_ids(self):
+        assert MultiPlatformConfig(platform_count=4).platform_ids == [
+            "P0",
+            "P1",
+            "P2",
+            "P3",
+        ]
+
+
+class TestGeneration:
+    def test_counts_split_evenly(self):
+        scenario = build(platforms=3)
+        for platform_id in scenario.platform_ids:
+            workers = [
+                w for w in scenario.events.workers if w.platform_id == platform_id
+            ]
+            requests = [
+                r for r in scenario.events.requests if r.platform_id == platform_id
+            ]
+            assert len(workers) == 30
+            assert len(requests) == 100
+
+    def test_deterministic(self):
+        a = build(seed=5)
+        b = build(seed=5)
+        assert [r.value for r in a.events.requests] == [
+            r.value for r in b.events.requests
+        ]
+
+    def test_behaviours_registered(self):
+        scenario = build()
+        assert all(w.worker_id in scenario.oracle for w in scenario.events.workers)
+
+    def test_five_platforms(self):
+        scenario = build(platforms=5)
+        assert len(scenario.platform_ids) == 5
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("platforms", [2, 3, 4])
+    def test_constraints_hold(self, platforms):
+        scenario = build(platforms=platforms)
+        result = Simulator(
+            SimulatorConfig(seed=0, measure_response_time=False)
+        ).run(scenario, RamCOM)
+        validate_matching(result.all_records())
+
+    def test_cooperation_crosses_multiple_platforms(self):
+        scenario = build(platforms=3, request_count=600, worker_count=150)
+        result = Simulator(
+            SimulatorConfig(
+                seed=0,
+                worker_reentry=True,
+                service_duration=1800.0,
+                measure_response_time=False,
+            )
+        ).run(scenario, RamCOM)
+        # Borrowing happens, and more than one platform lends.
+        lending_platforms = {
+            record.worker.platform_id
+            for record in result.all_records()
+            if record.worker.platform_id != record.request.platform_id
+        }
+        assert len(lending_platforms) >= 2
+
+    def test_cooperation_beats_tota(self):
+        scenario = build(platforms=3, request_count=600, worker_count=150)
+        simulator = Simulator(
+            SimulatorConfig(
+                seed=0,
+                worker_reentry=True,
+                service_duration=1800.0,
+                measure_response_time=False,
+            )
+        )
+        tota = simulator.run(scenario, TOTA)
+        ramcom = simulator.run(scenario, RamCOM)
+
+        def revenue(result):
+            return sum(
+                p.ledger.revenue + p.ledger.total_lender_income
+                for p in result.platforms.values()
+            )
+
+        assert revenue(ramcom) > revenue(tota)
+
+    def test_offline_dominates_on_three_platforms(self):
+        scenario = build(platforms=3)
+        optimum = solve_offline(scenario).total_revenue
+        result = Simulator(
+            SimulatorConfig(seed=0, measure_response_time=False)
+        ).run(scenario, RamCOM)
+        assert optimum >= result.total_revenue - 1e-9

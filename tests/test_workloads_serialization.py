@@ -1,0 +1,119 @@
+"""Tests for scenario JSON serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TOTA
+from repro.core import DemCOM, Simulator, SimulatorConfig
+from repro.errors import WorkloadError
+from repro.workloads import (
+    SyntheticWorkload,
+    SyntheticWorkloadConfig,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+def small_scenario(seed: int = 2):
+    return SyntheticWorkload(
+        SyntheticWorkloadConfig(
+            request_count=60,
+            worker_count=20,
+            city_km=4.0,
+            shift_seconds=10 * 3600,
+        )
+    ).build(seed=seed)
+
+
+class TestRoundTrip:
+    def test_entities_preserved(self, tmp_path):
+        original = small_scenario()
+        path = save_scenario(original, tmp_path / "scenario.json")
+        restored = load_scenario(path)
+        assert restored.name == original.name
+        assert restored.platform_ids == original.platform_ids
+        assert restored.value_upper_bound == original.value_upper_bound
+        assert [w.worker_id for w in restored.events.workers] == [
+            w.worker_id for w in original.events.workers
+        ]
+        assert [r.value for r in restored.events.requests] == [
+            r.value for r in original.events.requests
+        ]
+        first = restored.events.workers[0]
+        assert first.departure_time == original.events.workers[0].departure_time
+
+    def test_behaviour_preserved(self):
+        original = small_scenario()
+        restored = scenario_from_dict(scenario_to_dict(original))
+        worker_id = original.events.workers[0].worker_id
+        assert restored.oracle.history_of(worker_id) == original.oracle.history_of(
+            worker_id
+        )
+        # Identical oracle seed + histories -> identical reservation draws.
+        assert restored.oracle.reservation(worker_id, "r-test") == pytest.approx(
+            original.oracle.reservation(worker_id, "r-test")
+        )
+
+    @pytest.mark.parametrize("factory", [TOTA, DemCOM])
+    def test_simulation_identical_after_round_trip(self, factory, tmp_path):
+        original = small_scenario()
+        restored = load_scenario(save_scenario(original, tmp_path / "s.json"))
+        config = SimulatorConfig(
+            seed=3,
+            worker_reentry=True,
+            service_duration=1800.0,
+            measure_response_time=False,
+        )
+        a = Simulator(config).run(original, factory)
+        b = Simulator(config).run(restored, factory)
+        assert a.total_revenue == b.total_revenue
+        assert a.total_completed == b.total_completed
+        assert [r.worker.worker_id for r in a.all_records()] == [
+            r.worker.worker_id for r in b.all_records()
+        ]
+
+
+class TestValidation:
+    def test_wrong_format_version(self):
+        payload = scenario_to_dict(small_scenario())
+        payload["format"] = 99
+        with pytest.raises(WorkloadError):
+            scenario_from_dict(payload)
+
+    def test_non_empirical_behaviour_rejected(self):
+        from repro.behavior import BehaviorOracle, UniformDistribution, WorkerBehavior
+        from repro.core.events import EventStream
+        from repro.core.simulator import Scenario
+
+        from conftest import make_request, make_worker
+
+        worker = make_worker("w", "A")
+        oracle = BehaviorOracle(seed=0)
+        oracle.register(WorkerBehavior("w", UniformDistribution(0.3, 0.7), [0.5]))
+        scenario = Scenario(
+            events=EventStream.from_entities([worker], [make_request(t=1.0)]),
+            oracle=oracle,
+            platform_ids=["A"],
+        )
+        with pytest.raises(WorkloadError):
+            scenario_to_dict(scenario)
+
+    def test_unregistered_worker_rejected(self):
+        from conftest import make_oracle, make_request, make_worker
+        from repro.core.events import EventStream
+        from repro.core.simulator import Scenario
+
+        registered = make_worker("known", "A")
+        ghost = make_worker("ghost", "A", t=1.0)
+        scenario = Scenario(
+            events=EventStream.from_entities(
+                [registered, ghost], [make_request(t=2.0)]
+            ),
+            oracle=make_oracle([registered]),
+            platform_ids=["A"],
+        )
+        with pytest.raises(WorkloadError):
+            scenario_to_dict(scenario)

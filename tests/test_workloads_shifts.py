@@ -1,0 +1,47 @@
+"""Tests for the worker shift knob on the workload generators."""
+
+from __future__ import annotations
+
+from repro.baselines import TOTA
+from repro.core import Simulator, SimulatorConfig
+from repro.workloads import SyntheticWorkload, SyntheticWorkloadConfig
+
+
+class TestShiftGeneration:
+    def test_default_has_no_departures(self):
+        scenario = SyntheticWorkload(
+            SyntheticWorkloadConfig(request_count=30, worker_count=10)
+        ).build(seed=0)
+        assert all(w.departure_time is None for w in scenario.events.workers)
+
+    def test_shift_sets_departure(self):
+        scenario = SyntheticWorkload(
+            SyntheticWorkloadConfig(
+                request_count=30, worker_count=10, shift_seconds=6 * 3600
+            )
+        ).build(seed=0)
+        for worker in scenario.events.workers:
+            assert worker.departure_time == worker.arrival_time + 6 * 3600
+
+    def test_shorter_shifts_reduce_completions(self):
+        def run(shift):
+            scenario = SyntheticWorkload(
+                SyntheticWorkloadConfig(
+                    request_count=300,
+                    worker_count=80,
+                    city_km=6.0,
+                    shift_seconds=shift,
+                )
+            ).build(seed=2)
+            return Simulator(
+                SimulatorConfig(
+                    seed=0,
+                    worker_reentry=True,
+                    service_duration=1800.0,
+                    measure_response_time=False,
+                )
+            ).run(scenario, TOTA)
+
+        long_shift = run(12 * 3600)
+        short_shift = run(2 * 3600)
+        assert short_shift.total_completed < long_shift.total_completed

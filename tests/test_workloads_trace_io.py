@@ -1,0 +1,144 @@
+"""Tests for real-trace CSV loading and scenario conversion."""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.geo.distance import haversine_km
+from repro.geo.point import Point
+from repro.workloads import RawTrace, load_trace_csv, scenario_from_traces
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+def write_csv(tmp_path: Path, rows: list[str], header: str | None = None) -> Path:
+    path = tmp_path / "trace.csv"
+    lines = [header or "kind,id,timestamp,lon,lat,value,radius"]
+    lines.extend(rows)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestLoadTraceCsv:
+    def test_sample_files_load(self):
+        trace = load_trace_csv(DATA / "sample_trace_didi.csv", "didi")
+        assert trace.platform_id == "didi"
+        assert len(trace.workers) == 30
+        assert len(trace.requests) == 120
+
+    def test_hhmmss_timestamps(self, tmp_path):
+        path = write_csv(
+            tmp_path,
+            ["worker,w1,08:30:15,104.0,30.6,,1.5"],
+        )
+        trace = load_trace_csv(path, "p")
+        __, time_seconds, __, __, radius = trace.workers[0]
+        assert time_seconds == 8 * 3600 + 30 * 60 + 15
+        assert radius == 1.5
+
+    def test_numeric_timestamps(self, tmp_path):
+        path = write_csv(tmp_path, ["request,r1,12345.5,104.0,30.6,18.0,"])
+        trace = load_trace_csv(path, "p")
+        assert trace.requests[0][1] == 12345.5
+        assert trace.requests[0][4] == 18.0
+
+    def test_missing_value_defaults_none(self, tmp_path):
+        path = write_csv(tmp_path, ["request,r1,0,104.0,30.6,,"])
+        trace = load_trace_csv(path, "p")
+        assert trace.requests[0][4] is None
+
+    def test_missing_columns_raise(self, tmp_path):
+        path = write_csv(tmp_path, ["request,0"], header="kind,timestamp")
+        with pytest.raises(WorkloadError):
+            load_trace_csv(path, "p")
+
+    def test_bad_kind_raises(self, tmp_path):
+        path = write_csv(tmp_path, ["martian,x,0,104.0,30.6,,"])
+        with pytest.raises(WorkloadError):
+            load_trace_csv(path, "p")
+
+    def test_bad_timestamp_raises(self, tmp_path):
+        path = write_csv(tmp_path, ["worker,w1,noon,104.0,30.6,,"])
+        with pytest.raises(WorkloadError):
+            load_trace_csv(path, "p")
+
+    def test_bad_coordinates_raise(self, tmp_path):
+        path = write_csv(tmp_path, ["worker,w1,0,east,30.6,,"])
+        with pytest.raises(WorkloadError):
+            load_trace_csv(path, "p")
+
+    def test_empty_id_raises(self, tmp_path):
+        path = write_csv(tmp_path, ["worker,,0,104.0,30.6,,"])
+        with pytest.raises(WorkloadError):
+            load_trace_csv(path, "p")
+
+
+class TestScenarioFromTraces:
+    def test_empty_raises(self):
+        with pytest.raises(WorkloadError):
+            scenario_from_traces([])
+
+    def test_duplicate_platforms_raise(self):
+        trace = RawTrace("p")
+        trace.workers.append(("w1", 0.0, 104.0, 30.6, 1.0))
+        with pytest.raises(WorkloadError):
+            scenario_from_traces([trace, RawTrace("p")])
+
+    def test_projection_preserves_distances(self):
+        """Planar distances match haversine to <1% at metro scale."""
+        trace = RawTrace("p")
+        a = (104.00, 30.60)
+        b = (104.10, 30.68)
+        trace.workers.append(("w1", 0.0, *a, 1.0))
+        trace.workers.append(("w2", 0.0, *b, 1.0))
+        scenario = scenario_from_traces([trace])
+        w1, w2 = scenario.events.workers
+        planar = w1.location.distance_to(w2.location)
+        geographic = haversine_km(Point(*a), Point(*b))
+        assert planar == pytest.approx(geographic, rel=0.01)
+
+    def test_values_filled_from_model(self):
+        trace = RawTrace("p")
+        trace.workers.append(("w1", 0.0, 104.0, 30.6, 1.0))
+        trace.requests.append(("r1", 10.0, 104.0, 30.6, None))
+        trace.requests.append(("r2", 11.0, 104.0, 30.6, 33.5))
+        scenario = scenario_from_traces([trace])
+        values = {r.request_id: r.value for r in scenario.events.requests}
+        assert values["p-r2"] == 33.5
+        assert values["p-r1"] > 0
+
+    def test_behaviours_registered_for_all_workers(self):
+        trace = load_trace_csv(DATA / "sample_trace_didi.csv", "didi")
+        scenario = scenario_from_traces([trace])
+        assert all(w.worker_id in scenario.oracle for w in scenario.events.workers)
+
+    def test_deterministic(self):
+        trace = load_trace_csv(DATA / "sample_trace_didi.csv", "didi")
+        a = scenario_from_traces([trace], seed=3)
+        b = scenario_from_traces([trace], seed=3)
+        assert [r.value for r in a.events.requests] == [
+            r.value for r in b.events.requests
+        ]
+
+    def test_end_to_end_run(self):
+        from repro.baselines import TOTA
+        from repro.core import Simulator, SimulatorConfig, validate_matching
+
+        didi = load_trace_csv(DATA / "sample_trace_didi.csv", "didi")
+        yueche = load_trace_csv(DATA / "sample_trace_yueche.csv", "yueche")
+        scenario = scenario_from_traces([didi, yueche], seed=1)
+        result = Simulator(
+            SimulatorConfig(
+                seed=0,
+                worker_reentry=True,
+                service_duration=1800.0,
+                measure_response_time=False,
+            )
+        ).run(scenario, TOTA)
+        validate_matching(result.all_records())
+        assert result.total_completed > 0
+        assert not math.isnan(result.total_revenue)
