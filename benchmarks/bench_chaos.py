@@ -1,0 +1,109 @@
+"""Bench: revenue/acceptance degradation under injected exchange faults.
+
+Sweeps :meth:`FaultPlan.uniform` rates for DemCOM vs RamCOM and checks
+the resilience layer's contract:
+
+* a zero-fault plan is a strict pass-through (bit-identical revenue to
+  the unwrapped exchange);
+* revenue degrades monotonically (within a stochastic tolerance) as the
+  fault rate rises — the plan's draws are monotone in the rate;
+* no fault rate ever produces a Definition-2.6 constraint violation
+  (``run_fault_sweep`` validates every run's matching).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_experiment_config
+
+from repro.experiments.chaos import run_fault_sweep
+from repro.experiments.harness import run_algorithm
+from repro.workloads import SyntheticWorkload, SyntheticWorkloadConfig
+
+RATES = (0.0, 0.2, 0.4, 0.6, 0.8)
+ALGORITHMS = ("demcom", "ramcom")
+
+
+def _scenario():
+    return SyntheticWorkload(
+        SyntheticWorkloadConfig(request_count=600, worker_count=160, city_km=8.0)
+    ).build(seed=1)
+
+
+def mostly_decreasing(values: list[float], tolerance: float = 0.15) -> bool:
+    """True if the series trends downward (each step may rise by at most
+    ``tolerance`` of the running minimum — fault draws are stochastic)."""
+    running_min = values[0]
+    for value in values[1:]:
+        if value > running_min * (1.0 + tolerance) + 1e-9:
+            return False
+        running_min = min(running_min, value)
+    return values[-1] < values[0] * (1.0 + tolerance)
+
+
+def test_chaos_degradation(benchmark):
+    scenario = _scenario()
+    config = bench_experiment_config()
+    result = benchmark.pedantic(
+        run_fault_sweep,
+        args=(scenario,),
+        kwargs={"algorithms": ALGORITHMS, "rates": RATES, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    for algorithm in ALGORITHMS:
+        revenues = [
+            row.revenue
+            for row in result.rows
+            if row.algorithm.lower() == algorithm
+        ]
+        assert len(revenues) == len(RATES)
+        # Faults only remove assignment opportunities: revenue decays.
+        assert mostly_decreasing(revenues), (algorithm, revenues)
+        # A substantial fault rate must actually hurt (the injector is
+        # not a no-op): at rate 0.8 revenue sits clearly below fault-free.
+        assert revenues[-1] < revenues[0]
+
+    # Zero-fault sweep points are bit-identical to the unwrapped runs.
+    for algorithm in ALGORITHMS:
+        baseline = run_algorithm(scenario, algorithm, config)
+        zero_row = next(
+            row
+            for row in result.rows
+            if row.fault_rate == 0.0
+            and row.algorithm.lower() == algorithm
+        )
+        assert zero_row.revenue == baseline.total_revenue
+        assert zero_row.completed == baseline.total_completed
+        assert zero_row.metrics.retries == 0.0
+        assert zero_row.metrics.failed_claims == 0.0
+        assert zero_row.metrics.degraded_decisions == 0.0
+
+
+def test_chaos_failure_accounting_scales(benchmark):
+    scenario = _scenario()
+    config = bench_experiment_config()
+    result = benchmark.pedantic(
+        run_fault_sweep,
+        args=(scenario,),
+        kwargs={
+            "algorithms": ("ramcom",),
+            "rates": (0.0, 0.5, 0.9),
+            "config": config,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    rows = result.rows
+    degraded = [row.metrics.degraded_decisions for row in rows]
+    dropped = [row.metrics.dropped_workers for row in rows]
+    outage = [row.metrics.outage_seconds for row in rows]
+    # More injected faults -> more accounted failures, never fewer kinds.
+    assert degraded[0] == 0.0 and dropped[0] == 0.0 and outage[0] == 0.0
+    assert degraded[1] > 0.0 and degraded[2] >= degraded[1]
+    assert dropped[2] >= dropped[1] > 0.0
+    assert outage[2] >= outage[1] > 0.0

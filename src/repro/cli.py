@@ -5,6 +5,7 @@ Subcommands regenerate the paper's experiments from a terminal:
 * ``table V|VI|VII`` — one city-pair comparison table;
 * ``figure <axis> <metric>`` — one Fig.-5 panel;
 * ``cr <algorithm>`` — a competitive-ratio study on a small instance;
+* ``chaos`` — a fault-injection sweep (docs/RESILIENCE.md);
 * ``quickstart`` — a tiny end-to-end demo run;
 * ``datasets`` — the simulated Table-III statistics.
 """
@@ -67,6 +68,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--model", choices=["adversarial", "random-order"], default="random-order"
     )
     cr.add_argument("--trials", type=int, default=50)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="fault-injection sweep: revenue degradation vs fault rate"
+    )
+    chaos.add_argument(
+        "--rates",
+        type=str,
+        default="0,0.2,0.4,0.6,0.8",
+        help="comma-separated fault rates in [0, 1]",
+    )
+    chaos.add_argument(
+        "--algorithms",
+        type=str,
+        default="demcom,ramcom",
+        help="comma-separated registry names",
+    )
+    chaos.add_argument("--seeds", type=int, default=2)
+    chaos.add_argument("--fault-seed", type=int, default=0)
+    chaos.add_argument("--requests", type=int, default=600)
+    chaos.add_argument("--workers", type=int, default=160)
+    chaos.add_argument(
+        "--output", type=str, default=None, help="directory to save JSON results"
+    )
 
     sensitivity = subparsers.add_parser(
         "sensitivity", help="calibration sensitivity study"
@@ -178,6 +202,36 @@ def _cmd_cr(args: argparse.Namespace) -> int:
         ]
     )
     print(table.render())
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import run_fault_sweep
+    from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+
+    rates = tuple(float(rate) for rate in args.rates.split(","))
+    algorithms = tuple(
+        name.strip() for name in args.algorithms.split(",") if name.strip()
+    )
+    scenario = SyntheticWorkload(
+        SyntheticWorkloadConfig(
+            request_count=args.requests, worker_count=args.workers, city_km=8.0
+        )
+    ).build(seed=1)
+    config = ExperimentConfig(seeds=tuple(range(args.seeds)))
+    result = run_fault_sweep(
+        scenario,
+        algorithms=algorithms,
+        rates=rates,
+        config=config,
+        fault_seed=args.fault_seed,
+    )
+    print(result.render())
+    if args.output:
+        from repro.experiments.reporting import save_chaos
+
+        path = save_chaos(result, args.output)
+        print(f"saved: {path}")
     return 0
 
 
@@ -302,6 +356,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
     "cr": _cmd_cr,
+    "chaos": _cmd_chaos,
     "sensitivity": _cmd_sensitivity,
     "ablation": _cmd_ablation,
     "reproduce": _cmd_reproduce,

@@ -30,8 +30,15 @@ from repro.core.exchange import CooperationExchange
 from repro.core.acceptance import AcceptanceEstimator
 from repro.core.payment import MinimumOuterPaymentEstimator
 from repro.core.pricing import MaximumExpectedRevenuePricer
+from repro.errors import ExchangeUnavailableError
 
-__all__ = ["DecisionKind", "Decision", "PlatformContext", "OnlineAlgorithm"]
+__all__ = [
+    "DecisionKind",
+    "Decision",
+    "PlatformContext",
+    "OnlineAlgorithm",
+    "run_offer_loop",
+]
 
 
 class DecisionKind(enum.Enum):
@@ -143,10 +150,41 @@ class PlatformContext:
         return self.exchange.inner_candidates(self.platform_id, request)
 
     def outer_candidates(self, request: Request) -> list[Worker]:
-        """Eligible shareable outer workers, nearest first."""
+        """Eligible shareable outer workers, nearest first.
+
+        Degraded mode: when the resilience layer reports the exchange (or
+        every peer) unreachable, this returns ``[]`` — the algorithm falls
+        back to inner-only matching, which trivially preserves the
+        Definition-2.6 constraints (the candidate set only shrinks).
+        """
         if not self.cooperation_enabled:
             return []
-        return self.exchange.outer_candidates(self.platform_id, request)
+        try:
+            return self.exchange.outer_candidates(self.platform_id, request)
+        except ExchangeUnavailableError:
+            return []
+
+
+def run_offer_loop(
+    request: Request,
+    candidates: list[Worker],
+    payment: float,
+    context: PlatformContext,
+) -> Decision:
+    """Algorithm 1, lines 15-26: live offers at ``payment``, nearest first.
+
+    Shared by DemCOM and RamCOM (they differ only in how the payment is
+    chosen).  Returns SERVE_OUTER for the nearest accepting worker, or a
+    cooperative REJECT when everyone declines.
+    """
+    offers_made = 0
+    for worker in candidates:
+        offers_made += 1
+        if context.oracle.offer(
+            worker.worker_id, request.request_id, payment, request.value
+        ):
+            return Decision.serve_outer(worker, payment, offers_made)
+    return Decision.reject(cooperative_attempt=True, offers_made=offers_made)
 
 
 class OnlineAlgorithm(ABC):

@@ -19,7 +19,12 @@ observed acceptance ratio around 0.16) motivates RamCOM.
 
 from __future__ import annotations
 
-from repro.core.base import Decision, OnlineAlgorithm, PlatformContext
+from repro.core.base import (
+    Decision,
+    OnlineAlgorithm,
+    PlatformContext,
+    run_offer_loop,
+)
 from repro.core.entities import Request
 
 __all__ = ["DemCOM"]
@@ -36,7 +41,10 @@ class DemCOM(OnlineAlgorithm):
         if inner:
             return Decision.serve_inner(inner[0])
 
-        # Line 8: the eligible outer candidate set W^r_out.
+        # Line 8: the eligible outer candidate set W^r_out.  Under the
+        # resilience layer this set may be reduced (or empty) while the
+        # exchange is degraded; the inner-first / reject structure below
+        # is unchanged, so Def. 2.6 holds in degraded mode too.
         outer = context.outer_candidates(request)
         if not outer:
             return Decision.reject()  # lines 9-10
@@ -51,16 +59,6 @@ class DemCOM(OnlineAlgorithm):
             # Lines 13-14: the platform would lose money; no offers are made.
             return Decision.reject()
 
-        # Lines 15-26: live offers at v'_r; keep the accepting workers.
-        offers_made = 0
-        accepted_worker = None
-        for worker in outer:  # nearest first
-            offers_made += 1
-            if context.oracle.offer(
-                worker.worker_id, request.request_id, payment, request.value
-            ):
-                accepted_worker = worker
-                break  # nearest accepting worker wins (line 22's greedy pick)
-        if accepted_worker is None:
-            return Decision.reject(cooperative_attempt=True, offers_made=offers_made)
-        return Decision.serve_outer(accepted_worker, payment, offers_made)
+        # Lines 15-26: live offers at v'_r; nearest accepting worker wins
+        # (line 22's greedy pick).
+        return run_offer_loop(request, outer, payment, context)

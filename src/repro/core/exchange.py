@@ -59,8 +59,9 @@ class CooperationExchange:
         """Register a worker arrival on their home platform."""
         if worker.platform_id not in self._lists:
             raise SimulationError(
-                f"worker {worker.worker_id} belongs to unknown platform "
-                f"{worker.platform_id}"
+                "worker belongs to unknown platform",
+                worker_id=worker.worker_id,
+                platform_id=worker.platform_id,
             )
         self._lists[worker.platform_id].add(worker)
         self._home[worker.worker_id] = worker.platform_id
@@ -69,15 +70,26 @@ class CooperationExchange:
         """Eligible inner workers for a request, nearest first."""
         return self._lists[platform_id].eligible_for(request)
 
-    def outer_candidates(self, platform_id: str, request: Request) -> list[Worker]:
-        """Eligible shareable outer workers, nearest first across platforms."""
+    def outer_candidates(
+        self,
+        platform_id: str,
+        request: Request,
+        peers: list[str] | None = None,
+    ) -> list[Worker]:
+        """Eligible shareable outer workers, nearest first across platforms.
+
+        ``peers`` restricts the query to a subset of the other platforms
+        (the resilience layer passes the currently *reachable* peers);
+        the default consults every other platform.
+        """
+        consulted = self._lists.keys() if peers is None else peers
         candidates: list[Worker] = []
-        for other_id, waiting_list in self._lists.items():
+        for other_id in consulted:
             if other_id == platform_id:
                 continue
             candidates.extend(
                 worker
-                for worker in waiting_list.eligible_for(request)
+                for worker in self._lists[other_id].eligible_for(request)
                 if worker.shareable
             )
         candidates.sort(
@@ -85,12 +97,33 @@ class CooperationExchange:
         )
         return candidates
 
-    def claim(self, worker_id: str) -> Worker:
-        """Atomically remove a worker from the exchange (assignment)."""
+    def claim(self, worker_id: str, claimant: str | None = None) -> Worker:
+        """Atomically remove a worker from the exchange (assignment).
+
+        ``claimant`` (the assigning platform) is accepted for interface
+        compatibility with :class:`repro.faults.ResilientExchange`, where
+        it drives failure attribution; the plain exchange never fails.
+        """
         home = self._home.pop(worker_id, None)
         if home is None:
-            raise SimulationError(f"worker {worker_id} is not available to claim")
+            raise SimulationError(
+                "worker is not available to claim",
+                worker_id=worker_id,
+                platform_id=claimant,
+            )
         return self._lists[home].remove(worker_id)
+
+    def evict(self, worker_id: str) -> Worker:
+        """Administrative removal (e.g. a shift ending).
+
+        Same effect as :meth:`claim`; a separate entry point so the
+        resilience layer can keep administrative removals fault-free.
+        """
+        return self.claim(worker_id)
+
+    def home_of(self, worker_id: str) -> str | None:
+        """The worker's home platform id, or None once claimed/evicted."""
+        return self._home.get(worker_id)
 
     def is_available(self, worker_id: str) -> bool:
         """True iff the worker is still waiting somewhere."""

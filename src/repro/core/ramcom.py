@@ -22,7 +22,12 @@ from __future__ import annotations
 
 import math
 
-from repro.core.base import Decision, OnlineAlgorithm, PlatformContext
+from repro.core.base import (
+    Decision,
+    OnlineAlgorithm,
+    PlatformContext,
+    run_offer_loop,
+)
 from repro.core.entities import Request
 
 __all__ = ["RamCOM"]
@@ -86,7 +91,9 @@ class RamCOM(OnlineAlgorithm):
             # by an outer worker because every inner worker is busy).
 
         # Lines 9-11: price via Definition 4.1, then run Algorithm 1's
-        # offer loop (lines 13-26) at that payment.
+        # offer loop (lines 13-26) at that payment.  A degraded exchange
+        # shrinks (possibly empties) the candidate set; the reject path
+        # keeps Def. 2.6 intact.
         outer = context.outer_candidates(request)
         if not outer:
             return Decision.reject()
@@ -96,15 +103,4 @@ class RamCOM(OnlineAlgorithm):
         if payment > request.value or payment <= 0.0:
             return Decision.reject()
 
-        offers_made = 0
-        accepted_worker = None
-        for worker in outer:  # nearest first
-            offers_made += 1
-            if context.oracle.offer(
-                worker.worker_id, request.request_id, payment, request.value
-            ):
-                accepted_worker = worker
-                break
-        if accepted_worker is None:
-            return Decision.reject(cooperative_attempt=True, offers_made=offers_made)
-        return Decision.serve_outer(accepted_worker, payment, offers_made)
+        return run_offer_loop(request, outer, payment, context)

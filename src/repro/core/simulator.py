@@ -27,7 +27,15 @@ from repro.core.exchange import CooperationExchange
 from repro.core.matching import AssignmentKind, MatchRecord, MatchingLedger
 from repro.core.payment import MinimumOuterPaymentEstimator
 from repro.core.pricing import MaximumExpectedRevenuePricer
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ClaimConflictError,
+    ConfigurationError,
+    ExchangeUnavailableError,
+    SimulationError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import CircuitBreakerConfig, FaultPlan, RetryPolicy
+from repro.faults.resilient import ResilienceStats, ResilientExchange
 from repro.utils.memory import approximate_size_bytes
 from repro.utils.rng import SeedSequence
 from repro.utils.timer import Stopwatch, TimingAccumulator
@@ -107,6 +115,15 @@ class SimulatorConfig:
     #: Extension (paper §II): replace Euclidean range checks with
     #: shortest-path distance over this road network.
     road_network: object | None = None
+    #: Resilience extension: inject faults into the cooperation exchange.
+    #: ``None`` (and any zero plan) leaves runs bit-identical to the
+    #: unwrapped exchange; see docs/RESILIENCE.md.
+    fault_plan: FaultPlan | None = None
+    #: Sim-time retry/backoff policy for exchange claims (defaults apply
+    #: when a fault plan is set and this is None).
+    retry_policy: RetryPolicy | None = None
+    #: Per-peer circuit breaker tunables (defaults when None).
+    breaker: CircuitBreakerConfig | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,6 +147,8 @@ class PlatformOutcome:
     response_time: TimingAccumulator = field(default_factory=TimingAccumulator)
     cooperative_attempts: int = 0
     offers_made: int = 0
+    #: Failure accounting (all zeros unless a fault plan was active).
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def acceptance_ratio(self) -> float | None:
@@ -192,12 +211,46 @@ class SimulationResult:
         """Pooled per-request latency percentile (reservoir estimate)."""
         samples: list[float] = []
         for platform in self.platforms.values():
-            samples.extend(platform.response_time._reservoir)  # noqa: SLF001
+            samples.extend(platform.response_time.samples())
         if not samples:
             return 0.0
         from repro.utils.stats import quantile
 
         return quantile(sorted(samples), q) * 1e3
+
+    @property
+    def resilience(self) -> ResilienceStats:
+        """Pooled failure accounting across platforms (zeros without a
+        fault plan)."""
+        total = ResilienceStats()
+        for platform in self.platforms.values():
+            total = total.merge(platform.resilience)
+        return total
+
+    @property
+    def total_retries(self) -> int:
+        """Transiently failed claim attempts that were retried."""
+        return self.resilience.retries
+
+    @property
+    def total_failed_claims(self) -> int:
+        """Claims abandoned after exhausting retries."""
+        return self.resilience.failed_claims
+
+    @property
+    def total_degraded_decisions(self) -> int:
+        """Requests decided with a reduced or absent cooperative view."""
+        return self.resilience.degraded_decisions
+
+    @property
+    def total_dropped_workers(self) -> int:
+        """Workers lost to mid-assignment dropout."""
+        return self.resilience.dropped_workers
+
+    @property
+    def total_outage_seconds(self) -> float:
+        """Sim-seconds of platform-exchange link outage, summed."""
+        return self.resilience.outage_seconds
 
     @property
     def overall_acceptance_ratio(self) -> float | None:
@@ -244,11 +297,20 @@ class Simulator:
         """
         config = self.config
         seeds = SeedSequence(config.seed)
-        exchange = CooperationExchange(
+        exchange: CooperationExchange | ResilientExchange = CooperationExchange(
             scenario.platform_ids,
             cell_size_km=config.cell_size_km,
             road_network=config.road_network,
         )
+        resilient: ResilientExchange | None = None
+        if config.fault_plan is not None:
+            resilient = ResilientExchange(
+                exchange,
+                FaultInjector(config.fault_plan),
+                retry_policy=config.retry_policy,
+                breaker_config=config.breaker,
+            )
+            exchange = resilient
         # The estimator interprets histories in the same space (relative
         # rates vs absolute prices) as the scenario's ground truth.
         acceptance = AcceptanceEstimator(
@@ -314,8 +376,10 @@ class Simulator:
             for flushed_request, flushed_decision in resolved:
                 if flushed_request.request_id not in deferred:
                     raise SimulationError(
-                        f"flush returned non-deferred request "
-                        f"{flushed_request.request_id}"
+                        "flush returned non-deferred request",
+                        time=time,
+                        platform_id=platform_id,
+                        request_id=flushed_request.request_id,
                     )
                 if flushed_decision.kind is DecisionKind.DEFER:
                     raise SimulationError("flush may not re-defer a request")
@@ -336,7 +400,11 @@ class Simulator:
                     decision_entries,
                 )
 
+        last_event_time = 0.0
         for event in scenario.events:
+            last_event_time = max(last_event_time, event.time)
+            if resilient is not None:
+                resilient.advance_to(event.time)
             # Inject any workers whose service completed before this event.
             while reentry_heap and reentry_heap[0][0] <= event.time:
                 _, _, returning = heapq.heappop(reentry_heap)
@@ -354,19 +422,23 @@ class Simulator:
             for platform_id in scenario.platform_ids:
                 run_flush(platform_id, event.time)
 
-            # Shift ends: still-waiting workers leave every list.
+            # Shift ends: still-waiting workers leave every list.  This is
+            # an administrative removal, not a cross-platform claim, so it
+            # bypasses fault injection (``evict``).
             while departure_heap and departure_heap[0][0] < event.time:
                 __, departing_id = heapq.heappop(departure_heap)
                 if exchange.is_available(departing_id):
-                    exchange.claim(departing_id)
+                    exchange.evict(departing_id)
 
             if event.kind is EventKind.WORKER:
                 assert event.worker is not None
                 worker = event.worker
                 if worker.platform_id not in outcomes:
                     raise SimulationError(
-                        f"worker {worker.worker_id} belongs to unknown platform "
-                        f"{worker.platform_id}"
+                        "worker belongs to unknown platform",
+                        time=event.time,
+                        platform_id=worker.platform_id,
+                        worker_id=worker.worker_id,
                     )
                 exchange.worker_arrives(worker)
                 if worker.departure_time is not None:
@@ -383,8 +455,10 @@ class Simulator:
             platform_id = request.platform_id
             if platform_id not in outcomes:
                 raise SimulationError(
-                    f"request {request.request_id} targets unknown platform "
-                    f"{platform_id}"
+                    "request targets unknown platform",
+                    time=event.time,
+                    platform_id=platform_id,
+                    request_id=request.request_id,
                 )
             outcome = outcomes[platform_id]
 
@@ -425,6 +499,13 @@ class Simulator:
         for leftover in list(deferred.values()):
             outcomes[leftover.platform_id].ledger.record_rejection(leftover)
         deferred.clear()
+
+        if resilient is not None:
+            resilient.finalize(last_event_time)
+            for platform_id in scenario.platform_ids:
+                outcomes[platform_id].resilience = resilient.stats_for(
+                    platform_id
+                )
 
         memory_bytes = approximate_size_bytes(
             {
@@ -486,12 +567,30 @@ class Simulator:
 
         worker = decision.worker
         if worker is None:
-            raise SimulationError("serve decision without a worker")
+            raise SimulationError(
+                "serve decision without a worker",
+                time=request.arrival_time,
+                platform_id=request.platform_id,
+                request_id=request.request_id,
+            )
         if not exchange.is_available(worker.worker_id):
             raise SimulationError(
-                f"algorithm picked unavailable worker {worker.worker_id}"
+                "algorithm picked unavailable worker",
+                time=request.arrival_time,
+                platform_id=request.platform_id,
+                request_id=request.request_id,
+                worker_id=worker.worker_id,
             )
-        exchange.claim(worker.worker_id)
+        try:
+            exchange.claim(worker.worker_id, claimant=request.platform_id)
+        except (ClaimConflictError, ExchangeUnavailableError):
+            # The assignment could not be committed (lost-claim race with
+            # retries exhausted, worker dropout, or the exchange going
+            # down mid-claim): the request is rejected, never re-matched
+            # (the paper's invariable constraint), and the failure is
+            # already accounted by the resilience wrapper.
+            outcome.ledger.record_rejection(request)
+            return reentry_sequence
 
         kind = (
             AssignmentKind.INNER

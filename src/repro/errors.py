@@ -30,7 +30,57 @@ class ConstraintViolationError(ReproError):
 
 
 class SimulationError(ReproError):
-    """The online simulator reached an inconsistent state."""
+    """The online simulator reached an inconsistent state.
+
+    Carries optional structured context (simulation time, platform,
+    request and worker ids) so failures raised mid-replay are
+    diagnosable; whatever is provided is appended to the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        time: float | None = None,
+        platform_id: str | None = None,
+        request_id: str | None = None,
+        worker_id: str | None = None,
+    ):
+        self.sim_time = time
+        self.platform_id = platform_id
+        self.request_id = request_id
+        self.worker_id = worker_id
+        context = [
+            f"{label}={value}"
+            for label, value in (
+                ("t", time),
+                ("platform", platform_id),
+                ("request", request_id),
+                ("worker", worker_id),
+            )
+            if value is not None
+        ]
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
+
+
+class ExchangeUnavailableError(SimulationError):
+    """The cooperation exchange (or every reachable peer) is down.
+
+    Raised by :class:`repro.faults.ResilientExchange` when an outage or an
+    open circuit breaker leaves a platform with no cooperative view; the
+    platform must fall back to inner-only (degraded-mode) matching.
+    """
+
+
+class ClaimConflictError(SimulationError):
+    """A worker claim failed permanently (lost race, dropout, retries spent).
+
+    The request that triggered the claim is rejected; the worker either
+    stays available for later requests (transient lost-claim race) or is
+    gone for good (mid-assignment dropout).
+    """
 
 
 class WorkloadError(ReproError):

@@ -21,8 +21,12 @@ from repro.experiments.competitive import (
     adversarial_ratio,
     random_order_ratio,
 )
+from repro.experiments.chaos import ChaosResult, ChaosRow, run_fault_sweep
 
 __all__ = [
+    "ChaosResult",
+    "ChaosRow",
+    "run_fault_sweep",
     "AlgorithmMetrics",
     "average_metrics",
     "ExperimentConfig",

@@ -45,6 +45,12 @@ class AlgorithmMetrics:
     acceptance_ratio: float | None = None
     payment_rate: float | None = None
     runs: int = 1
+    #: Resilience accounting (all zero unless a fault plan was active).
+    retries: float = 0.0
+    failed_claims: float = 0.0
+    degraded_decisions: float = 0.0
+    dropped_workers: float = 0.0
+    outage_seconds: float = 0.0
 
     @property
     def total_revenue(self) -> float:
@@ -81,6 +87,11 @@ class AlgorithmMetrics:
             cooperative=result.total_cooperative,
             acceptance_ratio=result.overall_acceptance_ratio,
             payment_rate=result.overall_payment_rate,
+            retries=float(result.total_retries),
+            failed_claims=float(result.total_failed_claims),
+            degraded_decisions=float(result.total_degraded_decisions),
+            dropped_workers=float(result.total_dropped_workers),
+            outage_seconds=result.total_outage_seconds,
         )
 
     @classmethod
@@ -155,4 +166,12 @@ def average_metrics(rows: Sequence[AlgorithmMetrics]) -> AlgorithmMetrics:
     )
     payment = [r.payment_rate for r in rows if r.payment_rate is not None]
     averaged.payment_rate = sum(payment) / len(payment) if payment else None
+    for name in (
+        "retries",
+        "failed_claims",
+        "degraded_decisions",
+        "dropped_workers",
+        "outage_seconds",
+    ):
+        setattr(averaged, name, sum(getattr(row, name) for row in rows) / count)
     return averaged

@@ -10,11 +10,12 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.experiments.chaos import ChaosResult
 from repro.experiments.figures import FigurePanel
 from repro.experiments.metrics import AlgorithmMetrics
 from repro.experiments.tables import TableResult
 
-__all__ = ["save_table", "save_panel", "metrics_to_dict"]
+__all__ = ["save_table", "save_panel", "save_chaos", "metrics_to_dict"]
 
 
 def metrics_to_dict(row: AlgorithmMetrics) -> dict:
@@ -32,6 +33,11 @@ def metrics_to_dict(row: AlgorithmMetrics) -> dict:
         "acceptance_ratio": row.acceptance_ratio,
         "payment_rate": row.payment_rate,
         "runs": row.runs,
+        "retries": row.retries,
+        "failed_claims": row.failed_claims,
+        "degraded_decisions": row.degraded_decisions,
+        "dropped_workers": row.dropped_workers,
+        "outage_seconds": row.outage_seconds,
     }
 
 
@@ -46,6 +52,23 @@ def save_table(result: TableResult, directory: str | Path) -> Path:
         "scale": result.scale,
         "platform_ids": result.platform_ids,
         "rows": [metrics_to_dict(row) for row in result.rows],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def save_chaos(result: ChaosResult, directory: str | Path) -> Path:
+    """Write one fault sweep as JSON; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    slug = result.scenario_name.replace("/", "-").replace(" ", "_")
+    path = directory / f"chaos_{slug}.json"
+    payload = {
+        "scenario": result.scenario_name,
+        "rows": [
+            {"fault_rate": row.fault_rate, **metrics_to_dict(row.metrics)}
+            for row in result.rows
+        ],
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path

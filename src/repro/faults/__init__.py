@@ -1,0 +1,47 @@
+"""Fault injection and resilience for the cooperation exchange.
+
+The paper's COM model (Def. 2.6) treats the shared outer-worker pool as
+always reachable and every claim as atomic.  At production scale the
+exchange is a remote service: links drop, claims race, messages lag and
+workers vanish mid-assignment.  This package makes those failures a
+first-class, *deterministic* part of the simulation:
+
+* :mod:`plan` — :class:`FaultPlan` (what goes wrong, seeded),
+  :class:`RetryPolicy` and :class:`CircuitBreakerConfig` (how the
+  platforms cope);
+* :mod:`injector` — :class:`FaultInjector`, realising a plan into
+  labelled, reproducible fault draws;
+* :mod:`resilient` — :class:`ResilientExchange`, the retry / circuit
+  breaker / degraded-mode wrapper, plus the :class:`ResilienceStats`
+  failure accounting surfaced on :class:`~repro.core.simulator.
+  PlatformOutcome`.
+
+See ``docs/RESILIENCE.md`` for the fault model and the degraded-mode
+guarantees versus the paper's constraints.
+"""
+
+from repro.faults.plan import (
+    ZERO_FAULTS,
+    CircuitBreakerConfig,
+    FaultPlan,
+    OutageWindow,
+    RetryPolicy,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.resilient import (
+    CircuitBreaker,
+    ResilienceStats,
+    ResilientExchange,
+)
+
+__all__ = [
+    "ZERO_FAULTS",
+    "FaultPlan",
+    "OutageWindow",
+    "RetryPolicy",
+    "CircuitBreakerConfig",
+    "FaultInjector",
+    "CircuitBreaker",
+    "ResilienceStats",
+    "ResilientExchange",
+]

@@ -1,0 +1,134 @@
+"""Realises a :class:`FaultPlan` into concrete, seeded fault draws.
+
+Each fault channel draws from its own labelled stream derived from the
+plan seed (``outage/<platform>``, ``claim/<worker>#<attempt>``,
+``dropout/<worker>``, ``delay/<platform>/<peer>/<request>``), so:
+
+* the realisation is a pure function of the plan — two injectors built
+  from equal plans inject the identical fault sequence;
+* channels are independent — enabling dropouts never perturbs which
+  claims fail;
+* per-event draws compare one uniform sample against the configured
+  rate, so raising a rate only *adds* faults (monotone sweeps).
+
+A zero-rate channel never touches an RNG, keeping the zero-fault plan a
+strict pass-through.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.plan import FaultPlan, OutageWindow
+from repro.utils.rng import derive_rng
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Answers "does this operation fail?" deterministically in the plan."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._windows: dict[str, tuple[OutageWindow, ...]] = {}
+        self._claim_attempts: dict[str, int] = {}
+        self._dropout_fate: dict[str, bool] = {}
+
+    @property
+    def active(self) -> bool:
+        """False iff the plan injects nothing (wrapper may fast-path)."""
+        return not self.plan.is_zero
+
+    # -- platform outages ----------------------------------------------------
+
+    def outage_windows(self, platform_id: str) -> tuple[OutageWindow, ...]:
+        """The platform's realised outage windows (explicit + random)."""
+        cached = self._windows.get(platform_id)
+        if cached is not None:
+            return cached
+        plan = self.plan
+        windows = [w for w in plan.outages if w.platform_id == platform_id]
+        if plan.random_outages_per_platform > 0:
+            rng = derive_rng(plan.seed, f"outage/{platform_id}")
+            span = max(0.0, plan.horizon_s - plan.outage_duration_s)
+            for _ in range(plan.random_outages_per_platform):
+                start = rng.uniform(0.0, span)
+                windows.append(
+                    OutageWindow(
+                        platform_id, start, start + plan.outage_duration_s
+                    )
+                )
+        realized = tuple(sorted(windows, key=lambda w: (w.start, w.end)))
+        self._windows[platform_id] = realized
+        return realized
+
+    def outage_active(self, platform_id: str, time: float) -> bool:
+        """True iff the platform's exchange link is down at ``time``."""
+        plan = self.plan
+        if not plan.outages and plan.random_outages_per_platform == 0:
+            return False
+        return any(w.active_at(time) for w in self.outage_windows(platform_id))
+
+    def outage_seconds(self, platform_id: str, horizon: float) -> float:
+        """Total outage time within ``[0, horizon)`` for one platform."""
+        plan = self.plan
+        if not plan.outages and plan.random_outages_per_platform == 0:
+            return 0.0
+        return sum(
+            max(0.0, min(w.end, horizon) - min(w.start, horizon))
+            for w in self.outage_windows(platform_id)
+        )
+
+    # -- claim failures and dropouts -----------------------------------------
+
+    def claim_fails(self, worker_id: str) -> bool:
+        """One transient lost-claim draw for this worker.
+
+        Successive calls for the same worker (retries, or later requests
+        racing for them) advance a per-worker attempt counter so each
+        attempt gets an independent draw.
+        """
+        rate = self.plan.claim_failure_rate
+        if rate == 0.0:
+            return False
+        attempt = self._claim_attempts.get(worker_id, 0)
+        self._claim_attempts[worker_id] = attempt + 1
+        rng = derive_rng(self.plan.seed, f"claim/{worker_id}#{attempt}")
+        return rng.random() < rate
+
+    def worker_drops_out(self, worker_id: str) -> bool:
+        """Whether this worker's first claim reveals a mid-assignment
+        dropout.  A per-worker fate: stable across retries."""
+        rate = self.plan.worker_dropout_rate
+        if rate == 0.0:
+            return False
+        fate = self._dropout_fate.get(worker_id)
+        if fate is None:
+            rng = derive_rng(self.plan.seed, f"dropout/{worker_id}")
+            fate = rng.random() < rate
+            self._dropout_fate[worker_id] = fate
+        return fate
+
+    # -- cooperation-message delays ------------------------------------------
+
+    def message_delay(
+        self, platform_id: str, peer_id: str, request_id: str
+    ) -> float:
+        """Delay (sim-seconds) on one cooperation probe; 0.0 when on time."""
+        rate = self.plan.message_delay_rate
+        if rate == 0.0:
+            return 0.0
+        rng = derive_rng(
+            self.plan.seed, f"delay/{platform_id}/{peer_id}/{request_id}"
+        )
+        if rng.random() >= rate:
+            return 0.0
+        # Delay magnitude: 0.5x - 2x the configured latency, heavy enough
+        # that some delayed messages blow the call timeout.
+        return self.plan.message_delay_s * (0.5 + 1.5 * rng.random())
+
+    # -- retry jitter --------------------------------------------------------
+
+    def backoff_rng(self, worker_id: str, attempt: int) -> random.Random:
+        """The jitter stream for one backoff decision."""
+        return derive_rng(self.plan.seed, f"backoff/{worker_id}#{attempt}")

@@ -1,0 +1,241 @@
+"""Deterministic fault plans for the cooperation exchange.
+
+A :class:`FaultPlan` describes *what can go wrong* during one simulated
+day: platform-outage windows, transient claim failures (the lost-claim
+race on :meth:`CooperationExchange.claim`), cooperation-message delays,
+and workers dropping out mid-assignment.  A plan is pure configuration —
+the :class:`~repro.faults.injector.FaultInjector` realises it into
+concrete, seeded draws.
+
+Every draw downstream is keyed by ``(plan.seed, label)`` through the same
+SHA-256 scheme as :mod:`repro.utils.rng`, with one useful structural
+property: a single uniform draw is compared against the configured rate,
+so the *set* of realised faults grows monotonically with the rate.  Fault
+sweeps (``benchmarks/bench_chaos.py``) therefore degrade smoothly instead
+of re-rolling a new world per rate.
+
+:data:`ZERO_FAULTS` (the default) injects nothing; the resilience wrapper
+is then a strict pass-through and every simulation stays bit-identical to
+the unwrapped exchange.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "OutageWindow",
+    "FaultPlan",
+    "RetryPolicy",
+    "CircuitBreakerConfig",
+    "ZERO_FAULTS",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OutageWindow:
+    """One platform's link to the exchange is down during ``[start, end)``."""
+
+    platform_id: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"outage window must end after it starts, got "
+                f"[{self.start}, {self.end}) for {self.platform_id}"
+            )
+
+    def active_at(self, time: float) -> bool:
+        """True iff ``time`` falls inside the window."""
+        return self.start <= time < self.end
+
+    @property
+    def duration(self) -> float:
+        """Window length in sim-seconds."""
+        return self.end - self.start
+
+
+def _require_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative description of the faults to inject.
+
+    Attributes
+    ----------
+    seed:
+        Root of every fault draw.  Independent from the simulator seed so
+        the same scenario can be replayed under many fault realisations.
+    outages:
+        Explicit platform-outage windows (sim-time).
+    random_outages_per_platform / outage_duration_s / horizon_s:
+        Additionally drop each platform's exchange link for this many
+        randomly-placed windows of ``outage_duration_s`` within
+        ``[0, horizon_s)``.
+    claim_failure_rate:
+        Per-attempt probability that an *outer* claim transiently fails
+        (another platform raced us to the worker; the worker stays
+        available and the claim may be retried).
+    message_delay_rate / message_delay_s:
+        Probability that one cooperation message (an outer-candidates
+        probe to a peer) is delayed, and the delay magnitude; delays
+        beyond the retry policy's call timeout count as peer failures.
+    worker_dropout_rate:
+        Probability that a worker silently drops out mid-assignment: the
+        first claim on them fails permanently and they leave every
+        waiting list.
+    """
+
+    seed: int = 0
+    outages: tuple[OutageWindow, ...] = ()
+    random_outages_per_platform: int = 0
+    outage_duration_s: float = 600.0
+    horizon_s: float = 86_400.0
+    claim_failure_rate: float = 0.0
+    message_delay_rate: float = 0.0
+    message_delay_s: float = 5.0
+    worker_dropout_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require_rate("claim_failure_rate", self.claim_failure_rate)
+        _require_rate("message_delay_rate", self.message_delay_rate)
+        _require_rate("worker_dropout_rate", self.worker_dropout_rate)
+        if self.random_outages_per_platform < 0:
+            raise ConfigurationError(
+                "random_outages_per_platform must be >= 0, got "
+                f"{self.random_outages_per_platform}"
+            )
+        if self.outage_duration_s <= 0.0:
+            raise ConfigurationError(
+                f"outage_duration_s must be > 0, got {self.outage_duration_s}"
+            )
+        if self.horizon_s <= 0.0:
+            raise ConfigurationError(
+                f"horizon_s must be > 0, got {self.horizon_s}"
+            )
+        if self.message_delay_s < 0.0:
+            raise ConfigurationError(
+                f"message_delay_s must be >= 0, got {self.message_delay_s}"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        """True iff this plan injects no fault at all (pure pass-through)."""
+        return (
+            not self.outages
+            and self.random_outages_per_platform == 0
+            and self.claim_failure_rate == 0.0
+            and self.message_delay_rate == 0.0
+            and self.worker_dropout_rate == 0.0
+        )
+
+    @classmethod
+    def uniform(
+        cls,
+        rate: float,
+        seed: int = 0,
+        horizon_s: float = 86_400.0,
+    ) -> "FaultPlan":
+        """The canonical single-knob plan used by the chaos sweeps.
+
+        ``rate`` scales every fault channel at once: transient claim
+        failures at ``rate``, message delays at ``rate``, dropouts at
+        ``0.3 * rate``, and up to three random outage windows per
+        platform as the rate approaches 1.
+        """
+        _require_rate("rate", rate)
+        return cls(
+            seed=seed,
+            random_outages_per_platform=int(round(3 * rate)),
+            outage_duration_s=max(1.0, horizon_s / 50.0),
+            horizon_s=horizon_s,
+            claim_failure_rate=rate,
+            message_delay_rate=rate,
+            worker_dropout_rate=0.3 * rate,
+        )
+
+
+#: The no-op plan; wrapping with it keeps runs bit-identical.
+ZERO_FAULTS = FaultPlan()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Sim-time retry policy for exchange calls.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total claim attempts (first try included) before giving up.
+    base_backoff_s / multiplier / max_backoff_s:
+        Exponential backoff schedule between attempts, in sim-seconds.
+    jitter:
+        Fractional jitter band: the realised backoff is the scheduled one
+        scaled by a uniform factor in ``[1 - jitter, 1 + jitter]``.
+    call_timeout_s:
+        Per-call budget; a cooperation message delayed beyond it counts
+        as a peer failure (and feeds the circuit breaker).
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 1.0
+    multiplier: float = 2.0
+    max_backoff_s: float = 30.0
+    jitter: float = 0.1
+    call_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_s < 0.0 or self.max_backoff_s < 0.0:
+            raise ConfigurationError("backoff durations must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        _require_rate("jitter", self.jitter)
+        if self.call_timeout_s <= 0.0:
+            raise ConfigurationError(
+                f"call_timeout_s must be > 0, got {self.call_timeout_s}"
+            )
+
+    def backoff_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered."""
+        scheduled = min(
+            self.max_backoff_s, self.base_backoff_s * self.multiplier**attempt
+        )
+        if self.jitter == 0.0:
+            return scheduled
+        factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, scheduled * factor)
+
+
+@dataclass(frozen=True)
+class CircuitBreakerConfig:
+    """Per-peer circuit breaker tunables (sim-time)."""
+
+    #: Consecutive failures that trip the breaker open.
+    failure_threshold: int = 3
+    #: Sim-seconds an open breaker waits before letting a half-open probe
+    #: through.
+    reset_timeout_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.reset_timeout_s <= 0.0:
+            raise ConfigurationError(
+                f"reset_timeout_s must be > 0, got {self.reset_timeout_s}"
+            )

@@ -78,6 +78,16 @@ class TimingAccumulator:
             if slot < self.RESERVOIR_SIZE:
                 self._reservoir[slot] = seconds
 
+    def samples(self) -> list[float]:
+        """A copy of the reservoir sample of latencies, in seconds.
+
+        Exhaustive while fewer than ``RESERVOIR_SIZE`` latencies were
+        recorded; a uniform subsample afterwards.  Callers pooling
+        percentiles across accumulators should use this instead of the
+        private reservoir.
+        """
+        return list(self._reservoir)
+
     def percentile_ms(self, q: float) -> float:
         """Latency percentile in milliseconds, from the reservoir sample.
 

@@ -25,6 +25,7 @@ from repro.core import (
     validate_matching,
 )
 from repro.core.matching import AssignmentKind
+from repro.faults import FaultPlan
 
 from conftest import make_request, make_scenario, make_worker
 
@@ -145,6 +146,81 @@ def test_determinism_across_algorithm_runs(seed):
         second = Simulator(config).run(scenario, factory)
         assert first.total_revenue == second.total_revenue
         assert first.total_completed == second.total_completed
+
+
+def _fault_plan(seed: int) -> FaultPlan:
+    """A heavy mixed-fault plan derived from the instance seed."""
+    return FaultPlan(
+        seed=seed,
+        claim_failure_rate=0.5,
+        message_delay_rate=0.4,
+        worker_dropout_rate=0.3,
+        random_outages_per_platform=1,
+        outage_duration_s=25.0,
+        horizon_s=100.0,
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+@pytest.mark.parametrize("factory", [TOTA, DemCOM, RamCOM])
+def test_constraints_hold_under_injected_faults(factory, seed):
+    """Claim failures, retries, dropouts and outages never corrupt the
+    matching: every record still passes the Def.-2.6 checker and no worker
+    is claimed by two platforms (the checker's 1-by-1 pass over the pooled
+    records)."""
+    scenario = random_instance(seed)
+    result = Simulator(
+        SimulatorConfig(
+            seed=seed, measure_response_time=False, fault_plan=_fault_plan(seed)
+        )
+    ).run(scenario, factory)
+    records = result.all_records()
+    validate_matching(records)
+    worker_ids = [record.worker.worker_id for record in records]
+    assert len(worker_ids) == len(set(worker_ids))
+    assert result.total_completed + result.total_rejected == scenario.request_count
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_fault_injection_is_deterministic(seed):
+    """Same scenario + same FaultPlan seed -> identical metrics."""
+    scenario = random_instance(seed)
+    config = SimulatorConfig(
+        seed=seed, measure_response_time=False, fault_plan=_fault_plan(seed)
+    )
+    first = Simulator(config).run(scenario, DemCOM)
+    second = Simulator(config).run(scenario, DemCOM)
+    assert first.total_revenue == second.total_revenue
+    assert first.total_completed == second.total_completed
+    assert first.total_retries == second.total_retries
+    assert first.total_failed_claims == second.total_failed_claims
+    assert first.total_dropped_workers == second.total_dropped_workers
+    assert first.total_degraded_decisions == second.total_degraded_decisions
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_zero_fault_plan_is_bit_identical(seed):
+    """Wrapping the exchange with a zero-fault plan changes nothing."""
+    scenario = random_instance(seed)
+    plain = Simulator(
+        SimulatorConfig(seed=seed, measure_response_time=False)
+    ).run(scenario, RamCOM)
+    wrapped = Simulator(
+        SimulatorConfig(
+            seed=seed, measure_response_time=False, fault_plan=FaultPlan()
+        )
+    ).run(scenario, RamCOM)
+    assert wrapped.total_revenue == plain.total_revenue
+    assert [
+        (r.request.request_id, r.worker.worker_id, r.kind, r.payment)
+        for r in wrapped.all_records()
+    ] == [
+        (r.request.request_id, r.worker.worker_id, r.kind, r.payment)
+        for r in plain.all_records()
+    ]
 
 
 def one_sided_instance(seed: int):
