@@ -6,6 +6,9 @@ Subcommands regenerate the paper's experiments from a terminal:
 * ``figure <axis> <metric>`` — one Fig.-5 panel;
 * ``cr <algorithm>`` — a competitive-ratio study on a small instance;
 * ``chaos`` — a fault-injection sweep (docs/RESILIENCE.md);
+* ``trace`` — run one scenario with full telemetry and write
+  ``trace.jsonl`` / ``trace.chrome.json`` / ``metrics.json``
+  (docs/OBSERVABILITY.md);
 * ``quickstart`` — a tiny end-to-end demo run;
 * ``datasets`` — the simulated Table-III statistics.
 """
@@ -90,6 +93,37 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workers", type=int, default=160)
     chaos.add_argument(
         "--output", type=str, default=None, help="directory to save JSON results"
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help=(
+            "run one scenario with telemetry enabled; write trace.jsonl, "
+            "trace.chrome.json (open in Perfetto) and metrics.json"
+        ),
+    )
+    trace.add_argument(
+        "--algorithm", default="ramcom", help="registry name (default: ramcom)"
+    )
+    trace.add_argument("--requests", type=int, default=400)
+    trace.add_argument("--workers", type=int, default=100)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="also inject faults (FaultPlan.uniform) to trace the resilience path",
+    )
+    trace.add_argument(
+        "--output", type=str, default="results/trace", help="artifact directory"
+    )
+    trace.add_argument(
+        "--no-wall",
+        action="store_true",
+        help=(
+            "omit wall-clock fields: the trace becomes a deterministic "
+            "function of (scenario, seed)"
+        ),
     )
 
     sensitivity = subparsers.add_parser(
@@ -235,6 +269,58 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core import Simulator, SimulatorConfig
+    from repro.core.registry import algorithm_factory
+    from repro.faults.plan import FaultPlan
+    from repro.obs import Telemetry
+    from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+
+    scenario = SyntheticWorkload(
+        SyntheticWorkloadConfig(
+            request_count=args.requests, worker_count=args.workers, city_km=8.0
+        )
+    ).build(seed=args.seed)
+    telemetry = Telemetry(tracing=True, wall_clock=not args.no_wall)
+    fault_plan = (
+        FaultPlan.uniform(args.fault_rate) if args.fault_rate > 0.0 else None
+    )
+    config = SimulatorConfig(
+        seed=args.seed,
+        telemetry=telemetry,
+        fault_plan=fault_plan,
+        worker_reentry=True,
+        service_duration=1800.0,
+    )
+    result = Simulator(config).run(scenario, algorithm_factory(args.algorithm))
+    paths = telemetry.write_trace(args.output)
+
+    summary = result.telemetry
+    assert summary is not None
+    table = TextTable(
+        ["Span", "Count"],
+        title=(
+            f"Trace — {result.algorithm_name} on {scenario.name} "
+            f"(seed {args.seed})"
+        ),
+    )
+    for name, count in summary.span_counts.items():
+        table.add_row([name, count])
+    print(table.render())
+    decisions = sum(
+        entry["value"]
+        for entry in summary.metrics.counters.get("decisions_total", [])
+    )
+    print(
+        f"decisions: {decisions:.0f}  revenue: {result.total_revenue:.0f}  "
+        f"mean response: {result.mean_response_time_ms:.3f} ms"
+    )
+    for artifact, path in paths.items():
+        print(f"{artifact}: {path}")
+    print("open trace.chrome.json at https://ui.perfetto.dev")
+    return 0
+
+
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.experiments import sensitivity as module
 
@@ -357,6 +443,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "cr": _cmd_cr,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
     "sensitivity": _cmd_sensitivity,
     "ablation": _cmd_ablation,
     "reproduce": _cmd_reproduce,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 import random
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -31,6 +32,7 @@ from repro.core.acceptance import AcceptanceEstimator
 from repro.core.payment import MinimumOuterPaymentEstimator
 from repro.core.pricing import MaximumExpectedRevenuePricer
 from repro.errors import ExchangeUnavailableError
+from repro.obs import NULL_PROBE, Probe
 
 __all__ = [
     "DecisionKind",
@@ -132,6 +134,9 @@ class PlatformContext:
     cooperation_enabled:
         When False the exchange exposes no outer candidates (TOTA mode and
         the no-cooperation ablation).
+    probe:
+        Telemetry hook (:mod:`repro.obs`); the no-op default makes the
+        instrumented candidate queries free when telemetry is off.
     """
 
     platform_id: str
@@ -143,11 +148,22 @@ class PlatformContext:
     rng: random.Random
     value_upper_bound: float
     cooperation_enabled: bool = True
+    probe: Probe = NULL_PROBE
     extra: dict = field(default_factory=dict)
 
     def inner_candidates(self, request: Request) -> list[Worker]:
         """Eligible inner workers, nearest first."""
-        return self.exchange.inner_candidates(self.platform_id, request)
+        if not self.probe.enabled:
+            return self.exchange.inner_candidates(self.platform_id, request)
+        with self.probe.span(
+            "candidates.inner", tid=self.platform_id, request=request.request_id
+        ) as span:
+            workers = self.exchange.inner_candidates(self.platform_id, request)
+            span.annotate(count=len(workers))
+        self.probe.observe(
+            "candidate_count", len(workers), platform=self.platform_id, side="inner"
+        )
+        return workers
 
     def outer_candidates(self, request: Request) -> list[Worker]:
         """Eligible shareable outer workers, nearest first.
@@ -159,10 +175,34 @@ class PlatformContext:
         """
         if not self.cooperation_enabled:
             return []
-        try:
-            return self.exchange.outer_candidates(self.platform_id, request)
-        except ExchangeUnavailableError:
-            return []
+        if not self.probe.enabled:
+            try:
+                return self.exchange.outer_candidates(self.platform_id, request)
+            except ExchangeUnavailableError:
+                return []
+        with self.probe.span(
+            "candidates.outer", tid=self.platform_id, request=request.request_id
+        ) as span:
+            start = time.perf_counter()
+            try:
+                workers = self.exchange.outer_candidates(self.platform_id, request)
+                outcome = "ok"
+            except ExchangeUnavailableError:
+                workers = []
+                outcome = "unavailable"
+            elapsed = time.perf_counter() - start
+            span.annotate(count=len(workers), outcome=outcome)
+        self.probe.observe(
+            "exchange_rpc_seconds",
+            elapsed,
+            platform=self.platform_id,
+            peer="exchange",
+            outcome=outcome,
+        )
+        self.probe.observe(
+            "candidate_count", len(workers), platform=self.platform_id, side="outer"
+        )
+        return workers
 
 
 def run_offer_loop(
@@ -177,13 +217,41 @@ def run_offer_loop(
     chosen).  Returns SERVE_OUTER for the nearest accepting worker, or a
     cooperative REJECT when everyone declines.
     """
+    probe = context.probe
+    span = (
+        probe.span(
+            "offer_loop",
+            tid=context.platform_id,
+            request=request.request_id,
+            payment=payment,
+            candidates=len(candidates),
+        )
+        if probe.enabled
+        else None
+    )
     offers_made = 0
+    accepted: Worker | None = None
     for worker in candidates:
         offers_made += 1
         if context.oracle.offer(
             worker.worker_id, request.request_id, payment, request.value
         ):
-            return Decision.serve_outer(worker, payment, offers_made)
+            accepted = worker
+            break
+    if probe.enabled and span is not None:
+        span.annotate(
+            offers_made=offers_made,
+            outcome="accepted" if accepted is not None else "declined",
+        )
+        span.end()
+        probe.count(
+            "offers_total",
+            offers_made,
+            platform=context.platform_id,
+            outcome="accepted" if accepted is not None else "declined",
+        )
+    if accepted is not None:
+        return Decision.serve_outer(accepted, payment, offers_made)
     return Decision.reject(cooperative_attempt=True, offers_made=offers_made)
 
 

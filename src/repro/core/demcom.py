@@ -52,11 +52,15 @@ class DemCOM(OnlineAlgorithm):
         # Line 12: Algorithm 2 estimates the minimum outer payment.
         candidate_ids = [worker.worker_id for worker in outer]
         estimate = context.payment_estimator.estimate(
-            request.value, candidate_ids, context.rng
+            request.value, candidate_ids, context.rng, probe=context.probe
         )
         payment = estimate.payment
         if payment > request.value:
             # Lines 13-14: the platform would lose money; no offers are made.
+            if context.probe.enabled:
+                context.probe.count(
+                    "payment_rejections_total", platform=context.platform_id
+                )
             return Decision.reject()
 
         # Lines 15-26: live offers at v'_r; nearest accepting worker wins

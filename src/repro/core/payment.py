@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.core.acceptance import AcceptanceEstimator
 from repro.errors import ConfigurationError
+from repro.obs import NULL_PROBE, Probe
 
 __all__ = ["MinimumOuterPaymentEstimator", "PaymentEstimate", "sample_count"]
 
@@ -112,11 +113,16 @@ class MinimumOuterPaymentEstimator:
         request_value: float,
         worker_ids: Sequence[Hashable],
         rng: random.Random,
+        probe: Probe = NULL_PROBE,
     ) -> PaymentEstimate:
         """Run Algorithm 2 for a request of value ``request_value``.
 
         ``worker_ids`` are the outer candidates already filtered for the
         Definition-2.6 constraints (Algorithm 1, line 8 computes that set).
+        ``probe`` receives a ``payment.estimate`` span plus the
+        Monte-Carlo instance / bisection-iteration accounting; the no-op
+        default never draws from ``rng`` differently, so telemetry cannot
+        perturb the estimate.
         """
         if request_value <= 0:
             raise ConfigurationError(
@@ -130,9 +136,21 @@ class MinimumOuterPaymentEstimator:
                 rejected_instances=self.samples,
             )
 
+        span = (
+            probe.span(
+                "payment.estimate",
+                category="payment",
+                value=request_value,
+                candidates=len(worker_ids),
+                samples=self.samples,
+            )
+            if probe.enabled
+            else None
+        )
         tolerance = max(self.epsilon, self.xi * request_value)
         total = 0.0
         rejected = 0
+        iterations = 0
         for _ in range(self.samples):
             if not self._anyone_accepts(
                 request_value, request_value, worker_ids, rng
@@ -144,6 +162,7 @@ class MinimumOuterPaymentEstimator:
             high = request_value
             mid = high / 2.0
             while high - low > tolerance:
+                iterations += 1
                 if self._anyone_accepts(mid, request_value, worker_ids, rng):
                     high = mid
                 else:
@@ -157,8 +176,20 @@ class MinimumOuterPaymentEstimator:
             # ~17%), which is precisely what motivates RamCOM's
             # expected-revenue pricing.
             total += mid
-        return PaymentEstimate(
+        estimate = PaymentEstimate(
             payment=total / self.samples,
             samples=self.samples,
             rejected_instances=rejected,
         )
+        if probe.enabled:
+            probe.count("payment_mc_instances", self.samples)
+            probe.count("payment_mc_iterations", iterations)
+            probe.observe("payment_mc_iterations_per_estimate", iterations)
+            if span is not None:
+                span.annotate(
+                    payment=estimate.payment,
+                    rejected_instances=rejected,
+                    bisection_iterations=iterations,
+                )
+                span.end()
+        return estimate

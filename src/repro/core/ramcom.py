@@ -82,10 +82,22 @@ class RamCOM(OnlineAlgorithm):
 
         # Lines 4-7: big-value requests go to a random eligible inner worker.
         if request.value > self._threshold:
+            if context.probe.enabled:
+                context.probe.count(
+                    "ramcom_routes_total",
+                    platform=context.platform_id,
+                    route="inner_reserved",
+                )
             inner = context.inner_candidates(request)
             if inner:
                 worker = context.rng.choice(inner)
                 return Decision.serve_inner(worker)
+        elif context.probe.enabled:
+            context.probe.count(
+                "ramcom_routes_total",
+                platform=context.platform_id,
+                route="cooperative",
+            )
             # No inner available: fall through to the cooperative path, as in
             # the paper's Example 3 (r_3 exceeds the threshold but is served
             # by an outer worker because every inner worker is busy).
@@ -98,7 +110,18 @@ class RamCOM(OnlineAlgorithm):
         if not outer:
             return Decision.reject()
         candidate_ids = [worker.worker_id for worker in outer]
-        quote = context.pricer.quote(request.value, candidate_ids)
+        if context.probe.enabled:
+            with context.probe.span(
+                "pricer.quote",
+                category="payment",
+                tid=context.platform_id,
+                request=request.request_id,
+                candidates=len(candidate_ids),
+            ) as span:
+                quote = context.pricer.quote(request.value, candidate_ids)
+                span.annotate(payment=quote.payment)
+        else:
+            quote = context.pricer.quote(request.value, candidate_ids)
         payment = quote.payment
         if payment > request.value or payment <= 0.0:
             return Decision.reject()

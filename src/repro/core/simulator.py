@@ -36,6 +36,7 @@ from repro.errors import (
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import CircuitBreakerConfig, FaultPlan, RetryPolicy
 from repro.faults.resilient import ResilienceStats, ResilientExchange
+from repro.obs import NULL_PROBE, Telemetry, TelemetrySummary
 from repro.utils.memory import approximate_size_bytes
 from repro.utils.rng import SeedSequence
 from repro.utils.timer import Stopwatch, TimingAccumulator
@@ -124,6 +125,13 @@ class SimulatorConfig:
     retry_policy: RetryPolicy | None = None
     #: Per-peer circuit breaker tunables (defaults when None).
     breaker: CircuitBreakerConfig | None = None
+    #: Telemetry bundle (:class:`repro.obs.Telemetry`): a live metrics
+    #: registry plus (optionally) a span tracer, surfaced after the run as
+    #: ``SimulationResult.telemetry``.  ``None`` (the default) routes every
+    #: probe point to the no-op probe — the measured-negligible disabled
+    #: path.  Pass a *fresh* bundle per run unless pooling across runs is
+    #: intended (the registry accumulates).
+    telemetry: Telemetry | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -177,6 +185,9 @@ class SimulationResult:
     memory_bytes: int = 0
     #: Populated when ``SimulatorConfig.decision_log`` is on.
     decisions: list[DecisionLogEntry] = field(default_factory=list)
+    #: Populated when ``SimulatorConfig.telemetry`` was set: the run's
+    #: metrics snapshot plus trace statistics.
+    telemetry: TelemetrySummary | None = None
 
     @property
     def total_revenue(self) -> float:
@@ -297,6 +308,9 @@ class Simulator:
         """
         config = self.config
         seeds = SeedSequence(config.seed)
+        probe = (
+            config.telemetry.probe if config.telemetry is not None else NULL_PROBE
+        )
         exchange: CooperationExchange | ResilientExchange = CooperationExchange(
             scenario.platform_ids,
             cell_size_km=config.cell_size_km,
@@ -309,6 +323,7 @@ class Simulator:
                 FaultInjector(config.fault_plan),
                 retry_policy=config.retry_policy,
                 breaker_config=config.breaker,
+                probe=probe,
             )
             exchange = resilient
         # The estimator interprets histories in the same space (relative
@@ -341,6 +356,7 @@ class Simulator:
                 rng=seeds.child("algorithm").rng(platform_id),
                 value_upper_bound=scenario.value_upper_bound,
                 cooperation_enabled=config.cooperation_enabled,
+                probe=probe,
             )
             algorithm.reset(context)
             algorithms[platform_id] = algorithm
@@ -373,6 +389,10 @@ class Simulator:
         def run_flush(platform_id: str, time: float) -> None:
             nonlocal reentry_sequence
             resolved = algorithms[platform_id].flush(time, contexts[platform_id])
+            if resolved and probe.enabled:
+                probe.instant(
+                    "flush", tid=platform_id, resolved=len(resolved)
+                )
             for flushed_request, flushed_decision in resolved:
                 if flushed_request.request_id not in deferred:
                     raise SimulationError(
@@ -388,6 +408,12 @@ class Simulator:
                 if flushed_decision.cooperative_attempt:
                     outcome.cooperative_attempts += 1
                     outcome.offers_made += flushed_decision.offers_made
+                if probe.enabled:
+                    probe.count(
+                        "decisions_total",
+                        platform=flushed_request.platform_id,
+                        kind=flushed_decision.kind.value,
+                    )
                 reentry_sequence = self._apply_decision(
                     flushed_decision,
                     flushed_request,
@@ -400,9 +426,21 @@ class Simulator:
                     decision_entries,
                 )
 
+        run_span = (
+            probe.span(
+                "simulation.run",
+                tid="simulator",
+                scenario=scenario.name,
+                algorithm=algorithm_name,
+                seed=config.seed,
+            )
+            if probe.enabled
+            else None
+        )
         last_event_time = 0.0
         for event in scenario.events:
             last_event_time = max(last_event_time, event.time)
+            probe.advance(event.time)
             if resilient is not None:
                 resilient.advance_to(event.time)
             # Inject any workers whose service completed before this event.
@@ -441,6 +479,10 @@ class Simulator:
                         worker_id=worker.worker_id,
                     )
                 exchange.worker_arrives(worker)
+                if probe.enabled:
+                    probe.count(
+                        "worker_arrivals_total", platform=worker.platform_id
+                    )
                 if worker.departure_time is not None:
                     heapq.heappush(
                         departure_heap, (worker.departure_time, worker.worker_id)
@@ -462,16 +504,41 @@ class Simulator:
                 )
             outcome = outcomes[platform_id]
 
+            decision_span = (
+                probe.span(
+                    "decision",
+                    tid=platform_id,
+                    request=request.request_id,
+                    value=request.value,
+                )
+                if probe.enabled
+                else None
+            )
             if config.measure_response_time:
                 with Stopwatch() as watch:
                     decision = algorithms[platform_id].decide(
                         request, contexts[platform_id]
                     )
-                outcome.response_time.record(watch.elapsed_seconds)
+                if not watch.failed:
+                    outcome.response_time.record(watch.elapsed_seconds)
             else:
                 decision = algorithms[platform_id].decide(
                     request, contexts[platform_id]
                 )
+            if decision_span is not None:
+                decision_span.annotate(kind=decision.kind.value)
+                decision_span.end()
+                probe.count(
+                    "decisions_total",
+                    platform=platform_id,
+                    kind=decision.kind.value,
+                )
+                if config.measure_response_time:
+                    probe.observe(
+                        "decision_seconds",
+                        watch.elapsed_seconds,
+                        platform=platform_id,
+                    )
 
             if decision.kind is DecisionKind.DEFER:
                 deferred[request.request_id] = request
@@ -498,6 +565,12 @@ class Simulator:
             run_flush(platform_id, float("inf"))
         for leftover in list(deferred.values()):
             outcomes[leftover.platform_id].ledger.record_rejection(leftover)
+            if probe.enabled:
+                probe.count(
+                    "decisions_total",
+                    platform=leftover.platform_id,
+                    kind="auto_reject",
+                )
         deferred.clear()
 
         if resilient is not None:
@@ -520,6 +593,24 @@ class Simulator:
             }
         )
 
+        telemetry_summary: TelemetrySummary | None = None
+        if config.telemetry is not None:
+            if probe.enabled:
+                probe.gauge("memory_bytes", memory_bytes)
+                for pid in scenario.platform_ids:
+                    probe.gauge(
+                        "waiting_workers",
+                        len(exchange.inner_list(pid)),
+                        platform=pid,
+                    )
+            if run_span is not None:
+                run_span.annotate(
+                    requests=scenario.request_count,
+                    workers=scenario.worker_count,
+                )
+                run_span.end()
+            telemetry_summary = config.telemetry.summary()
+
         return SimulationResult(
             algorithm_name=algorithm_name,
             scenario_name=scenario.name,
@@ -527,6 +618,7 @@ class Simulator:
             platforms=outcomes,
             memory_bytes=memory_bytes,
             decisions=decision_entries,
+            telemetry=telemetry_summary,
         )
 
     def _apply_decision(
@@ -581,6 +673,20 @@ class Simulator:
                 request_id=request.request_id,
                 worker_id=worker.worker_id,
             )
+        probe = (
+            config.telemetry.probe if config.telemetry is not None else NULL_PROBE
+        )
+        claim_span = (
+            probe.span(
+                "exchange.claim",
+                category="exchange",
+                tid=request.platform_id,
+                worker=worker.worker_id,
+                outer=decision.kind is DecisionKind.SERVE_OUTER,
+            )
+            if probe.enabled
+            else None
+        )
         try:
             exchange.claim(worker.worker_id, claimant=request.platform_id)
         except (ClaimConflictError, ExchangeUnavailableError):
@@ -589,8 +695,22 @@ class Simulator:
             # down mid-claim): the request is rejected, never re-matched
             # (the paper's invariable constraint), and the failure is
             # already accounted by the resilience wrapper.
+            if claim_span is not None:
+                claim_span.annotate(outcome="conflict")
+                claim_span.end()
+                probe.count(
+                    "claims_total",
+                    platform=request.platform_id,
+                    outcome="conflict",
+                )
             outcome.ledger.record_rejection(request)
             return reentry_sequence
+        if claim_span is not None:
+            claim_span.annotate(outcome="ok")
+            claim_span.end()
+            probe.count(
+                "claims_total", platform=request.platform_id, outcome="ok"
+            )
 
         kind = (
             AssignmentKind.INNER
@@ -628,6 +748,10 @@ class Simulator:
         )
         if config.worker_reentry and not past_shift:
             reentry_sequence += 1
+            if probe.enabled:
+                probe.count(
+                    "worker_reentries_total", platform=worker.platform_id
+                )
             return_time = request.arrival_time + occupation
             returned = self._reentered_worker(worker, request, return_time, scenario)
             acceptance.set_history(

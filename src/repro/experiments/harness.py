@@ -35,21 +35,31 @@ class ExperimentConfig:
         requests per day — Table III's |CpR| >> |W| requires it).
     simulator:
         Base simulator config; per-seed runs override only the seed.
+    telemetry:
+        Attach a fresh :class:`repro.obs.Telemetry` (metrics only) to each
+        per-seed run; the averaged row then carries the pooled
+        :class:`~repro.obs.TelemetrySummary` into the JSON reports.
     """
 
     seeds: tuple[int, ...] = (0, 1, 2)
     worker_reentry: bool = True
     service_duration: float = 1800.0
     simulator: SimulatorConfig = field(default_factory=SimulatorConfig)
+    telemetry: bool = False
 
     def simulator_config(self, seed: int) -> SimulatorConfig:
         """The per-seed simulator configuration."""
-        return replace(
+        config = replace(
             self.simulator,
             seed=seed,
             worker_reentry=self.worker_reentry,
             service_duration=self.service_duration,
         )
+        if self.telemetry and config.telemetry is None:
+            from repro.obs import Telemetry
+
+            config.telemetry = Telemetry()
+        return config
 
 
 def run_algorithm(

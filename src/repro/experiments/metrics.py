@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines.offline import OfflineSolution
 from repro.core.simulator import SimulationResult
+from repro.obs import TelemetrySummary
 
 __all__ = ["AlgorithmMetrics", "average_metrics"]
 
@@ -51,6 +52,9 @@ class AlgorithmMetrics:
     degraded_decisions: float = 0.0
     dropped_workers: float = 0.0
     outage_seconds: float = 0.0
+    #: Telemetry digest (``None`` unless the run had a telemetry bundle).
+    #: Averaged rows pool summaries across seeds (counts sum).
+    telemetry: TelemetrySummary | None = None
 
     @property
     def total_revenue(self) -> float:
@@ -92,6 +96,7 @@ class AlgorithmMetrics:
             degraded_decisions=float(result.total_degraded_decisions),
             dropped_workers=float(result.total_dropped_workers),
             outage_seconds=result.total_outage_seconds,
+            telemetry=result.telemetry,
         )
 
     @classmethod
@@ -174,4 +179,10 @@ def average_metrics(rows: Sequence[AlgorithmMetrics]) -> AlgorithmMetrics:
         "outage_seconds",
     ):
         setattr(averaged, name, sum(getattr(row, name) for row in rows) / count)
+    summaries = [row.telemetry for row in rows if row.telemetry is not None]
+    if summaries:
+        pooled = summaries[0]
+        for summary in summaries[1:]:
+            pooled = pooled.merge(summary)
+        averaged.telemetry = pooled
     return averaged

@@ -38,6 +38,7 @@ def metrics_to_dict(row: AlgorithmMetrics) -> dict:
         "degraded_decisions": row.degraded_decisions,
         "dropped_workers": row.dropped_workers,
         "outage_seconds": row.outage_seconds,
+        "telemetry": row.telemetry.as_dict() if row.telemetry is not None else None,
     }
 
 

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 from repro.errors import ClaimConflictError, ExchangeUnavailableError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import CircuitBreakerConfig, RetryPolicy
+from repro.obs import NULL_PROBE, Probe
 
 if TYPE_CHECKING:  # avoid importing core at runtime (layering)
     from repro.core.entities import Request, Worker
@@ -132,11 +133,13 @@ class ResilientExchange:
         injector: FaultInjector,
         retry_policy: RetryPolicy | None = None,
         breaker_config: CircuitBreakerConfig | None = None,
+        probe: Probe = NULL_PROBE,
     ):
         self._inner = exchange
         self._injector = injector
         self._policy = retry_policy or RetryPolicy()
         self._breaker_config = breaker_config or CircuitBreakerConfig()
+        self._probe = probe
         self._now = 0.0
         self._stats: dict[str, ResilienceStats] = {
             platform_id: ResilienceStats() for platform_id in exchange.platform_ids
@@ -190,10 +193,24 @@ class ResilientExchange:
         return breaker
 
     def _record_failure(
-        self, breaker: CircuitBreaker, stats: ResilienceStats
+        self,
+        breaker: CircuitBreaker,
+        stats: ResilienceStats,
+        platform_id: str = "",
+        peer_id: str = "",
     ) -> None:
         if breaker.record_failure(self._now):
             stats.breaker_trips += 1
+            if self._probe.enabled:
+                self._probe.instant(
+                    "breaker.open",
+                    category="faults",
+                    tid=platform_id,
+                    peer=peer_id,
+                )
+                self._probe.count(
+                    "breaker_trips_total", platform=platform_id, peer=peer_id
+                )
 
     # -- transparent delegations ----------------------------------------------
 
@@ -250,6 +267,13 @@ class ResilientExchange:
         if self._injector.outage_active(platform_id, now):
             # Our own link to the exchange is down: no cooperative view.
             stats.degraded_decisions += 1
+            if self._probe.enabled:
+                self._probe.count(
+                    "degraded_decisions_total", platform=platform_id
+                )
+                self._probe.instant(
+                    "exchange.outage", category="faults", tid=platform_id
+                )
             raise ExchangeUnavailableError(
                 "platform link to the cooperation exchange is down",
                 time=now,
@@ -257,6 +281,7 @@ class ResilientExchange:
                 request_id=request.request_id,
             )
 
+        probe = self._probe
         reachable: list[str] = []
         skipped = 0
         for peer_id in self._inner.platform_ids:
@@ -265,10 +290,26 @@ class ResilientExchange:
             breaker = self._breaker(platform_id, peer_id)
             if not breaker.allows(now):
                 skipped += 1
+                if probe.enabled:
+                    probe.count(
+                        "peer_probes_total",
+                        platform=platform_id,
+                        peer=peer_id,
+                        outcome="breaker_open",
+                    )
                 continue
             if self._injector.outage_active(peer_id, now):
                 skipped += 1
-                self._record_failure(breaker, stats)
+                self._record_failure(breaker, stats, platform_id, peer_id)
+                if probe.enabled:
+                    # An RPC into an outage burns the whole call budget.
+                    probe.observe(
+                        "exchange_rpc_seconds",
+                        self._policy.call_timeout_s,
+                        platform=platform_id,
+                        peer=peer_id,
+                        outcome="outage",
+                    )
                 continue
             delay = self._injector.message_delay(
                 platform_id, peer_id, request.request_id
@@ -277,13 +318,39 @@ class ResilientExchange:
                 stats.delayed_messages += 1
             if delay > self._policy.call_timeout_s:
                 skipped += 1
-                self._record_failure(breaker, stats)
+                self._record_failure(breaker, stats, platform_id, peer_id)
+                if probe.enabled:
+                    probe.observe(
+                        "exchange_rpc_seconds",
+                        delay,
+                        platform=platform_id,
+                        peer=peer_id,
+                        outcome="timeout",
+                    )
                 continue
+            healed = breaker.state == "half_open"
             breaker.record_success(now)
+            if probe.enabled:
+                probe.observe(
+                    "exchange_rpc_seconds",
+                    delay,
+                    platform=platform_id,
+                    peer=peer_id,
+                    outcome="ok",
+                )
+                if healed:
+                    probe.instant(
+                        "breaker.close",
+                        category="faults",
+                        tid=platform_id,
+                        peer=peer_id,
+                    )
             reachable.append(peer_id)
 
         if skipped:
             stats.degraded_decisions += 1
+            if probe.enabled:
+                probe.count("degraded_decisions_total", platform=platform_id)
         if not reachable and skipped:
             raise ExchangeUnavailableError(
                 "no cooperating peer is reachable",
@@ -311,6 +378,7 @@ class ResilientExchange:
             self._breaker(claimant, home) if outer and home is not None else None
         )
 
+        probe = self._probe
         if home is not None and self._injector.worker_drops_out(worker_id):
             # The worker is gone for good: remove them from every list
             # (exactly once) and fail the assignment.
@@ -318,7 +386,17 @@ class ResilientExchange:
             if stats is not None:
                 stats.dropped_workers += 1
             if breaker is not None:
-                self._record_failure(breaker, stats)
+                self._record_failure(breaker, stats, claimant or "", home or "")
+            if probe.enabled:
+                probe.instant(
+                    "claim.dropout",
+                    category="faults",
+                    tid=owner or "",
+                    worker=worker_id,
+                )
+                probe.count(
+                    "claims_total", platform=owner or "", outcome="dropout"
+                )
             raise ClaimConflictError(
                 "worker dropped out mid-assignment",
                 time=self._now,
@@ -333,7 +411,15 @@ class ResilientExchange:
                 if stats is not None:
                     stats.failed_claims += 1
                 if breaker is not None:
-                    self._record_failure(breaker, stats)
+                    self._record_failure(
+                        breaker, stats, claimant or "", home or ""
+                    )
+                if probe.enabled:
+                    probe.count(
+                        "claims_total",
+                        platform=owner or "",
+                        outcome="retries_exhausted",
+                    )
                 raise ClaimConflictError(
                     f"claim lost {attempt} races, retries exhausted",
                     time=self._now,
@@ -342,9 +428,23 @@ class ResilientExchange:
                 )
             if stats is not None:
                 stats.retries += 1
-                stats.retry_backoff_seconds += self._policy.backoff_for(
+                backoff = self._policy.backoff_for(
                     attempt - 1, self._injector.backoff_rng(worker_id, attempt)
                 )
+                stats.retry_backoff_seconds += backoff
+                if probe.enabled:
+                    probe.instant(
+                        "claim.retry",
+                        category="faults",
+                        tid=owner or "",
+                        worker=worker_id,
+                        attempt=attempt,
+                        backoff_s=backoff,
+                    )
+                    probe.count("claim_retries_total", platform=owner or "")
+                    probe.observe(
+                        "claim_backoff_seconds", backoff, platform=owner or ""
+                    )
 
         if breaker is not None:
             breaker.record_success(self._now)

@@ -1,0 +1,46 @@
+"""Unified telemetry substrate: metrics, tracing, and profiling hooks.
+
+Zero-dependency observability for the COM engine, in three pillars:
+
+* :mod:`repro.obs.metrics` — a labelled-series **metrics registry**
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram`) with
+  deterministic, mergeable snapshots;
+* :mod:`repro.obs.tracing` — a **span tracer** emitting structured JSONL
+  and Chrome/Perfetto trace-event JSON;
+* :mod:`repro.obs.probe` — the **profiling-hook seam**: engine components
+  call a :class:`Probe` at phase boundaries; the default
+  :data:`NULL_PROBE` is a measured-negligible no-op, and
+  :class:`Telemetry` bundles a live registry + tracer for a run.
+
+Layering: ``repro.obs`` sits below :mod:`repro.core` and imports nothing
+from the rest of the package (mirroring :mod:`repro.utils`).  See
+docs/OBSERVABILITY.md for the architecture, probe-point catalogue and
+trace schema.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.probe import NULL_PROBE, NullProbe, Probe, Telemetry, TelemetryProbe
+from repro.obs.summary import TelemetrySummary
+from repro.obs.tracing import SpanHandle, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Probe",
+    "NullProbe",
+    "NULL_PROBE",
+    "TelemetryProbe",
+    "Telemetry",
+    "TelemetrySummary",
+    "SpanHandle",
+    "Tracer",
+]

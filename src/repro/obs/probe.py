@@ -1,0 +1,185 @@
+"""Profiling hooks — the :class:`Probe` seam between engine and telemetry.
+
+Every instrumented component (:class:`~repro.core.simulator.Simulator`,
+:class:`~repro.core.base.PlatformContext`, the offer loop, the payment
+estimator, :class:`~repro.faults.resilient.ResilientExchange`) talks to a
+``Probe`` and nothing else.  Two implementations exist:
+
+* :data:`NULL_PROBE` — the default.  Every method is a constant-time
+  no-op and ``span()`` returns a shared null context manager, so the
+  disabled path costs a few attribute lookups per decision; the
+  ``benchmarks/bench_telemetry_overhead.py`` guard keeps it under the
+  budget in ISSUE terms (<= 5% of mean decision latency).
+  Components can also branch on ``probe.enabled`` to skip building label
+  dicts entirely.
+* :class:`TelemetryProbe` — routes counts/observations into a
+  :class:`~repro.obs.metrics.MetricsRegistry` and (optionally) spans and
+  instants into a :class:`~repro.obs.tracing.Tracer`.
+
+The probe owns the *sim clock*: the simulator calls :meth:`Probe.advance`
+as the event stream progresses and every span/instant is stamped with the
+current sim time — the deterministic timeline of the trace.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry, MetricsSnapshot
+from repro.obs.summary import TelemetrySummary
+from repro.obs.tracing import SpanHandle, Tracer
+
+__all__ = ["Probe", "NullProbe", "NULL_PROBE", "TelemetryProbe", "Telemetry"]
+
+
+class _NullSpan:
+    """The shared do-nothing span handle."""
+
+    __slots__ = ()
+
+    def annotate(self, **fields: object) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Probe:
+    """The phase-boundary hook protocol (also the no-op base).
+
+    Subclasses override whichever hooks they care about; the base class
+    implements every hook as a no-op so new probe points never break
+    existing probes.
+    """
+
+    #: Fast-path flag: instrumented code may skip label-building work
+    #: (timers, dicts) when this is False.
+    enabled: bool = False
+
+    #: The current simulation time, advanced by the engine.
+    sim_time: float = 0.0
+
+    def advance(self, sim_time: float) -> None:
+        """Move the probe's sim clock forward (never backward)."""
+        if sim_time > self.sim_time:
+            self.sim_time = sim_time
+
+    def span(self, name: str, category: str = "sim", **fields: object):
+        """Open a span at the current sim time (context manager)."""
+        return _NULL_SPAN
+
+    def instant(self, name: str, category: str = "sim", **fields: object) -> None:
+        """Record a point event at the current sim time."""
+
+    def count(self, name: str, value: float = 1.0, **labels: str) -> None:
+        """Increment a labelled counter."""
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record a histogram observation."""
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a labelled gauge level."""
+
+
+class NullProbe(Probe):
+    """Explicit alias of the no-op base (what you get when telemetry is
+    off)."""
+
+
+#: Shared no-op instance used as the default everywhere.
+NULL_PROBE = NullProbe()
+
+
+class TelemetryProbe(Probe):
+    """A probe backed by a registry and an optional tracer."""
+
+    enabled = True
+
+    def __init__(self, registry: MetricsRegistry, tracer: Tracer | None = None):
+        self.registry = registry
+        self.tracer = tracer
+        self.sim_time = 0.0
+
+    def span(self, name: str, category: str = "sim", **fields: object):
+        if self.tracer is None:
+            return _NULL_SPAN
+        return self.tracer.span(name, self.sim_time, category, **fields)
+
+    def instant(self, name: str, category: str = "sim", **fields: object) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(name, self.sim_time, category, **fields)
+
+    def count(self, name: str, value: float = 1.0, **labels: str) -> None:
+        self.registry.counter(name).inc(value, **labels)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.registry.histogram(name).observe(value, **labels)
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        self.registry.gauge(name).set(value, **labels)
+
+
+class Telemetry:
+    """One run's telemetry bundle: registry + optional tracer + probe.
+
+    Pass an instance as ``SimulatorConfig(telemetry=...)``; after the run,
+    :meth:`summary` yields the :class:`TelemetrySummary` that also lands
+    on ``SimulationResult.telemetry``, and — with ``tracing=True`` —
+    :meth:`write_trace` dumps ``trace.jsonl`` and ``trace.chrome.json``.
+
+    Parameters
+    ----------
+    tracing:
+        Record spans/instants (metrics are always on).
+    wall_clock:
+        Include real profiling timings in trace records; turn off for
+        byte-reproducible traces (see docs/OBSERVABILITY.md).
+    """
+
+    def __init__(self, tracing: bool = False, wall_clock: bool = True):
+        self.registry = MetricsRegistry()
+        self.tracer: Tracer | None = Tracer(wall_clock=wall_clock) if tracing else None
+        self.probe: Probe = TelemetryProbe(self.registry, self.tracer)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The registry's current snapshot."""
+        return self.registry.snapshot()
+
+    def summary(self) -> TelemetrySummary:
+        """Metrics snapshot plus trace statistics."""
+        tracer = self.tracer
+        return TelemetrySummary(
+            metrics=self.registry.snapshot(),
+            trace_events=tracer.event_count if tracer is not None else 0,
+            span_counts=tracer.span_counts() if tracer is not None else {},
+        )
+
+    def write_trace(self, directory) -> dict[str, str]:
+        """Write ``trace.jsonl`` + ``trace.chrome.json`` + ``metrics.json``
+        under ``directory``; returns the written paths by artifact name."""
+        import json
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: dict[str, str] = {}
+        if self.tracer is not None:
+            jsonl = directory / "trace.jsonl"
+            self.tracer.write_jsonl(jsonl)
+            paths["trace_jsonl"] = str(jsonl)
+            chrome = directory / "trace.chrome.json"
+            self.tracer.export_chrome(chrome)
+            paths["trace_chrome"] = str(chrome)
+        metrics = directory / "metrics.json"
+        metrics.write_text(
+            json.dumps(self.registry.snapshot().as_dict(), indent=2, sort_keys=True)
+        )
+        paths["metrics"] = str(metrics)
+        return paths

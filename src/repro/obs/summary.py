@@ -1,0 +1,59 @@
+"""The per-run telemetry digest attached to simulation results.
+
+:class:`TelemetrySummary` is the JSON-facing view of one run's telemetry:
+the full metrics snapshot plus light trace statistics.  It merges the way
+the underlying snapshots do (counters/histograms sum), so per-platform or
+per-run summaries pool into exactly the global one — the property tests
+in ``tests/test_property_invariants.py`` pin that down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsSnapshot
+
+__all__ = ["TelemetrySummary"]
+
+
+@dataclass(frozen=True)
+class TelemetrySummary:
+    """Metrics snapshot + trace statistics for one simulation run."""
+
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    #: Total trace records (spans + instants); 0 when tracing was off.
+    trace_events: int = 0
+    #: Span count per span name (empty when tracing was off).
+    span_counts: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (used by the reporting layer)."""
+        return {
+            "metrics": self.metrics.as_dict(),
+            "trace_events": self.trace_events,
+            "span_counts": dict(self.span_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TelemetrySummary":
+        """Rebuild a summary from :meth:`as_dict` output."""
+        return cls(
+            metrics=MetricsSnapshot.from_dict(payload.get("metrics", {})),
+            trace_events=payload.get("trace_events", 0),
+            span_counts=dict(payload.get("span_counts", {})),
+        )
+
+    def merge(self, other: "TelemetrySummary") -> "TelemetrySummary":
+        """Pool two summaries (metrics merge; trace stats sum)."""
+        span_counts = dict(self.span_counts)
+        for name, count in other.span_counts.items():
+            span_counts[name] = span_counts.get(name, 0) + count
+        return TelemetrySummary(
+            metrics=self.metrics.merge(other.metrics),
+            trace_events=self.trace_events + other.trace_events,
+            span_counts=dict(sorted(span_counts.items())),
+        )
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        """Convenience passthrough to the snapshot."""
+        return self.metrics.counter_value(name, **labels)

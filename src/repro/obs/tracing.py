@@ -1,0 +1,249 @@
+"""Structured span tracing with Chrome-trace export.
+
+The tracer records a run as a flat list of *span* and *instant* records.
+Each record carries two timelines:
+
+* **Deterministic fields** — ``sim_time`` (the simulation clock at the
+  span's opening), ``seq``/``end_seq`` (a global monotone event counter)
+  and the span's name/category/args.  For a fixed scenario and seed these
+  are a pure function of the run, so a :class:`Tracer` built with
+  ``wall_clock=False`` writes byte-identical JSONL across invocations.
+* **Non-deterministic fields** — real profiling data (``perf_counter``
+  start and duration, microseconds) kept under the clearly-labelled
+  ``"wall"`` key, present only when ``wall_clock=True``.
+
+The Chrome export (:meth:`Tracer.export_chrome`) emits the trace-event
+JSON understood by ``chrome://tracing`` and https://ui.perfetto.dev: one
+``"X"`` (complete) event per span, one ``"i"`` event per instant, one
+thread lane per ``tid`` label (the simulator uses platform ids).  With
+wall-clock data the time axis is real microseconds; without it, the
+deterministic ``seq`` counter is used so traces stay inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO
+
+__all__ = ["Tracer", "SpanHandle"]
+
+
+class SpanHandle:
+    """An open span; close with ``__exit__`` or :meth:`end`."""
+
+    __slots__ = ("_tracer", "_record", "_wall_start")
+
+    def __init__(self, tracer: "Tracer", record: dict, wall_start: float | None):
+        self._tracer = tracer
+        self._record = record
+        self._wall_start = wall_start
+
+    def annotate(self, **fields: object) -> None:
+        """Attach result fields (e.g. the decision kind) before the span
+        closes."""
+        self._record["args"].update(fields)
+
+    def end(self) -> None:
+        """Close the span (idempotent)."""
+        record = self._record
+        if record.get("end_seq") is not None:
+            return
+        tracer = self._tracer
+        record["end_seq"] = tracer._next_seq()
+        if self._wall_start is not None:
+            record["wall"]["dur_us"] = round(
+                (time.perf_counter() - self._wall_start) * 1e6, 3
+            )
+        tracer._open_spans -= 1
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.end()
+
+
+class Tracer:
+    """Collects span/instant records for one run.
+
+    Parameters
+    ----------
+    wall_clock:
+        Record real ``perf_counter`` timings under each record's
+        ``"wall"`` key.  ``False`` yields fully deterministic output for
+        a fixed (scenario, seed) — the determinism tests rely on it.
+    """
+
+    def __init__(self, wall_clock: bool = True):
+        self.wall_clock = wall_clock
+        self._records: list[dict] = []
+        self._seq = 0
+        self._open_spans = 0
+        #: perf_counter at construction; wall timestamps are relative to
+        #: it so traces start near t=0.
+        self._wall_epoch = time.perf_counter() if wall_clock else 0.0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- recording ----------------------------------------------------------
+
+    def span(
+        self, name: str, sim_time: float, category: str = "sim", **fields: object
+    ) -> SpanHandle:
+        """Open a span; use as a context manager or call ``end()``."""
+        record: dict = {
+            "type": "span",
+            "name": name,
+            "cat": category,
+            "sim_time": sim_time,
+            "seq": self._next_seq(),
+            "end_seq": None,
+            "args": dict(fields),
+        }
+        wall_start: float | None = None
+        if self.wall_clock:
+            wall_start = time.perf_counter()
+            record["wall"] = {
+                "start_us": round((wall_start - self._wall_epoch) * 1e6, 3),
+                "dur_us": None,
+            }
+        self._records.append(record)
+        self._open_spans += 1
+        return SpanHandle(self, record, wall_start)
+
+    def instant(
+        self, name: str, sim_time: float, category: str = "sim", **fields: object
+    ) -> None:
+        """Record a point event (e.g. a breaker transition)."""
+        record: dict = {
+            "type": "instant",
+            "name": name,
+            "cat": category,
+            "sim_time": sim_time,
+            "seq": self._next_seq(),
+            "args": dict(fields),
+        }
+        if self.wall_clock:
+            record["wall"] = {
+                "start_us": round(
+                    (time.perf_counter() - self._wall_epoch) * 1e6, 3
+                )
+            }
+        self._records.append(record)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def event_count(self) -> int:
+        """Total records so far (spans + instants)."""
+        return len(self._records)
+
+    def records(self) -> list[dict]:
+        """The raw records, in opening order (do not mutate)."""
+        return list(self._records)
+
+    def span_counts(self) -> dict[str, int]:
+        """Span count per name (closed or open), sorted by name."""
+        counts: dict[str, int] = {}
+        for record in self._records:
+            if record["type"] == "span":
+                counts[record["name"]] = counts.get(record["name"], 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- export -------------------------------------------------------------
+
+    def write_jsonl(self, target: str | Path | IO[str]) -> None:
+        """Write one JSON object per line, in opening order.
+
+        Keys are sorted and floats are plain ``repr``, so two tracers with
+        identical deterministic histories (``wall_clock=False``) produce
+        byte-identical files.
+        """
+        if hasattr(target, "write"):
+            self._write_jsonl(target)  # type: ignore[arg-type]
+        else:
+            with open(target, "w") as handle:
+                self._write_jsonl(handle)
+
+    def _write_jsonl(self, handle: IO[str]) -> None:
+        for record in self._records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+
+    def export_chrome(self, target: str | Path | IO[str]) -> None:
+        """Write Chrome trace-event JSON (open in Perfetto or
+        ``chrome://tracing``)."""
+        events = self.chrome_events()
+        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        if hasattr(target, "write"):
+            json.dump(payload, target, sort_keys=True)  # type: ignore[arg-type]
+        else:
+            with open(target, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+
+    def chrome_events(self) -> list[dict]:
+        """The trace-event list behind :meth:`export_chrome`."""
+        tids: dict[str, int] = {}
+        events: list[dict] = []
+
+        def tid_for(record: dict) -> int:
+            lane = str(record["args"].get("tid", record["cat"]))
+            if lane not in tids:
+                tids[lane] = len(tids) + 1
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": 1,
+                        "tid": tids[lane],
+                        "args": {"name": lane},
+                    }
+                )
+            return tids[lane]
+
+        for record in self._records:
+            args = {
+                k: v for k, v in record["args"].items() if k != "tid"
+            }
+            args["sim_time"] = record["sim_time"]
+            wall = record.get("wall")
+            if record["type"] == "span":
+                if wall is not None:
+                    ts = wall["start_us"]
+                    dur = wall["dur_us"] if wall["dur_us"] is not None else 0.0
+                else:
+                    # Deterministic fallback: one microsecond per seq tick.
+                    ts = float(record["seq"])
+                    end_seq = record["end_seq"] or record["seq"]
+                    dur = float(end_seq - record["seq"])
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": record["name"],
+                        "cat": record["cat"],
+                        "pid": 1,
+                        "tid": tid_for(record),
+                        "ts": ts,
+                        "dur": dur,
+                        "args": args,
+                    }
+                )
+            else:
+                ts = wall["start_us"] if wall is not None else float(record["seq"])
+                events.append(
+                    {
+                        "ph": "i",
+                        "name": record["name"],
+                        "cat": record["cat"],
+                        "pid": 1,
+                        "tid": tid_for(record),
+                        "ts": ts,
+                        "s": "t",
+                        "args": args,
+                    }
+                )
+        return events

@@ -24,17 +24,25 @@ class Stopwatch:
         with Stopwatch() as watch:
             decide(request)
         latency = watch.elapsed_seconds
+
+    When the wrapped block raises, the exception propagates and the watch
+    is flagged ``failed`` — callers feeding a latency metric must skip
+    flagged samples so aborted decisions don't contaminate the paper's
+    response-time numbers (the elapsed time of a *failed* decision is
+    still available for diagnostics).
     """
 
-    __slots__ = ("_start", "elapsed_seconds")
+    __slots__ = ("_start", "elapsed_seconds", "failed")
 
     def __init__(self) -> None:
         self._start: float | None = None
         self.elapsed_seconds = 0.0
+        self.failed = False
 
     def start(self) -> "Stopwatch":
         """Begin (or restart) timing."""
         self._start = time.perf_counter()
+        self.failed = False
         return self
 
     def stop(self) -> float:
@@ -48,8 +56,10 @@ class Stopwatch:
     def __enter__(self) -> "Stopwatch":
         return self.start()
 
-    def __exit__(self, *exc_info: object) -> None:
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
         self.stop()
+        if exc_type is not None:
+            self.failed = True
 
 
 class TimingAccumulator:
@@ -67,16 +77,21 @@ class TimingAccumulator:
         self._stats = RunningStats()
         self._reservoir: list[float] = []
         self._reservoir_rng = random.Random(0x5EED)
+        #: Sorted view of the reservoir, rebuilt lazily on first percentile
+        #: query after a mutation (repeated queries must not re-sort).
+        self._sorted: list[float] | None = None
 
     def record(self, seconds: float) -> None:
         """Record one latency sample, in seconds."""
         self._stats.add(seconds)
         if len(self._reservoir) < self.RESERVOIR_SIZE:
             self._reservoir.append(seconds)
+            self._sorted = None
         else:
             slot = self._reservoir_rng.randrange(self._stats.count)
             if slot < self.RESERVOIR_SIZE:
                 self._reservoir[slot] = seconds
+                self._sorted = None
 
     def samples(self) -> list[float]:
         """A copy of the reservoir sample of latencies, in seconds.
@@ -93,10 +108,14 @@ class TimingAccumulator:
 
         Exact while fewer than ``RESERVOIR_SIZE`` samples were recorded; a
         uniform-sample estimate afterwards.  Returns 0.0 with no samples.
+        The sorted view is cached between :meth:`record` calls, so
+        querying many percentiles costs one sort, not one per query.
         """
         if not self._reservoir:
             return 0.0
-        return quantile(sorted(self._reservoir), q) * 1e3
+        if self._sorted is None:
+            self._sorted = sorted(self._reservoir)
+        return quantile(self._sorted, q) * 1e3
 
     def time(self) -> Stopwatch:
         """Return a started stopwatch whose ``stop()`` must be recorded

@@ -27,6 +27,22 @@ class TestParser:
         assert args.axis == "radius"
         assert args.metric == "acceptance"
 
+    def test_trace_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["trace", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "--no-wall" in out
+
+    def test_trace_arguments(self):
+        args = build_parser().parse_args(
+            ["trace", "--algorithm", "demcom", "--no-wall", "--seed", "3"]
+        )
+        assert args.command == "trace"
+        assert args.algorithm == "demcom"
+        assert args.no_wall is True
+        assert args.seed == 3
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -80,3 +96,30 @@ class TestCommands:
         assert main(["cr", "tota", "--trials", "5"]) == 0
         out = capsys.readouterr().out
         assert "random-order" in out
+
+    def test_trace_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "trace_out"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--requests",
+                    "40",
+                    "--workers",
+                    "15",
+                    "--no-wall",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "perfetto" in out.lower()
+        assert (output / "trace.jsonl").exists()
+        chrome = json.loads((output / "trace.chrome.json").read_text())
+        assert any(e.get("ph") == "X" for e in chrome["traceEvents"])
+        metrics = json.loads((output / "metrics.json").read_text())
+        assert "decisions_total" in metrics["counters"]

@@ -290,6 +290,100 @@ def test_outer_payments_within_definition_2_4(seed):
                 assert 0.0 < record.payment <= record.request.value + 1e-9
 
 
+def _random_metric_events(rng: random.Random, count: int) -> list[tuple]:
+    """A random telemetry history: (kind, name, value, labels) tuples."""
+    events = []
+    for _ in range(count):
+        kind = rng.choice(("count", "observe", "gauge_add"))
+        name = rng.choice(("alpha", "beta", "gamma"))
+        labels = {"platform": rng.choice(("A", "B", "C"))}
+        if rng.random() < 0.5:
+            labels["kind"] = rng.choice(("x", "y"))
+        # Dyadic values (multiples of 1/16) keep float sums exact under any
+        # grouping, so the merge identity can be asserted bit-for-bit —
+        # matching the engine, whose counter increments are integral.
+        value = rng.randrange(0, 1600) / 16.0
+        events.append((kind, name, value, labels))
+    return events
+
+
+def _apply_events(registry, events) -> None:
+    for kind, name, value, labels in events:
+        if kind == "count":
+            registry.counter(name).inc(value, **labels)
+        elif kind == "observe":
+            registry.histogram(name + "_hist").observe(value, **labels)
+        else:
+            registry.gauge(name + "_gauge").add(value, **labels)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=6),
+)
+def test_merging_shard_snapshots_equals_global_snapshot(seed, shards):
+    """Telemetry invariant: N per-shard registries (per platform, per run)
+    merge into exactly the snapshot one shared registry would have produced
+    — regardless of how the event history is partitioned or the order the
+    shards are merged in."""
+    from repro.obs import MetricsRegistry, MetricsSnapshot
+
+    rng = random.Random(seed)
+    events = _random_metric_events(rng, rng.randint(0, 60))
+
+    global_registry = MetricsRegistry()
+    _apply_events(global_registry, events)
+
+    shard_registries = [MetricsRegistry() for _ in range(shards)]
+    for event in events:
+        _apply_events(shard_registries[rng.randrange(shards)], [event])
+
+    merged = MetricsSnapshot()
+    for registry in shard_registries:
+        merged = merged.merge(registry.snapshot())
+    assert merged.as_dict() == global_registry.snapshot().as_dict()
+
+    # Merge order must not matter (associativity + commutativity).
+    reversed_merge = MetricsSnapshot()
+    for registry in reversed(shard_registries):
+        reversed_merge = reversed_merge.merge(registry.snapshot())
+    assert reversed_merge.as_dict() == merged.as_dict()
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_per_run_telemetry_summaries_pool_into_global(seed):
+    """Simulator-level version of the merge invariant: summaries of N runs
+    pool into the summary of one registry that saw all N histories."""
+    from repro.obs import MetricsRegistry, Telemetry
+
+    rng = random.Random(seed)
+    scenarios = [random_instance(rng.randrange(10_000)) for _ in range(3)]
+
+    pooled = None
+    global_registry = MetricsRegistry()
+    for index, scenario in enumerate(scenarios):
+        telemetry = Telemetry()
+        Simulator(
+            SimulatorConfig(
+                seed=seed + index, measure_response_time=False, telemetry=telemetry
+            )
+        ).run(scenario, DemCOM)
+        summary = telemetry.summary()
+        pooled = summary if pooled is None else pooled.merge(summary)
+        # Replay this run's counters into the shared registry.
+        for name, entries in summary.metrics.counters.items():
+            for entry in entries:
+                global_registry.counter(name).inc(
+                    entry["value"], **dict(entry["labels"])
+                )
+    assert pooled is not None
+    assert (
+        pooled.metrics.counters == global_registry.snapshot().counters
+    )
+
+
 @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(st.integers(min_value=0, max_value=10_000))
 def test_offers_respect_realized_reservations(seed):

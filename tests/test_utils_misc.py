@@ -28,6 +28,32 @@ class TestStopwatch:
         second = watch.stop()
         assert first >= 0 and second >= 0
 
+    def test_success_not_flagged(self):
+        with Stopwatch() as watch:
+            pass
+        assert watch.failed is False
+
+    def test_exception_propagates_and_flags_sample(self):
+        watch = Stopwatch()
+        with pytest.raises(ValueError, match="boom"):
+            with watch:
+                time.sleep(0.001)
+                raise ValueError("boom")
+        # The exception escapes, the elapsed time is still measured for
+        # diagnostics, but the sample is flagged so latency metrics skip it.
+        assert watch.failed is True
+        assert watch.elapsed_seconds > 0.0
+
+    def test_restart_clears_failed_flag(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch:
+                raise RuntimeError
+        assert watch.failed
+        with watch:
+            pass
+        assert watch.failed is False
+
 
 class TestTimingAccumulator:
     def test_empty_means_zero(self):
@@ -158,3 +184,36 @@ class TestTimingPercentiles:
         assert len(acc._reservoir) == TimingAccumulator.RESERVOIR_SIZE
         # The estimate still tracks the true distribution roughly.
         assert acc.percentile_ms(0.5) == pytest.approx(2500 * 1e3, rel=0.15)
+
+    def test_repeated_queries_use_cached_sort(self):
+        acc = TimingAccumulator()
+        for value in (0.005, 0.001, 0.003, 0.002, 0.004):
+            acc.record(value)
+        first = [acc.percentile_ms(q) for q in (0.1, 0.5, 0.9)]
+        assert acc._sorted is not None
+        cached = acc._sorted
+        second = [acc.percentile_ms(q) for q in (0.1, 0.5, 0.9)]
+        # Same answers, and the sorted view object was not rebuilt.
+        assert second == first
+        assert acc._sorted is cached
+
+    def test_record_invalidates_cached_sort(self):
+        acc = TimingAccumulator()
+        acc.record(0.002)
+        acc.record(0.001)
+        assert acc.percentile_ms(1.0) == pytest.approx(2.0)
+        acc.record(0.009)
+        assert acc._sorted is None
+        assert acc.percentile_ms(1.0) == pytest.approx(9.0)
+
+    def test_reservoir_replacement_invalidates_cache(self):
+        acc = TimingAccumulator()
+        for value in range(TimingAccumulator.RESERVOIR_SIZE):
+            acc.record(float(value))
+        acc.percentile_ms(0.5)
+        # Keep recording until a reservoir slot is actually replaced, then
+        # the cached sorted view must have been dropped.
+        before = acc.samples()
+        while acc.samples() == before:
+            acc.record(1e9)
+        assert acc._sorted is None
