@@ -8,9 +8,9 @@ aggregates per-request latencies into streaming statistics.
 
 from __future__ import annotations
 
-import random
 import time
 
+from repro.utils.rng import derive_rng
 from repro.utils.stats import RunningStats, quantile
 
 __all__ = ["Stopwatch", "TimingAccumulator"]
@@ -76,7 +76,7 @@ class TimingAccumulator:
     def __init__(self) -> None:
         self._stats = RunningStats()
         self._reservoir: list[float] = []
-        self._reservoir_rng = random.Random(0x5EED)
+        self._reservoir_rng = derive_rng(0x5EED, "timer/reservoir")
         #: Sorted view of the reservoir, rebuilt lazily on first percentile
         #: query after a mutation (repeated queries must not re-sort).
         self._sorted: list[float] | None = None
