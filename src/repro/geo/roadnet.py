@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import heapq
 import math
-import random
 from collections import OrderedDict
 
 from repro.errors import ConfigurationError
 from repro.geo.bbox import BoundingBox
 from repro.geo.grid_index import GridIndex
+from repro.utils.rng import derive_rng
 from repro.geo.point import Point
 
 __all__ = ["RoadNetwork"]
@@ -105,7 +105,7 @@ class RoadNetwork:
                     min(box.max_y, box.min_y + row * spacing_km),
                 )
                 ids[(row, column)] = network.add_node(point)
-        rng = random.Random(seed)
+        rng = derive_rng(seed, "geo/roadnet/lattice")
         for row in range(rows):
             for column in range(columns):
                 if column + 1 < columns and rng.random() >= blocked_fraction:
