@@ -22,7 +22,6 @@ sparse graph) is ``MaxSum(OPT)`` of Definitions 2.7/2.8.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.entities import Request, Worker
@@ -32,6 +31,7 @@ from repro.geo.grid_index import GridIndex
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.hungarian import max_weight_matching
 from repro.graph.mincostflow import CapacitatedAssignment
+from repro.utils.timer import Stopwatch
 
 __all__ = ["OfflineSolution", "solve_offline", "solve_offline_reentry"]
 
@@ -124,7 +124,7 @@ def solve_offline_reentry(
     oracle = scenario.oracle
     horizon = max((request.arrival_time for request in requests), default=0.0)
 
-    started = time.perf_counter()
+    solve_watch = Stopwatch().start()
     solver = CapacitatedAssignment()
     request_by_id = {request.request_id: request for request in requests}
     worker_by_id = {worker.worker_id: worker for worker in workers}
@@ -152,7 +152,7 @@ def solve_offline_reentry(
                 edge_count += 1
 
     pairs, total_weight = solver.solve()
-    solve_seconds = time.perf_counter() - started
+    solve_seconds = solve_watch.stop()
 
     ledgers = {
         platform_id: MatchingLedger(platform_id)
@@ -230,7 +230,7 @@ def solve_offline(
     workers = scenario.events.workers
     oracle = scenario.oracle
 
-    started = time.perf_counter()
+    solve_watch = Stopwatch().start()
     graph = BipartiteGraph()
     request_by_id = {request.request_id: request for request in requests}
     worker_by_id = {worker.worker_id: worker for worker in workers}
@@ -253,7 +253,7 @@ def solve_offline(
                 )
 
     matching = max_weight_matching(graph)
-    solve_seconds = time.perf_counter() - started
+    solve_seconds = solve_watch.stop()
 
     ledgers = {
         platform_id: MatchingLedger(platform_id)
