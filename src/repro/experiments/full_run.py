@@ -10,7 +10,6 @@ the ``com-repro reproduce`` subcommand.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -23,6 +22,7 @@ from repro.experiments.harness import ExperimentConfig
 from repro.experiments.reporting import save_panel, save_table
 from repro.experiments.tables import TABLE_IDS, TableResult, run_city_table
 from repro.utils.ascii_chart import render_panel
+from repro.utils.timer import Stopwatch
 from repro.utils.tables import TextTable
 from repro.workloads import SyntheticWorkload, SyntheticWorkloadConfig
 
@@ -65,7 +65,7 @@ def reproduce_all(
     output.mkdir(parents=True, exist_ok=True)
     config = ExperimentConfig(seeds=tuple(range(seeds)), service_duration=1800.0)
     run = ReproductionRun()
-    started = time.perf_counter()
+    run_watch = Stopwatch().start()
     sections: list[str] = [
         "# COM reproduction report",
         "",
@@ -110,7 +110,7 @@ def reproduce_all(
         )
     sections.extend(["", "```", cr_table.render(), "```", ""])
 
-    run.elapsed_seconds = time.perf_counter() - started
+    run.elapsed_seconds = run_watch.stop()
     sections.append(f"\ncompleted in {run.elapsed_seconds:.1f}s")
     run.report_path = output / "REPORT.md"
     run.report_path.write_text("\n".join(sections) + "\n")
