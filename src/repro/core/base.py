@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import enum
 import random
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -33,6 +32,7 @@ from repro.core.payment import MinimumOuterPaymentEstimator
 from repro.core.pricing import MaximumExpectedRevenuePricer
 from repro.errors import ExchangeUnavailableError
 from repro.obs import NULL_PROBE, Probe
+from repro.utils.timer import Stopwatch
 
 __all__ = [
     "DecisionKind",
@@ -183,14 +183,14 @@ class PlatformContext:
         with self.probe.span(
             "candidates.outer", tid=self.platform_id, request=request.request_id
         ) as span:
-            start = time.perf_counter()
+            watch = Stopwatch().start()
             try:
                 workers = self.exchange.outer_candidates(self.platform_id, request)
                 outcome = "ok"
             except ExchangeUnavailableError:
                 workers = []
                 outcome = "unavailable"
-            elapsed = time.perf_counter() - start
+            elapsed = watch.stop()
             span.annotate(count=len(workers), outcome=outcome)
         self.probe.observe(
             "exchange_rpc_seconds",
