@@ -1,0 +1,61 @@
+"""Project-invariant enforcement: the ``comlint`` static analyzer and the
+runtime matching-constraint sanitizer.
+
+Two complementary layers keep the repo's load-bearing invariants intact
+as the codebase grows:
+
+* **Static** — :func:`lint_paths` walks python sources with an AST
+  checker enforcing the rule catalogue in :mod:`repro.analysis.rules`
+  (determinism, telemetry-overhead, error-hygiene and API rules), with
+  inline ``# comlint: disable=RULE`` suppressions and a ratcheting
+  :class:`Baseline`.  Exposed on the CLI as ``com-repro lint``.
+* **Dynamic** — :class:`ConstraintSanitizer` validates every assignment
+  decision of a live simulation against the four Definition-2.6
+  constraints, waiting-list consistency, and ledger/revenue
+  conservation; enabled via ``SimulatorConfig(sanitize=True)`` or the
+  ``COM_REPRO_SANITIZE`` environment variable.
+
+See ``docs/STATIC_ANALYSIS.md`` for the full rule catalogue and usage.
+"""
+
+from repro.analysis.baseline import Baseline, partition_violations
+from repro.analysis.linter import (
+    Violation,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.reporting import (
+    render_json,
+    render_rule_catalogue,
+    render_text,
+)
+from repro.analysis.rules import RULES, Rule, get_rule, rule_ids
+from repro.analysis.sanitizer import (
+    SANITIZE_ENV_VAR,
+    ConstraintSanitizer,
+    SanitizerViolation,
+    sanitize_from_env,
+)
+
+__all__ = [
+    "Baseline",
+    "ConstraintSanitizer",
+    "RULES",
+    "Rule",
+    "SANITIZE_ENV_VAR",
+    "SanitizerViolation",
+    "Violation",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "partition_violations",
+    "render_json",
+    "render_rule_catalogue",
+    "render_text",
+    "rule_ids",
+    "sanitize_from_env",
+]

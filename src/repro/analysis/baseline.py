@@ -1,0 +1,80 @@
+"""Baseline files: ratcheting legacy lint debt to zero.
+
+A baseline records *accepted* pre-existing violations so ``com-repro
+lint`` can fail only on **new** findings while debt is paid down.  Entries
+are fingerprinted as ``(path, rule_id, normalized source line)`` — robust
+to unrelated edits shifting line numbers, strict enough that touching an
+offending line re-surfaces it.
+
+The shipped baseline (``comlint.baseline.json``) is **empty** and is
+expected to stay that way: new violations are fixed or carry an inline
+``# comlint: disable=RULE`` with a justification.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.linter import Violation
+
+__all__ = ["Baseline", "partition_violations"]
+
+_FORMAT_VERSION = 1
+
+
+def _fingerprint(violation: Violation) -> str:
+    normalized = " ".join(violation.source_line.split())
+    return f"{violation.path}|{violation.rule_id}|{normalized}"
+
+
+@dataclass
+class Baseline:
+    """An accepted-violation set, loadable from / dumpable to JSON."""
+
+    entries: set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}"
+            )
+        return cls(entries=set(payload.get("entries", [])))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline with stable ordering (diff-friendly)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": sorted(self.entries),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def contains(self, violation: Violation) -> bool:
+        """True iff this violation is accepted legacy debt."""
+        return _fingerprint(violation) in self.entries
+
+    @classmethod
+    def from_violations(cls, violations: list[Violation]) -> "Baseline":
+        """A baseline accepting exactly the given findings."""
+        return cls(entries={_fingerprint(v) for v in violations})
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def partition_violations(
+    violations: list[Violation], baseline: Baseline
+) -> tuple[list[Violation], list[Violation]]:
+    """Split findings into ``(new, baselined)``."""
+    new: list[Violation] = []
+    accepted: list[Violation] = []
+    for violation in violations:
+        (accepted if baseline.contains(violation) else new).append(violation)
+    return new, accepted

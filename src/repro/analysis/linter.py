@@ -1,0 +1,522 @@
+"""The comlint engine: AST checks, suppressions, file walking.
+
+Zero dependencies beyond the standard library.  One parse per file feeds
+every rule; suppression comments are read straight from the source lines
+(``# comlint: disable=DET001`` on the offending line, or
+``# comlint: disable-file=DET001`` anywhere for a whole-file waiver).
+
+The checks are deliberately *heuristic* — this is a project linter, not a
+type checker.  Each heuristic is documented on its method; false positives
+are expected to be rare and are silenced with an inline suppression that
+doubles as reviewer-visible documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.rules import RULES, Rule
+
+__all__ = ["Violation", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+#: random-module functions that draw from (or reseed) the global stream.
+_RANDOM_MODULE_FUNCTIONS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "seed",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "triangular",
+        "paretovariate",
+        "vonmisesvariate",
+        "weibullvariate",
+        "getrandbits",
+        "binomialvariate",
+    }
+)
+
+#: (module, attribute) pairs that read the wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+#: Probe emission methods whose call sites must be enabled-guarded.
+_PROBE_METHODS = frozenset({"span", "instant", "count", "observe", "gauge"})
+
+#: Builtin constructors of mutable containers.
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One lint finding.
+
+    ``path`` is stored POSIX-relative to the lint root so reports and
+    baseline fingerprints are machine-independent.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    column: int
+    message: str
+    source_line: str = ""
+
+    def render(self) -> str:
+        """The canonical one-line text form."""
+        return (
+            f"{self.path}:{self.line}:{self.column + 1}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+
+class _Suppressions:
+    """Per-file suppression state parsed from comment text."""
+
+    def __init__(self, source: str):
+        self.by_line: dict[int, set[str]] = {}
+        self.file_wide: set[str] = set()
+        for number, text in enumerate(source.splitlines(), start=1):
+            marker = text.find("# comlint:")
+            if marker < 0:
+                continue
+            directive = text[marker + len("# comlint:") :].strip()
+            if directive.startswith("disable-file="):
+                self.file_wide.update(
+                    self._parse_ids(directive[len("disable-file=") :])
+                )
+            elif directive.startswith("disable="):
+                self.by_line.setdefault(number, set()).update(
+                    self._parse_ids(directive[len("disable=") :])
+                )
+
+    @staticmethod
+    def _parse_ids(raw: str) -> set[str]:
+        ids = {part.strip() for part in raw.split(",") if part.strip()}
+        return {"all"} if "all" in ids else ids
+
+    def active(self, rule_id: str, line: int) -> bool:
+        """True iff ``rule_id`` is suppressed at ``line``."""
+        for pool in (self.file_wide, self.by_line.get(line, ())):
+            if "all" in pool or rule_id in pool:
+                return True
+        return False
+
+
+class _Checker(ast.NodeVisitor):
+    """One pass over a module AST, emitting violations for every rule."""
+
+    def __init__(self, path: str, source: str, rules: dict[str, Rule]):
+        self.path = path
+        self.lines = source.splitlines()
+        self.rules = rules
+        self.suppressions = _Suppressions(source)
+        self.violations: list[Violation] = []
+        #: Stack of (function node, line of first `.enabled` mention or None).
+        self._function_stack: list[ast.AST] = []
+        #: Per-function lines on which `.enabled` is read (OBS001 heuristic).
+        self._enabled_lines: dict[ast.AST, list[int]] = {}
+        #: Ancestor chain maintained by generic_visit wrapper.
+        self._parents: list[ast.AST] = []
+        #: Class bodies currently decorated as dataclasses.
+        self._dataclass_depth = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        rule = self.rules.get(rule_id)
+        if rule is None or rule.allows(self.path):
+            return
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        if self.suppressions.active(rule_id, line):
+            return
+        source_line = (
+            self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        )
+        self.violations.append(
+            Violation(rule_id, self.path, line, column, message, source_line)
+        )
+
+    def visit(self, node: ast.AST) -> None:
+        self._parents.append(node)
+        try:
+            super().visit(node)
+        finally:
+            self._parents.pop()
+
+    # -- DET001 / DET002 / DET004: forbidden calls -------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        function = node.func
+        if isinstance(function, ast.Attribute) and isinstance(
+            function.value, ast.Name
+        ):
+            owner, attribute = function.value.id, function.attr
+            if owner == "random" and attribute == "Random":
+                self.emit(
+                    "DET001",
+                    node,
+                    "direct random.Random(...) construction; derive the "
+                    "stream via repro.utils.rng (derive_rng / SeedSequence)",
+                )
+            elif owner == "random" and attribute in _RANDOM_MODULE_FUNCTIONS:
+                self.emit(
+                    "DET001",
+                    node,
+                    f"module-level random.{attribute}() draws from the "
+                    "shared global stream; use a labelled rng from "
+                    "repro.utils.rng",
+                )
+            elif (owner, attribute) in _WALL_CLOCK_CALLS:
+                self.emit(
+                    "DET002",
+                    node,
+                    f"wall-clock read {owner}.{attribute}() outside the "
+                    "timing allowlist; use repro.utils.timer.Stopwatch or "
+                    "the obs wall-clock keys",
+                )
+        elif isinstance(function, ast.Name):
+            if function.id == "hash" and node.args:
+                self.emit(
+                    "DET004",
+                    node,
+                    "builtin hash() is salted per process; use the "
+                    "SHA-256 derivation in repro.utils.rng for seeds and "
+                    "explicit sort keys for ordering",
+                )
+            elif function.id in {"set", "frozenset"}:
+                self._check_set_iteration_parent(node)
+        self._check_probe_call(node)
+        self.generic_visit(node)
+
+    # -- DET003: unordered iteration ---------------------------------------
+
+    def _iterables_of(self, node: ast.AST) -> list[ast.expr]:
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.comprehension)):
+            return [node.iter]
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            return [generator.iter for generator in node.generators]
+        return []
+
+    def _check_set_iteration_parent(self, node: ast.expr) -> None:
+        """Emit DET003 when ``node`` (a set expression) is iterated raw."""
+        parent = self._parents[-2] if len(self._parents) >= 2 else None
+        if parent is None:
+            return
+        if node in self._iterables_of(parent):
+            self.emit(
+                "DET003",
+                node,
+                "iterating a set directly; wrap in sorted(...) so output "
+                "order is independent of PYTHONHASHSEED",
+            )
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._check_set_iteration_parent(node)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_set_iteration_parent(node)
+        self.generic_visit(node)
+
+    def _check_keys_iteration(self, iterable: ast.expr) -> None:
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Attribute)
+            and iterable.func.attr == "keys"
+            and not iterable.args
+        ):
+            self.emit(
+                "DET003",
+                iterable,
+                "iterating an explicit .keys() view; iterate the mapping "
+                "itself (insertion order) or sorted(mapping) for reports",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_keys_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        for generator in node.generators:
+            self._check_keys_iteration(generator.iter)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        for generator in node.generators:
+            self._check_keys_iteration(generator.iter)
+        self.generic_visit(node)
+
+    # -- OBS001: probe emissions need an enabled guard ----------------------
+
+    @staticmethod
+    def _is_probe_receiver(value: ast.expr) -> bool:
+        """The receiver reads as a probe: ``probe`` / ``self.probe`` /
+        ``context.probe`` / ``self._probe``."""
+        if isinstance(value, ast.Name):
+            return value.id in {"probe", "_probe"}
+        if isinstance(value, ast.Attribute):
+            return value.attr in {"probe", "_probe"}
+        return False
+
+    def _check_probe_call(self, node: ast.Call) -> None:
+        function = node.func
+        if not (
+            isinstance(function, ast.Attribute)
+            and function.attr in _PROBE_METHODS
+            and self._is_probe_receiver(function.value)
+        ):
+            return
+        # Guarded when an ancestor if/ifexp/while tests `.enabled`, or the
+        # enclosing function already read `.enabled` on an earlier line
+        # (covers the early-return and `span is not None` follow-up
+        # patterns: both start from one explicit enabled check).
+        for ancestor in reversed(self._parents[:-1]):
+            test = getattr(ancestor, "test", None)
+            if test is not None and self._mentions_enabled(test):
+                return
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                enabled_lines = self._enabled_lines.get(ancestor, [])
+                if any(line <= node.lineno for line in enabled_lines):
+                    return
+                break
+        else:
+            # Module level (docs snippets, scripts): out of scope.
+            return
+        self.emit(
+            "OBS001",
+            node,
+            f"probe.{function.attr}(...) without a probe.enabled guard in "
+            "scope; gate it (or hoist an `if probe.enabled:` early return) "
+            "to protect the disabled-path overhead budget",
+        )
+
+    @staticmethod
+    def _mentions_enabled(test: ast.expr) -> bool:
+        return any(
+            isinstance(child, ast.Attribute) and child.attr == "enabled"
+            for child in ast.walk(test)
+        )
+
+    def _index_enabled_reads(self, function: ast.AST) -> None:
+        lines = [
+            child.lineno
+            for child in ast.walk(function)
+            if isinstance(child, ast.Attribute) and child.attr == "enabled"
+        ]
+        self._enabled_lines[function] = sorted(lines)
+
+    # -- ERR001 / ERR002: exception hygiene ---------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.emit(
+                "ERR001",
+                node,
+                "bare `except:`; name the exception types (and re-raise "
+                "with SimulationError context where applicable)",
+            )
+        elif self._is_broad(node.type) and not self._reraises(node):
+            self.emit(
+                "ERR002",
+                node,
+                "broad except handler swallows the exception; re-raise, "
+                "or wrap it in a structured SimulationError",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_broad(exception_type: ast.expr) -> bool:
+        names = (
+            [exception_type]
+            if not isinstance(exception_type, ast.Tuple)
+            else list(exception_type.elts)
+        )
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in {
+                "Exception",
+                "BaseException",
+            }:
+                return True
+        return False
+
+    @staticmethod
+    def _reraises(node: ast.ExceptHandler) -> bool:
+        return any(isinstance(child, ast.Raise) for child in ast.walk(node))
+
+    # -- API001: mutable default arguments ----------------------------------
+
+    def _is_mutable_value(self, value: ast.expr) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.SetComp, ast.DictComp)):
+            return True
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_CONSTRUCTORS
+        )
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if self._is_mutable_value(default):
+                self.emit(
+                    "API001",
+                    default,
+                    "mutable default argument is shared across calls; "
+                    "default to None and build inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._index_enabled_reads(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._index_enabled_reads(node)
+        self.generic_visit(node)
+
+    # -- API002: mutable dataclass defaults ---------------------------------
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            if isinstance(target, ast.Name) and target.id == "dataclass":
+                return True
+            if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+                return True
+        return False
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._is_dataclass(node):
+            self.generic_visit(node)
+            return
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign) or statement.value is None:
+                continue
+            value = statement.value
+            if self._is_mutable_value(value):
+                self.emit(
+                    "API002",
+                    value,
+                    "mutable dataclass field default; use "
+                    "field(default_factory=...)",
+                )
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "field"
+            ):
+                for keyword in value.keywords:
+                    if keyword.arg == "default" and self._is_mutable_value(
+                        keyword.value
+                    ):
+                        self.emit(
+                            "API002",
+                            keyword.value,
+                            "field(default=<mutable>) aliases one container "
+                            "across instances; use default_factory",
+                        )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: str, rules: dict[str, Rule] | None = None
+) -> list[Violation]:
+    """Lint one module's source text; ``path`` labels the findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Violation(
+                "E999",
+                path,
+                error.lineno or 1,
+                (error.offset or 1) - 1,
+                f"syntax error: {error.msg}",
+            )
+        ]
+    checker = _Checker(path, source, rules if rules is not None else RULES)
+    checker.visit(tree)
+    return sorted(
+        checker.violations, key=lambda v: (v.path, v.line, v.column, v.rule_id)
+    )
+
+
+def lint_file(
+    path: Path, root: Path | None = None, rules: dict[str, Rule] | None = None
+) -> list[Violation]:
+    """Lint one file; findings carry paths relative to ``root``."""
+    label = path
+    if root is not None:
+        try:
+            label = path.relative_to(root)
+        except ValueError:
+            label = path
+    return lint_source(
+        path.read_text(encoding="utf-8"), label.as_posix(), rules
+    )
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            collected.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            collected.add(path)
+    return sorted(collected)
+
+
+def lint_paths(
+    paths: list[Path],
+    root: Path | None = None,
+    rules: dict[str, Rule] | None = None,
+) -> list[Violation]:
+    """Lint every python file under ``paths``; sorted, deterministic."""
+    if root is None:
+        root = Path.cwd()
+    violations: list[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path, root=root, rules=rules))
+    return sorted(
+        violations, key=lambda v: (v.path, v.line, v.column, v.rule_id)
+    )

@@ -1,0 +1,183 @@
+"""The comlint rule catalogue.
+
+Each rule enforces one *project invariant* — a property the test suite can
+only spot-check but the whole codebase must uphold (bit-for-bit
+determinism, telemetry overhead budgets, structured error context, API
+hygiene).  Rules are identified by a short stable id (``DET001``) used in
+reports, inline suppressions (``# comlint: disable=DET001``) and baseline
+entries.
+
+The catalogue is data; the AST checks themselves live in
+:mod:`repro.analysis.linter`.  Adding a rule means registering a
+:class:`Rule` here and implementing its visitor hook there — the registry
+keeps the CLI's ``--list-rules``, the docs table and the reporters in
+sync automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rule", "RULES", "rule_ids", "get_rule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One lint rule's identity and documentation.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable short id (``DET001``); never reused once retired.
+    name:
+        Human-readable slug used in docs.
+    summary:
+        One-line statement of the invariant.
+    rationale:
+        Why the project cares — what silently breaks when violated.
+    allowlist:
+        Path suffixes (POSIX, relative) where the rule does not apply:
+        the modules that *implement* the sanctioned mechanism.
+    """
+
+    rule_id: str
+    name: str
+    summary: str
+    rationale: str
+    allowlist: tuple[str, ...] = ()
+
+    def allows(self, posix_path: str) -> bool:
+        """True iff the rule is switched off for this file path.
+
+        Entries ending with ``/`` match any file under a directory of
+        that name; other entries match as path suffixes.
+        """
+        probe = f"/{posix_path}"
+        for suffix in self.allowlist:
+            if suffix.endswith("/"):
+                if f"/{suffix}" in probe:
+                    return True
+            elif probe.endswith(f"/{suffix}"):
+                return True
+        return False
+
+
+def _rule(
+    rule_id: str,
+    name: str,
+    summary: str,
+    rationale: str,
+    allowlist: tuple[str, ...] = (),
+) -> Rule:
+    return Rule(rule_id, name, summary, rationale, allowlist)
+
+
+#: The registry, ordered for reports and ``--list-rules``.
+RULES: dict[str, Rule] = {
+    rule.rule_id: rule
+    for rule in (
+        _rule(
+            "DET001",
+            "direct-random",
+            "No direct random.Random(...) construction or module-level "
+            "random.* draws outside utils/rng.py.",
+            "Every stochastic draw must flow through the label-derived "
+            "streams of repro.utils.rng so a run is a pure function of "
+            "(scenario, seed); a stray random.Random or random.random() "
+            "silently couples unrelated components' streams and breaks "
+            "bit-for-bit reproducibility.",
+            allowlist=("utils/rng.py",),
+        ),
+        _rule(
+            "DET002",
+            "wall-clock",
+            "No time.time()/time.perf_counter()/time.monotonic()/"
+            "datetime.now() in deterministic result paths outside "
+            "utils/timer.py and obs/.",
+            "Wall-clock reads belong in the sanctioned Stopwatch / tracer "
+            "wall-clock keys; anywhere else they leak nondeterminism into "
+            "reported results and make byte-identical reruns impossible.",
+            allowlist=("utils/timer.py", "obs/"),
+        ),
+        _rule(
+            "DET003",
+            "unordered-iteration",
+            "Iteration over a set (or an explicit dict.keys() call) must "
+            "go through sorted(...) before feeding ordered or reported "
+            "output.",
+            "Set iteration order depends on PYTHONHASHSEED; a bare "
+            "`for x in {...}` (or `in set(...)` / `in d.keys()`) that "
+            "builds a list, report or event order reorders output between "
+            "interpreter invocations.",
+        ),
+        _rule(
+            "DET004",
+            "builtin-hash",
+            "No builtin hash() for seeds, stream labels or ordering keys.",
+            "hash() of str/bytes is salted per process (PYTHONHASHSEED); "
+            "seed derivation must use the SHA-256 scheme in utils/rng.py, "
+            "which is stable across processes and Python versions.",
+            allowlist=("utils/rng.py",),
+        ),
+        _rule(
+            "OBS001",
+            "unguarded-probe",
+            "Probe emissions (span/instant/count/observe/gauge) in library "
+            "code must sit behind a probe.enabled guard.",
+            "The telemetry layer's disabled path is budgeted at <= 5% of "
+            "mean decision latency (benchmarks/bench_telemetry_overhead"
+            ".py); an unguarded emission pays label-dict construction on "
+            "every call even when telemetry is off.",
+            allowlist=("obs/",),
+        ),
+        _rule(
+            "ERR001",
+            "bare-except",
+            "No bare `except:` clauses.",
+            "A bare except swallows KeyboardInterrupt/SystemExit and hides "
+            "the structured SimulationError context the simulator relies "
+            "on for diagnosable failures.",
+        ),
+        _rule(
+            "ERR002",
+            "swallowed-exception",
+            "`except Exception` / `except BaseException` handlers must "
+            "re-raise (plain or wrapped in a structured error).",
+            "Broad handlers that absorb without re-raising convert "
+            "mid-stream inconsistencies into silently-wrong results; "
+            "failure paths must surface SimulationError context instead.",
+        ),
+        _rule(
+            "API001",
+            "mutable-default-arg",
+            "No mutable default argument values (list/dict/set literals "
+            "or constructor calls).",
+            "Mutable defaults are shared across calls; use None plus an "
+            "in-body default, or dataclasses.field(default_factory=...).",
+        ),
+        _rule(
+            "API002",
+            "mutable-dataclass-default",
+            "No mutable dataclass field defaults; use "
+            "field(default_factory=...).",
+            "A shared mutable default aliases state across instances. "
+            "CPython rejects bare list/dict/set defaults but not "
+            "field(default=[...]) or other mutable containers.",
+        ),
+    )
+}
+
+
+def rule_ids() -> list[str]:
+    """Every registered rule id, in catalogue order."""
+    return list(RULES)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule; raises ``KeyError`` with the known ids."""
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known rules: {', '.join(RULES)}"
+        ) from None

@@ -1,0 +1,370 @@
+"""Runtime matching-constraint sanitizer.
+
+The static linter keeps the *code* honest; this module keeps a *running
+simulation* honest.  When enabled (``SimulatorConfig(sanitize=True)`` or
+the ``COM_REPRO_SANITIZE`` environment variable), every assignment
+decision flowing through :class:`repro.core.simulator.Simulator` and the
+shared offer loop is validated **before** it mutates world state:
+
+* the four COM constraints of Definition 2.6 — ``time``, ``one-by-one``,
+  ``invariable``, ``range``;
+* ``waiting-list`` consistency — the chosen worker must still be present
+  and claimable in the cooperation exchange, on the platform the worker
+  object claims as home;
+* ``payment`` bounds (Definitions 2.3-2.5: outer payments in
+  ``(0, v_r]``, inner assignments pay nothing) and outer ``sharing``
+  eligibility;
+* per-platform ``conservation`` — the lender-income ledger must equal
+  the payments actually committed, and each ledger's revenue must match
+  its own Definition-2.5 decomposition.
+
+A violation raises :class:`repro.errors.SanitizerViolation` naming the
+constraint, request, worker and sim time, so a broken algorithm fails
+loudly at the first bad decision instead of skewing results silently.
+
+The sanitizer is deliberately allocation-light: per-decision checks are
+O(candidates) dictionary work, and the disabled path in the simulator is
+a single ``is None`` test (see ``benchmarks/bench_telemetry_overhead.py``
+for the shared disabled-path budget).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.errors import SanitizerViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.entities import Request, Worker
+    from repro.core.exchange import CooperationExchange
+    from repro.core.matching import MatchingLedger
+
+__all__ = [
+    "ConstraintSanitizer",
+    "SanitizerViolation",
+    "SANITIZE_ENV_VAR",
+    "sanitize_from_env",
+]
+
+#: Environment switch: any of ``1/true/yes/on`` (case-insensitive)
+#: force-enables the sanitizer for every simulator run in the process.
+SANITIZE_ENV_VAR = "COM_REPRO_SANITIZE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_EPSILON = 1e-9
+
+
+def sanitize_from_env(environ: dict[str, str] | None = None) -> bool:
+    """True iff :data:`SANITIZE_ENV_VAR` requests sanitizing."""
+    source = os.environ if environ is None else environ
+    return source.get(SANITIZE_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+class ConstraintSanitizer:
+    """Validates every assignment decision against the COM invariants.
+
+    One instance guards one simulation run; the simulator feeds it worker
+    arrivals and decisions, and consults it immediately *before* claiming
+    a worker so a violation surfaces with the world state untouched.
+    """
+
+    def __init__(self) -> None:
+        #: worker_id -> Worker exactly as announced to the exchange.
+        self._arrived: dict[str, "Worker"] = {}
+        #: worker_id -> request_id of the assignment that consumed them.
+        self._assigned_workers: dict[str, str] = {}
+        #: request_id -> "served" | "rejected" (the invariable constraint).
+        self._decided_requests: dict[str, str] = {}
+        #: lender platform -> outer payments the sanitizer saw committed.
+        self._expected_lender_income: dict[str, float] = {}
+        #: Number of individual constraint checks performed (observability).
+        self.checks = 0
+
+    # -- event feed ---------------------------------------------------------
+
+    def observe_worker(self, worker: "Worker") -> None:
+        """Record a worker (or reentry clone) joining the exchange."""
+        self._arrived[worker.worker_id] = worker
+
+    def observe_rejection(self, request: "Request", time: float) -> None:
+        """Record a rejection; re-deciding a settled request is a
+        violation of the invariable constraint."""
+        self.checks += 1
+        previous = self._decided_requests.get(request.request_id)
+        if previous is not None:
+            raise SanitizerViolation(
+                "invariable",
+                f"request was already {previous} and may not be revised",
+                time=time,
+                platform_id=request.platform_id,
+                request_id=request.request_id,
+            )
+        self._decided_requests[request.request_id] = "rejected"
+
+    # -- offer-time checks --------------------------------------------------
+
+    def check_offer(
+        self,
+        request: "Request",
+        worker: "Worker",
+        payment: float,
+        platform_id: str,
+    ) -> None:
+        """Validate one live offer (Algorithm 1 lines 15-26).
+
+        Offers must only reach *eligible* outer workers: shareable, in
+        range, already arrived, and priced inside ``(0, v_r]``.
+        """
+        self.checks += 1
+        time = request.arrival_time
+        if worker.platform_id == platform_id:
+            raise SanitizerViolation(
+                "sharing",
+                "offer extended to an inner worker through the outer "
+                "offer loop",
+                time=time,
+                platform_id=platform_id,
+                request_id=request.request_id,
+                worker_id=worker.worker_id,
+            )
+        if not worker.shareable:
+            raise SanitizerViolation(
+                "sharing",
+                "offer extended to a non-shareable worker",
+                time=time,
+                platform_id=platform_id,
+                request_id=request.request_id,
+                worker_id=worker.worker_id,
+            )
+        if not payment > 0.0 or payment > request.value + _EPSILON:
+            raise SanitizerViolation(
+                "payment",
+                f"offer payment {payment} outside (0, v_r={request.value}]",
+                time=time,
+                platform_id=platform_id,
+                request_id=request.request_id,
+                worker_id=worker.worker_id,
+            )
+        self._check_time(request, worker, platform_id)
+        self._check_range(request, worker, platform_id)
+
+    # -- decision-time checks -----------------------------------------------
+
+    def check_assignment(
+        self,
+        request: "Request",
+        worker: "Worker",
+        outer: bool,
+        payment: float,
+        exchange: "CooperationExchange | None" = None,
+    ) -> None:
+        """Validate one serve decision; called before the worker is
+        claimed so the exchange still holds the pre-decision state.
+
+        Validation only — :meth:`commit_assignment` records the decision
+        once the claim actually succeeds (under fault injection a valid
+        decision may still collapse into a rejection at claim time).
+        """
+        self.checks += 1
+        time = request.arrival_time
+
+        # Invariable: a settled request is never revisited.
+        previous = self._decided_requests.get(request.request_id)
+        if previous is not None:
+            raise SanitizerViolation(
+                "invariable",
+                f"request was already {previous} and may not be revised",
+                time=time,
+                platform_id=request.platform_id,
+                request_id=request.request_id,
+                worker_id=worker.worker_id,
+            )
+
+        # 1-by-1: each worker serves at most one request.
+        consumed_by = self._assigned_workers.get(worker.worker_id)
+        if consumed_by is not None:
+            raise SanitizerViolation(
+                "one-by-one",
+                f"worker already serves request {consumed_by}",
+                time=time,
+                platform_id=request.platform_id,
+                request_id=request.request_id,
+                worker_id=worker.worker_id,
+            )
+
+        self._check_time(request, worker, request.platform_id)
+        self._check_range(request, worker, request.platform_id)
+
+        # Waiting-list consistency: the decision must name a worker the
+        # exchange still exposes, homed where the worker object says.
+        registered = self._arrived.get(worker.worker_id)
+        if registered is None:
+            raise SanitizerViolation(
+                "waiting-list",
+                "worker never arrived on any waiting list",
+                time=time,
+                platform_id=request.platform_id,
+                request_id=request.request_id,
+                worker_id=worker.worker_id,
+            )
+        if exchange is not None:
+            if not exchange.is_available(worker.worker_id):
+                raise SanitizerViolation(
+                    "waiting-list",
+                    "worker is no longer available in the exchange",
+                    time=time,
+                    platform_id=request.platform_id,
+                    request_id=request.request_id,
+                    worker_id=worker.worker_id,
+                )
+            home = exchange.home_of(worker.worker_id)
+            if home is not None and home != worker.platform_id:
+                raise SanitizerViolation(
+                    "waiting-list",
+                    f"worker homed on {home} but decision says "
+                    f"{worker.platform_id}",
+                    time=time,
+                    platform_id=request.platform_id,
+                    request_id=request.request_id,
+                    worker_id=worker.worker_id,
+                )
+
+        # Inner/outer sharing and payment bounds (Definitions 2.3-2.5).
+        is_outer_pair = worker.platform_id != request.platform_id
+        if outer != is_outer_pair:
+            raise SanitizerViolation(
+                "sharing",
+                f"decision kind says outer={outer} but worker home "
+                f"{worker.platform_id} vs request platform "
+                f"{request.platform_id} implies outer={is_outer_pair}",
+                time=time,
+                platform_id=request.platform_id,
+                request_id=request.request_id,
+                worker_id=worker.worker_id,
+            )
+        if outer:
+            if not worker.shareable:
+                raise SanitizerViolation(
+                    "sharing",
+                    "non-shareable worker used for an outer assignment",
+                    time=time,
+                    platform_id=request.platform_id,
+                    request_id=request.request_id,
+                    worker_id=worker.worker_id,
+                )
+            if not payment > 0.0 or payment > request.value + _EPSILON:
+                raise SanitizerViolation(
+                    "payment",
+                    f"outer payment {payment} outside "
+                    f"(0, v_r={request.value}]",
+                    time=time,
+                    platform_id=request.platform_id,
+                    request_id=request.request_id,
+                    worker_id=worker.worker_id,
+                )
+        elif payment != 0.0:
+            raise SanitizerViolation(
+                "payment",
+                f"inner assignment carries an outer payment of {payment}",
+                time=time,
+                platform_id=request.platform_id,
+                request_id=request.request_id,
+                worker_id=worker.worker_id,
+            )
+
+    def commit_assignment(
+        self,
+        request: "Request",
+        worker: "Worker",
+        outer: bool,
+        payment: float,
+    ) -> None:
+        """Record a successfully-claimed assignment (after
+        :meth:`check_assignment` approved it and the exchange committed)."""
+        self._decided_requests[request.request_id] = "served"
+        self._assigned_workers[worker.worker_id] = request.request_id
+        if outer:
+            self._expected_lender_income[worker.platform_id] = (
+                self._expected_lender_income.get(worker.platform_id, 0.0)
+                + payment
+            )
+
+    def _check_time(
+        self, request: "Request", worker: "Worker", platform_id: str
+    ) -> None:
+        # Time constraint: the worker must predate the request — both by
+        # the worker object's own claim and by the arrival the exchange
+        # actually saw (catching fabricated clones either way).
+        self.checks += 1
+        registered = self._arrived.get(worker.worker_id)
+        arrival = worker.arrival_time
+        if registered is not None:
+            arrival = max(arrival, registered.arrival_time)
+        if arrival > request.arrival_time + _EPSILON:
+            raise SanitizerViolation(
+                "time",
+                f"worker arrived at t={arrival} after the request "
+                f"(t={request.arrival_time})",
+                time=request.arrival_time,
+                platform_id=platform_id,
+                request_id=request.request_id,
+                worker_id=worker.worker_id,
+            )
+
+    def _check_range(
+        self, request: "Request", worker: "Worker", platform_id: str
+    ) -> None:
+        self.checks += 1
+        distance = worker.location.distance_to(request.location)
+        if distance > worker.service_radius + _EPSILON:
+            raise SanitizerViolation(
+                "range",
+                f"request at distance {distance:.6f} km exceeds the "
+                f"worker's service radius {worker.service_radius} km",
+                time=request.arrival_time,
+                platform_id=platform_id,
+                request_id=request.request_id,
+                worker_id=worker.worker_id,
+            )
+
+    # -- ledger conservation -------------------------------------------------
+
+    def check_lender_conservation(
+        self, ledgers: dict[str, "MatchingLedger"], time: float
+    ) -> None:
+        """O(platforms) incremental check: committed outer payments must
+        equal the lender income the ledgers accumulated."""
+        self.checks += 1
+        for platform_id, ledger in ledgers.items():
+            expected = self._expected_lender_income.get(platform_id, 0.0)
+            actual = ledger.total_lender_income
+            if abs(actual - expected) > _EPSILON * max(1.0, abs(expected)):
+                raise SanitizerViolation(
+                    "conservation",
+                    f"lender income {actual} diverged from committed outer "
+                    f"payments {expected}",
+                    time=time,
+                    platform_id=platform_id,
+                )
+
+    def finalize(self, ledgers: dict[str, "MatchingLedger"], time: float) -> None:
+        """End-of-run audit: full Definition-2.5 revenue decomposition per
+        platform plus a final conservation pass."""
+        self.check_lender_conservation(ledgers, time)
+        for platform_id, ledger in ledgers.items():
+            self.checks += 1
+            recomputed = sum(
+                record.platform_revenue for record in ledger.records
+            )
+            if abs(ledger.revenue - recomputed) > _EPSILON * max(
+                1.0, abs(recomputed)
+            ):
+                raise SanitizerViolation(
+                    "conservation",
+                    f"ledger revenue {ledger.revenue} != recomputed "
+                    f"Definition-2.5 decomposition {recomputed}",
+                    time=time,
+                    platform_id=platform_id,
+                )

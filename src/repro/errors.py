@@ -65,6 +65,36 @@ class SimulationError(ReproError):
         super().__init__(message)
 
 
+class SanitizerViolation(SimulationError):
+    """The runtime constraint sanitizer caught an invalid decision.
+
+    Raised by :class:`repro.analysis.ConstraintSanitizer` (enabled via
+    ``SimulatorConfig(sanitize=True)`` or ``COM_REPRO_SANITIZE=1``) the
+    moment an assignment would break a Definition-2.6 constraint,
+    waiting-list consistency, or ledger/revenue conservation — naming the
+    violated constraint plus the request / worker / sim-time context.
+    """
+
+    def __init__(
+        self,
+        constraint: str,
+        message: str,
+        *,
+        time: float | None = None,
+        platform_id: str | None = None,
+        request_id: str | None = None,
+        worker_id: str | None = None,
+    ):
+        super().__init__(
+            f"{constraint}: {message}",
+            time=time,
+            platform_id=platform_id,
+            request_id=request_id,
+            worker_id=worker_id,
+        )
+        self.constraint = constraint
+
+
 class ExchangeUnavailableError(SimulationError):
     """The cooperation exchange (or every reachable peer) is down.
 
