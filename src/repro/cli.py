@@ -9,6 +9,8 @@ Subcommands regenerate the paper's experiments from a terminal:
 * ``trace`` — run one scenario with full telemetry and write
   ``trace.jsonl`` / ``trace.chrome.json`` / ``metrics.json``
   (docs/OBSERVABILITY.md);
+* ``lint`` — run the ``comlint`` project-invariant static analyzer
+  (docs/STATIC_ANALYSIS.md);
 * ``quickstart`` — a tiny end-to-end demo run;
 * ``datasets`` — the simulated Table-III statistics.
 """
@@ -149,6 +151,45 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--scale", type=float, default=0.01)
     reproduce.add_argument("--seeds", type=int, default=2)
     reproduce.add_argument("--full-grids", action="store_true")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help=(
+            "comlint: enforce project invariants (determinism, telemetry "
+            "budget, error hygiene, API hygiene) over python sources"
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        dest="report_format",
+        choices=["text", "json"],
+        default="text",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=str,
+        default="comlint.baseline.json",
+        help="accepted-violation file (default: comlint.baseline.json)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept every current finding into the baseline and exit 0",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on baselined findings too, not just new ones",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
 
     subparsers.add_parser("quickstart", help="tiny end-to-end demo")
     subparsers.add_parser("datasets", help="simulated Table III statistics")
@@ -372,6 +413,45 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        Baseline,
+        lint_paths,
+        partition_violations,
+        render_json,
+        render_rule_catalogue,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_rule_catalogue())
+        return 0
+
+    root = Path.cwd()
+    violations = lint_paths([Path(path) for path in args.paths], root=root)
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        Baseline.from_violations(violations).save(baseline_path)
+        print(
+            f"baseline updated: {len(violations)} accepted finding(s) "
+            f"-> {baseline_path}"
+        )
+        return 0
+
+    baseline = Baseline.load(baseline_path)
+    new, baselined = partition_violations(violations, baseline)
+    failing = violations if args.strict else new
+    if args.report_format == "json":
+        print(render_json(new, baselined))
+    else:
+        print(render_text(new, baselined))
+        if args.strict and baselined:
+            print(f"strict mode: {len(baselined)} baselined finding(s) fail too")
+    return 1 if failing else 0
+
+
 def _cmd_quickstart(_: argparse.Namespace) -> int:
     from repro.core import Simulator, SimulatorConfig
     from repro.core.registry import algorithm_factory
@@ -447,6 +527,7 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "ablation": _cmd_ablation,
     "reproduce": _cmd_reproduce,
+    "lint": _cmd_lint,
     "quickstart": _cmd_quickstart,
     "datasets": _cmd_datasets,
     "algorithms": _cmd_algorithms,
