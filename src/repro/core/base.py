@@ -30,6 +30,7 @@ from repro.core.exchange import CooperationExchange
 from repro.core.acceptance import AcceptanceEstimator
 from repro.core.payment import MinimumOuterPaymentEstimator
 from repro.core.pricing import MaximumExpectedRevenuePricer
+from repro.analysis.sanitizer import ConstraintSanitizer
 from repro.errors import ExchangeUnavailableError
 from repro.obs import NULL_PROBE, Probe
 from repro.utils.timer import Stopwatch
@@ -137,6 +138,10 @@ class PlatformContext:
     probe:
         Telemetry hook (:mod:`repro.obs`); the no-op default makes the
         instrumented candidate queries free when telemetry is off.
+    sanitizer:
+        Runtime constraint sanitizer (:mod:`repro.analysis`); ``None``
+        (the default) keeps the offer loop's disabled path to a single
+        ``is None`` check per offer.
     """
 
     platform_id: str
@@ -149,6 +154,7 @@ class PlatformContext:
     value_upper_bound: float
     cooperation_enabled: bool = True
     probe: Probe = NULL_PROBE
+    sanitizer: "ConstraintSanitizer | None" = None
     extra: dict = field(default_factory=dict)
 
     def inner_candidates(self, request: Request) -> list[Worker]:
@@ -231,7 +237,12 @@ def run_offer_loop(
     )
     offers_made = 0
     accepted: Worker | None = None
+    sanitizer = context.sanitizer
     for worker in candidates:
+        if sanitizer is not None:
+            # Offers may only reach eligible shareable outer workers at a
+            # payment within (0, v_r] — validated before the offer goes out.
+            sanitizer.check_offer(request, worker, payment, context.platform_id)
         offers_made += 1
         if context.oracle.offer(
             worker.worker_id, request.request_id, payment, request.value

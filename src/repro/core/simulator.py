@@ -18,6 +18,7 @@ import heapq
 from collections.abc import Callable
 from dataclasses import dataclass, field, replace
 
+from repro.analysis.sanitizer import ConstraintSanitizer, sanitize_from_env
 from repro.behavior.worker_model import BehaviorOracle, WorkerBehavior
 from repro.core.acceptance import AcceptanceEstimator
 from repro.core.base import Decision, DecisionKind, OnlineAlgorithm, PlatformContext
@@ -132,6 +133,14 @@ class SimulatorConfig:
     #: path.  Pass a *fresh* bundle per run unless pooling across runs is
     #: intended (the registry accumulates).
     telemetry: Telemetry | None = None
+    #: Runtime constraint sanitizer (:mod:`repro.analysis`): validate every
+    #: assignment decision against the four Definition-2.6 constraints,
+    #: waiting-list consistency and ledger/revenue conservation, raising
+    #: :class:`repro.errors.SanitizerViolation` on the first bad decision.
+    #: The ``COM_REPRO_SANITIZE`` environment variable force-enables this
+    #: regardless of the config value; the disabled path is a single
+    #: ``is None`` check per decision.
+    sanitize: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -311,6 +320,11 @@ class Simulator:
         probe = (
             config.telemetry.probe if config.telemetry is not None else NULL_PROBE
         )
+        sanitizer = (
+            ConstraintSanitizer()
+            if (config.sanitize or sanitize_from_env())
+            else None
+        )
         exchange: CooperationExchange | ResilientExchange = CooperationExchange(
             scenario.platform_ids,
             cell_size_km=config.cell_size_km,
@@ -357,6 +371,7 @@ class Simulator:
                 value_upper_bound=scenario.value_upper_bound,
                 cooperation_enabled=config.cooperation_enabled,
                 probe=probe,
+                sanitizer=sanitizer,
             )
             algorithm.reset(context)
             algorithms[platform_id] = algorithm
@@ -424,6 +439,7 @@ class Simulator:
                     scenario,
                     acceptance,
                     decision_entries,
+                    sanitizer,
                 )
 
         run_span = (
@@ -447,6 +463,8 @@ class Simulator:
             while reentry_heap and reentry_heap[0][0] <= event.time:
                 _, _, returning = heapq.heappop(reentry_heap)
                 exchange.worker_arrives(returning)
+                if sanitizer is not None:
+                    sanitizer.observe_worker(returning)
                 if returning.departure_time is not None:
                     heapq.heappush(
                         departure_heap,
@@ -479,6 +497,8 @@ class Simulator:
                         worker_id=worker.worker_id,
                     )
                 exchange.worker_arrives(worker)
+                if sanitizer is not None:
+                    sanitizer.observe_worker(worker)
                 if probe.enabled:
                     probe.count(
                         "worker_arrivals_total", platform=worker.platform_id
@@ -558,12 +578,15 @@ class Simulator:
                 scenario,
                 acceptance,
                 decision_entries,
+                sanitizer,
             )
 
         # End of stream: final flush, then auto-reject anything left parked.
         for platform_id in scenario.platform_ids:
             run_flush(platform_id, float("inf"))
         for leftover in list(deferred.values()):
+            if sanitizer is not None:
+                sanitizer.observe_rejection(leftover, last_event_time)
             outcomes[leftover.platform_id].ledger.record_rejection(leftover)
             if probe.enabled:
                 probe.count(
@@ -572,6 +595,12 @@ class Simulator:
                     kind="auto_reject",
                 )
         deferred.clear()
+
+        if sanitizer is not None:
+            sanitizer.finalize(
+                {pid: outcome.ledger for pid, outcome in outcomes.items()},
+                last_event_time,
+            )
 
         if resilient is not None:
             resilient.finalize(last_event_time)
@@ -632,6 +661,7 @@ class Simulator:
         scenario: Scenario,
         acceptance: AcceptanceEstimator,
         decision_entries: list["DecisionLogEntry"] | None = None,
+        sanitizer: ConstraintSanitizer | None = None,
     ) -> int:
         """Mutate world state according to a decision; returns the updated
         reentry sequence counter."""
@@ -654,6 +684,8 @@ class Simulator:
             )
 
         if decision.kind is DecisionKind.REJECT:
+            if sanitizer is not None:
+                sanitizer.observe_rejection(request, request.arrival_time)
             outcome.ledger.record_rejection(request)
             return reentry_sequence
 
@@ -664,6 +696,17 @@ class Simulator:
                 time=request.arrival_time,
                 platform_id=request.platform_id,
                 request_id=request.request_id,
+            )
+        outer_kind = decision.kind is DecisionKind.SERVE_OUTER
+        if sanitizer is not None:
+            # Validated *before* any world-state mutation: a violation
+            # surfaces with the waiting lists and ledgers untouched.
+            sanitizer.check_assignment(
+                request,
+                worker,
+                outer=outer_kind,
+                payment=decision.payment,
+                exchange=exchange,
             )
         if not exchange.is_available(worker.worker_id):
             raise SimulationError(
@@ -703,6 +746,8 @@ class Simulator:
                     platform=request.platform_id,
                     outcome="conflict",
                 )
+            if sanitizer is not None:
+                sanitizer.observe_rejection(request, request.arrival_time)
             outcome.ledger.record_rejection(request)
             return reentry_sequence
         if claim_span is not None:
@@ -735,6 +780,15 @@ class Simulator:
             )
             acceptance.record_completion(
                 worker.worker_id, decision.payment, request.value
+            )
+
+        if sanitizer is not None:
+            sanitizer.commit_assignment(
+                request, worker, outer=outer_kind, payment=decision.payment
+            )
+            sanitizer.check_lender_conservation(
+                {pid: out.ledger for pid, out in outcomes.items()},
+                request.arrival_time,
             )
 
         occupation = config.service_duration
