@@ -1,0 +1,6 @@
+"""Fixture: API001 — mutable default argument."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket

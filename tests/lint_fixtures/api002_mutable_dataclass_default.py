@@ -1,0 +1,8 @@
+"""Fixture: API002 — mutable dataclass field default."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RunSummary:
+    labels: list = []

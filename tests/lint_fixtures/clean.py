@@ -1,0 +1,19 @@
+"""Fixture: representative project-idiomatic code with zero violations."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Tally:
+    counts: dict = field(default_factory=dict)
+
+    def bump(self, key: str) -> None:
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def ordered_keys(self) -> list[str]:
+        return [key for key in sorted(set(self.counts))]
+
+
+def record_decision(probe, platform_id: str) -> None:
+    if probe.enabled:
+        probe.count("decisions_total", 1, platform=platform_id)

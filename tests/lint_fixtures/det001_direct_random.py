@@ -1,0 +1,7 @@
+"""Fixture: DET001 — direct random.Random construction outside utils/rng."""
+
+import random
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed)

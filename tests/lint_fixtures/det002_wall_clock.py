@@ -1,0 +1,7 @@
+"""Fixture: DET002 — wall-clock read outside the timer/obs allowlist."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

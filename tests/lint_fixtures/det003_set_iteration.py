@@ -1,0 +1,5 @@
+"""Fixture: DET003 — iterating a set literal without sorted()."""
+
+
+def platform_order(extra: str) -> list[str]:
+    return [name for name in {"A", "B", extra}]

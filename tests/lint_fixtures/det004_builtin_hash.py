@@ -1,0 +1,5 @@
+"""Fixture: DET004 — builtin hash() is salted by PYTHONHASHSEED."""
+
+
+def bucket_for(label: str) -> int:
+    return hash(label) % 64

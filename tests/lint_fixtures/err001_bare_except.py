@@ -1,0 +1,8 @@
+"""Fixture: ERR001 — a bare except swallowing everything."""
+
+
+def swallow(action):
+    try:
+        return action()
+    except:
+        return None

@@ -1,0 +1,8 @@
+"""Fixture: ERR002 — broad except Exception without re-raising."""
+
+
+def swallow(action):
+    try:
+        return action()
+    except Exception:
+        return None

@@ -1,0 +1,5 @@
+"""Fixture: OBS001 — probe emission without a probe.enabled guard."""
+
+
+def record_decision(probe, platform_id: str) -> None:
+    probe.count("decisions_total", 1, platform=platform_id)

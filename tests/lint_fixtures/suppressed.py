@@ -1,0 +1,7 @@
+"""Fixture: an inline suppression silences the only violation."""
+
+import random
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed)  # comlint: disable=DET001
