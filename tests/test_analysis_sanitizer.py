@@ -1,0 +1,297 @@
+"""ConstraintSanitizer: each Def-2.6 constraint caught by name.
+
+Integration tests run deliberately-broken algorithms through the real
+:class:`Simulator` with ``sanitize=True`` and assert the sanitizer stops
+the run at the first bad decision, naming the violated constraint.
+Sequence-level tests cover the constraints the simulator's own guards
+make unreachable end-to-end (e.g. revising a settled request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import ConstraintSanitizer, sanitize_from_env
+from repro.core import DemCOM, RamCOM, Simulator, SimulatorConfig
+from repro.core.base import Decision, OnlineAlgorithm
+from repro.core.matching import MatchingLedger
+from repro.errors import SanitizerViolation
+
+from conftest import make_request, make_scenario, make_worker
+
+
+class _Cheater(OnlineAlgorithm):
+    """Serves whatever ``pick(request, context)`` fabricates."""
+
+    name = "cheater"
+
+    def decide(self, request, context):
+        decision = self.pick(request, context)
+        return decision if decision is not None else Decision.reject()
+
+    def pick(self, request, context):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+def _run(scenario, algorithm, **config_kwargs):
+    config = SimulatorConfig(
+        measure_response_time=False, sanitize=True, **config_kwargs
+    )
+    return Simulator(config).run(scenario, algorithm)
+
+
+def _violation(scenario, algorithm, **config_kwargs) -> SanitizerViolation:
+    with pytest.raises(SanitizerViolation) as excinfo:
+        _run(scenario, algorithm, **config_kwargs)
+    return excinfo.value
+
+
+class TestDef26Constraints:
+    def test_time_constraint(self):
+        """A worker object claiming a later arrival than the exchange saw."""
+
+        class TimeTraveller(_Cheater):
+            def pick(self, request, context):
+                worker = context.exchange.inner_candidates(
+                    context.platform_id, request
+                )[0]
+                return Decision.serve_inner(
+                    replace(worker, arrival_time=request.arrival_time + 100.0)
+                )
+
+        scenario = make_scenario([make_worker()], [make_request(t=1.0)])
+        error = _violation(scenario, TimeTraveller)
+        assert error.constraint == "time"
+        assert error.request_id == "r0" and error.worker_id == "w0"
+
+    def test_one_by_one_constraint(self):
+        """The same worker may not serve two requests."""
+
+        class DoubleDipper(_Cheater):
+            chosen = None
+
+            def pick(self, request, context):
+                if DoubleDipper.chosen is None:
+                    DoubleDipper.chosen = context.exchange.inner_candidates(
+                        context.platform_id, request
+                    )[0]
+                return Decision.serve_inner(DoubleDipper.chosen)
+
+        DoubleDipper.chosen = None
+        scenario = make_scenario(
+            [make_worker(radius=2.0)],
+            [make_request("r0", t=1.0), make_request("r1", t=2.0)],
+        )
+        error = _violation(scenario, DoubleDipper)
+        assert error.constraint == "one-by-one"
+        assert error.request_id == "r1"
+
+    def test_invariable_constraint(self):
+        """A settled request is never revisited (sequence-level: the
+        simulator's own flush bookkeeping blocks this path upstream)."""
+        sanitizer = ConstraintSanitizer()
+        worker = make_worker()
+        request = make_request(t=1.0)
+        sanitizer.observe_worker(worker)
+        sanitizer.observe_rejection(request, time=1.0)
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.check_assignment(request, worker, outer=False, payment=0.0)
+        assert excinfo.value.constraint == "invariable"
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.observe_rejection(request, time=2.0)
+        assert excinfo.value.constraint == "invariable"
+
+    def test_range_constraint(self):
+        """Serving a request outside the worker's service disk."""
+
+        class LongArm(_Cheater):
+            def pick(self, request, context):
+                return Decision.serve_inner(self.far)
+
+        LongArm.far = make_worker("far", "A", t=0.0, x=5.0, radius=1.0)
+        scenario = make_scenario(
+            [LongArm.far], [make_request(t=1.0, x=0.0)]
+        )
+        error = _violation(scenario, LongArm)
+        assert error.constraint == "range"
+        assert error.worker_id == "far"
+
+
+class TestAuxiliaryChecks:
+    def test_waiting_list_ghost_worker(self):
+        class Necromancer(_Cheater):
+            def pick(self, request, context):
+                return Decision.serve_inner(make_worker("ghost", "A", t=0.0))
+
+        scenario = make_scenario([make_worker()], [make_request(t=1.0)])
+        error = _violation(scenario, Necromancer)
+        assert error.constraint == "waiting-list"
+        assert error.worker_id == "ghost"
+
+    def test_outer_payment_above_value(self):
+        class Overpayer(_Cheater):
+            def pick(self, request, context):
+                workers = context.exchange.outer_candidates(
+                    context.platform_id, request
+                )
+                if not workers:
+                    return None
+                return Decision.serve_outer(
+                    workers[0], payment=request.value * 2.0, offers_made=1
+                )
+
+        scenario = make_scenario(
+            [make_worker("b0", "B", t=0.0)],
+            [make_request(t=1.0)],
+            platform_ids=["A", "B"],
+        )
+        error = _violation(scenario, Overpayer)
+        assert error.constraint == "payment"
+
+    def test_inner_assignment_must_not_pay(self):
+        sanitizer = ConstraintSanitizer()
+        worker = make_worker()
+        sanitizer.observe_worker(worker)
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.check_assignment(
+                make_request(t=1.0), worker, outer=False, payment=1.0
+            )
+        assert excinfo.value.constraint == "payment"
+
+    def test_sharing_flag_mismatch(self):
+        sanitizer = ConstraintSanitizer()
+        worker = make_worker()  # home platform A
+        sanitizer.observe_worker(worker)
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.check_assignment(
+                make_request(t=1.0), worker, outer=True, payment=1.0
+            )
+        assert excinfo.value.constraint == "sharing"
+
+    def test_offer_checks(self):
+        sanitizer = ConstraintSanitizer()
+        request = make_request(t=1.0, value=10.0)
+        inner = make_worker("w_in", "A", t=0.0)
+        outer = make_worker("w_out", "B", t=0.0)
+        selfish = make_worker("w_ns", "B", t=0.0, shareable=False)
+        for worker in (inner, outer, selfish):
+            sanitizer.observe_worker(worker)
+
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.check_offer(request, inner, 5.0, "A")
+        assert excinfo.value.constraint == "sharing"
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.check_offer(request, selfish, 5.0, "A")
+        assert excinfo.value.constraint == "sharing"
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.check_offer(request, outer, 11.0, "A")
+        assert excinfo.value.constraint == "payment"
+        sanitizer.check_offer(request, outer, 5.0, "A")  # valid: no raise
+
+
+class TestConservation:
+    def test_lender_income_divergence(self):
+        sanitizer = ConstraintSanitizer()
+        lender = make_worker("b0", "B", t=0.0)
+        sanitizer.observe_worker(lender)
+        request = make_request(t=1.0)
+        sanitizer.check_assignment(request, lender, outer=True, payment=5.0)
+        sanitizer.commit_assignment(request, lender, outer=True, payment=5.0)
+        stale = MatchingLedger("B")  # never credited the 5.0
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.check_lender_conservation({"B": stale}, time=1.0)
+        assert excinfo.value.constraint == "conservation"
+        assert excinfo.value.platform_id == "B"
+
+    def test_lender_income_dropped_in_simulation(self, monkeypatch):
+        """If the ledger stops crediting lenders, the very next committed
+        outer assignment trips the incremental conservation check."""
+        monkeypatch.setattr(
+            MatchingLedger,
+            "record_lender_income",
+            lambda self, borrower, payment: None,
+        )
+
+        class FairBorrower(_Cheater):
+            def pick(self, request, context):
+                workers = context.exchange.outer_candidates(
+                    context.platform_id, request
+                )
+                if not workers:
+                    return None
+                return Decision.serve_outer(
+                    workers[0], payment=request.value / 2.0, offers_made=1
+                )
+
+        scenario = make_scenario(
+            [make_worker("b0", "B", t=0.0)],
+            [make_request(t=1.0)],
+            platform_ids=["A", "B"],
+        )
+        error = _violation(scenario, FairBorrower)
+        assert error.constraint == "conservation"
+
+    def test_finalize_revenue_decomposition(self):
+        class LyingLedger(MatchingLedger):
+            @property
+            def revenue(self) -> float:
+                return 999.0
+
+        sanitizer = ConstraintSanitizer()
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.finalize({"A": LyingLedger("A")}, time=5.0)
+        assert excinfo.value.constraint == "conservation"
+
+
+class TestEnablement:
+    def test_sanitize_from_env(self):
+        assert not sanitize_from_env({})
+        assert not sanitize_from_env({"COM_REPRO_SANITIZE": "0"})
+        for value in ("1", "true", "YES", " on "):
+            assert sanitize_from_env({"COM_REPRO_SANITIZE": value})
+
+    def test_env_var_enables_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("COM_REPRO_SANITIZE", "1")
+
+        class Necromancer(_Cheater):
+            def pick(self, request, context):
+                return Decision.serve_inner(make_worker("ghost", "A", t=0.0))
+
+        scenario = make_scenario([make_worker()], [make_request(t=1.0)])
+        with pytest.raises(SanitizerViolation):
+            # note: config does NOT set sanitize=True
+            Simulator(SimulatorConfig(measure_response_time=False)).run(
+                scenario, Necromancer
+            )
+
+    @pytest.mark.parametrize("algorithm", [DemCOM, RamCOM])
+    def test_sanitized_run_matches_plain_run(self, algorithm):
+        workers = [
+            make_worker(f"a{i}", "A", float(i) * 0.3, x=i * 0.4, radius=1.5)
+            for i in range(5)
+        ] + [
+            make_worker(f"b{i}", "B", float(i) * 0.5, x=i * 0.6, radius=1.5)
+            for i in range(4)
+        ]
+        requests = [
+            make_request(f"r{i}", "A", 2.0 + i * 0.5, x=i * 0.35, value=5.0 + i)
+            for i in range(8)
+        ]
+        scenario = make_scenario(workers, requests, platform_ids=["A", "B"])
+        plain = Simulator(
+            SimulatorConfig(seed=3, measure_response_time=False)
+        ).run(scenario, algorithm)
+        sanitized = Simulator(
+            SimulatorConfig(seed=3, measure_response_time=False, sanitize=True)
+        ).run(scenario, algorithm)
+        assert sanitized.total_revenue == plain.total_revenue
+        for pid in ("A", "B"):
+            assert (
+                sanitized.platforms[pid].ledger.revenue
+                == plain.platforms[pid].ledger.revenue
+            )
+            assert len(sanitized.platforms[pid].ledger.records) == len(
+                plain.platforms[pid].ledger.records
+            )
