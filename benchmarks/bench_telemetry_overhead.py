@@ -39,8 +39,11 @@ BUDGET = 0.05
 #: Upper bound on probe touchpoints per decision on the disabled path:
 #: decision span + candidates (inner & outer) + offer loop + payment span
 #: + claim span + algorithm counters are all ``enabled`` flag checks;
-#: ``probe.advance`` and stray no-op calls add method-call shapes.
-FLAG_CHECKS_PER_DECISION = 10
+#: ``probe.advance`` and stray no-op calls add method-call shapes.  The
+#: runtime constraint sanitizer (``repro.analysis``) adds ``is None``
+#: tests in ``_apply_decision`` and the offer loop — same attribute-load
+#: + branch shape as a flag check, counted in the same bucket.
+FLAG_CHECKS_PER_DECISION = 12
 NOOP_CALLS_PER_DECISION = 2
 
 
