@@ -42,8 +42,11 @@ BUDGET = 0.05
 #: ``probe.advance`` and stray no-op calls add method-call shapes.  The
 #: runtime constraint sanitizer (``repro.analysis``) adds ``is None``
 #: tests in ``_apply_decision`` and the offer loop — same attribute-load
-#: + branch shape as a flag check, counted in the same bucket.
-FLAG_CHECKS_PER_DECISION = 12
+#: + branch shape as a flag check, counted in the same bucket.  The
+#: payment estimator's span-leak guard (``finally: if span is not None
+#: and failed``) adds one more is-None test per estimate; the snapshot
+#: fast path itself adds none.
+FLAG_CHECKS_PER_DECISION = 13
 NOOP_CALLS_PER_DECISION = 2
 
 

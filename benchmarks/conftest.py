@@ -7,6 +7,9 @@ Environment knobs (all optional):
 * ``REPRO_BENCH_SEEDS`` — seed-days averaged per measurement (default 2).
 * ``REPRO_BENCH_FULL`` — set to 1 to run the figure sweeps over the full
   Table-IV grids (default: the heaviest tail points are truncated).
+* ``REPRO_BENCH_JOBS`` — worker processes for the seed x algorithm cells
+  (default 1 = serial; 0 = one per CPU).  Results are byte-identical to
+  serial runs (docs/PERFORMANCE.md), so measured revenues never shift.
 
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
 paper-vs-measured tables.
@@ -25,6 +28,7 @@ from repro.experiments.harness import ExperimentConfig
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
 BENCH_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "2"))
 BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def bench_experiment_config() -> ExperimentConfig:
@@ -33,6 +37,7 @@ def bench_experiment_config() -> ExperimentConfig:
         seeds=tuple(range(BENCH_SEEDS)),
         worker_reentry=True,
         service_duration=1800.0,
+        jobs=BENCH_JOBS,
     )
 
 

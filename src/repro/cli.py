@@ -9,10 +9,15 @@ Subcommands regenerate the paper's experiments from a terminal:
 * ``trace`` — run one scenario with full telemetry and write
   ``trace.jsonl`` / ``trace.chrome.json`` / ``metrics.json``
   (docs/OBSERVABILITY.md);
+* ``bench`` — the hot-path performance benchmark (docs/PERFORMANCE.md);
 * ``lint`` — run the ``comlint`` project-invariant static analyzer
   (docs/STATIC_ANALYSIS.md);
 * ``quickstart`` — a tiny end-to-end demo run;
 * ``datasets`` — the simulated Table-III statistics.
+
+Experiment subcommands accept ``--jobs N`` to fan seed x algorithm cells
+across a process pool (:class:`repro.experiments.parallel.ParallelRunner`);
+output is byte-identical to the serial run.
 """
 
 from __future__ import annotations
@@ -26,6 +31,18 @@ from repro.experiments.figures import run_figure5_panel
 from repro.utils.tables import TextTable
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for seed x algorithm cells (0 = one per "
+            "CPU); results are byte-identical to --jobs 1"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument(
         "--output", type=str, default=None, help="directory to save JSON results"
     )
+    _add_jobs_flag(table)
 
     figure = subparsers.add_parser("figure", help="regenerate one Fig. 5 panel")
     figure.add_argument("axis", choices=["requests", "workers", "radius"])
@@ -66,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--chart", action="store_true", help="also render an ASCII chart"
     )
+    _add_jobs_flag(figure)
 
     cr = subparsers.add_parser("cr", help="competitive-ratio study")
     cr.add_argument("algorithm", help="algorithm name (demcom, ramcom, tota, ...)")
@@ -96,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--output", type=str, default=None, help="directory to save JSON results"
     )
+    _add_jobs_flag(chaos)
 
     trace = subparsers.add_parser(
         "trace",
@@ -136,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["going-rate", "jitter", "skew", "occupation"],
     )
     sensitivity.add_argument("--seeds", type=int, default=2)
+    _add_jobs_flag(sensitivity)
 
     ablation = subparsers.add_parser("ablation", help="design-choice ablation")
     ablation.add_argument(
@@ -143,6 +164,30 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["cooperation", "ramcom-k", "payment-accuracy", "pricer"],
     )
     ablation.add_argument("--seeds", type=int, default=2)
+    _add_jobs_flag(ablation)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help=(
+            "hot-path benchmark: Algorithm-2 fast path vs its reference "
+            "baseline, plus the parallel executor (docs/PERFORMANCE.md)"
+        ),
+    )
+    bench.add_argument(
+        "--full", action="store_true", help="full sizes (default: quick)"
+    )
+    bench.add_argument(
+        "--output", type=str, default=None, help="write the JSON payload here"
+    )
+    bench.add_argument(
+        "--check",
+        type=str,
+        default=None,
+        help="compare speedups against this reference JSON (e.g. "
+        "BENCH_hotpath.json); exit 1 on regression",
+    )
+    _add_jobs_flag(bench)
+    bench.set_defaults(jobs=0)
 
     reproduce = subparsers.add_parser(
         "reproduce", help="run every table/figure/CR study, write REPORT.md"
@@ -199,7 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_table(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
-        seeds=tuple(range(args.seeds)), service_duration=args.service_duration
+        seeds=tuple(range(args.seeds)),
+        service_duration=args.service_duration,
+        jobs=args.jobs,
     )
     result = run_city_table(args.table_id, scale=args.scale, config=config)
     print(result.render())
@@ -225,7 +272,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             "radius": (0.5, 1.0, 1.5, 2.0, 2.5),
         }
         values = reduced[args.axis]
-    config = ExperimentConfig(seeds=tuple(range(args.seeds)))
+    config = ExperimentConfig(seeds=tuple(range(args.seeds)), jobs=args.jobs)
     panel = run_figure5_panel(args.axis, args.metric, values=values, config=config)
     print(panel.render())
     if args.chart:
@@ -293,7 +340,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             request_count=args.requests, worker_count=args.workers, city_km=8.0
         )
     ).build(seed=1)
-    config = ExperimentConfig(seeds=tuple(range(args.seeds)))
+    config = ExperimentConfig(seeds=tuple(range(args.seeds)), jobs=args.jobs)
     result = run_fault_sweep(
         scenario,
         algorithms=algorithms,
@@ -371,7 +418,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         "skew": module.skew_sensitivity,
         "occupation": module.occupation_sensitivity,
     }
-    config = ExperimentConfig(seeds=tuple(range(args.seeds)))
+    config = ExperimentConfig(seeds=tuple(range(args.seeds)), jobs=args.jobs)
     result = functions[args.parameter](config=config)
     print(result.render())
     return 0
@@ -390,7 +437,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     scenario = SyntheticWorkload(
         SyntheticWorkloadConfig(request_count=600, worker_count=160, city_km=8.0)
     ).build(seed=1)
-    config = ExperimentConfig(seeds=tuple(range(args.seeds)))
+    config = ExperimentConfig(seeds=tuple(range(args.seeds)), jobs=args.jobs)
     result = functions[args.study](scenario, config)
     print(result.render())
     return 0
@@ -410,6 +457,34 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         f"{len(run.tables)} tables, {len(run.panels)} figure panels, "
         f"{len(run.cr_rows)} CR rows in {run.elapsed_seconds:.1f}s"
     )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.benchmark import (
+        check_regression,
+        render_report,
+        run_hotpath_benchmark,
+    )
+
+    payload = run_hotpath_benchmark(quick=not args.full, jobs=args.jobs)
+    print(render_report(payload))
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"saved: {args.output}")
+    if args.check:
+        failures = check_regression(payload, args.check)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"OK: speedups within tolerance of {args.check}")
     return 0
 
 
@@ -527,6 +602,7 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "ablation": _cmd_ablation,
     "reproduce": _cmd_reproduce,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
     "quickstart": _cmd_quickstart,
     "datasets": _cmd_datasets,

@@ -21,7 +21,7 @@ from repro.core.entities import Request, Worker
 from repro.core.events import ArrivalEvent, EventKind, EventStream, merge_streams
 from repro.core.waiting_list import WaitingList
 from repro.core.exchange import CooperationExchange
-from repro.core.acceptance import AcceptanceEstimator
+from repro.core.acceptance import AcceptanceEstimator, AcceptanceSnapshot
 from repro.core.payment import MinimumOuterPaymentEstimator, PaymentEstimate
 from repro.core.pricing import MaximumExpectedRevenuePricer, PricingQuote
 from repro.core.matching import AssignmentKind, MatchRecord, MatchingLedger
@@ -52,6 +52,7 @@ __all__ = [
     "WaitingList",
     "CooperationExchange",
     "AcceptanceEstimator",
+    "AcceptanceSnapshot",
     "MinimumOuterPaymentEstimator",
     "PaymentEstimate",
     "MaximumExpectedRevenuePricer",

@@ -25,7 +25,68 @@ from collections.abc import Hashable, Sequence
 
 from repro.errors import ConfigurationError
 
-__all__ = ["AcceptanceEstimator"]
+__all__ = ["AcceptanceEstimator", "AcceptanceSnapshot"]
+
+
+class AcceptanceSnapshot:
+    """A per-call view of candidate histories for the Algorithm-2 fast path.
+
+    One :meth:`AcceptanceEstimator.snapshot` call materialises, for a fixed
+    candidate list, everything :meth:`AcceptanceEstimator.probability` would
+    look up per query — the sorted history list and its length per worker,
+    plus the estimator's normalisation mode and cold-start default — so the
+    Monte-Carlo/bisection loop of Algorithm 2 and the MER pricer's
+    any-acceptance product can iterate over plain tuples with an inlined
+    ``bisect`` instead of paying a dict lookup, a method call and a mode
+    branch per (payment, worker) probe.
+
+    ``rows`` is aligned with the ``worker_ids`` passed to ``snapshot()``:
+    one ``(history, size)`` pair per candidate, where ``history`` is the
+    estimator's *live* sorted list (not a copy) or ``None`` for a
+    cold-start worker.  A snapshot is therefore only valid until the next
+    history mutation (``record_completion`` / ``set_history``); the
+    simulator never mutates histories inside a single decision, which is
+    the window the fast path uses.
+    """
+
+    __slots__ = ("mode", "default_probability", "rows")
+
+    def __init__(
+        self,
+        mode: str,
+        default_probability: float,
+        rows: list[tuple[list[float] | None, int]],
+    ):
+        self.mode = mode
+        self.default_probability = default_probability
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def normalize(self, payment: float, request_value: float) -> float:
+        """The offer in history space — ``payment/request_value`` in
+        relative mode, ``payment`` in absolute mode (mirrors Eq. 4)."""
+        if self.mode == "absolute":
+            return payment
+        if request_value <= 0:
+            raise ConfigurationError(
+                f"request_value must be positive, got {request_value}"
+            )
+        return payment / request_value
+
+    def probabilities(
+        self, payment: float, request_value: float
+    ) -> list[float]:
+        """Per-candidate Eq.-4 probabilities at ``payment`` (test seam;
+        bit-identical to querying the estimator row by row)."""
+        offer = self.normalize(payment, request_value)
+        cold = self.default_probability if payment > 0 else 0.0
+        bisect_right = bisect.bisect_right
+        return [
+            cold if history is None else bisect_right(history, offer) / size
+            for history, size in self.rows
+        ]
 
 
 class AcceptanceEstimator:
@@ -101,6 +162,23 @@ class AcceptanceEstimator:
             return self.default_probability if payment > 0 else 0.0
         offer = self._normalize(payment, request_value)
         return bisect.bisect_right(history, offer) / len(history)
+
+    def snapshot(self, worker_ids: Sequence[Hashable]) -> AcceptanceSnapshot:
+        """Materialise the candidates' histories once for a batch of
+        probability queries (the Algorithm-2 / MER fast path).
+
+        The returned rows alias the live history lists; see
+        :class:`AcceptanceSnapshot` for the validity window.
+        """
+        histories = self._histories
+        rows: list[tuple[list[float] | None, int]] = []
+        for worker_id in worker_ids:
+            history = histories.get(worker_id)
+            if history:
+                rows.append((history, len(history)))
+            else:
+                rows.append((None, 0))
+        return AcceptanceSnapshot(self.mode, self.default_probability, rows)
 
     def candidate_payments(
         self, worker_id: Hashable, request_value: float

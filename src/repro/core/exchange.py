@@ -21,6 +21,8 @@ platforms".
 
 from __future__ import annotations
 
+import heapq
+
 from repro.core.entities import Request, Worker
 from repro.core.waiting_list import WaitingList
 from repro.errors import SimulationError
@@ -81,21 +83,29 @@ class CooperationExchange:
         ``peers`` restricts the query to a subset of the other platforms
         (the resilience layer passes the currently *reachable* peers);
         the default consults every other platform.
+
+        Each per-platform :meth:`~repro.core.waiting_list.WaitingList.
+        eligible_with_distance` result is already sorted by
+        ``(distance, worker_id)``, so the cross-platform ordering is a
+        k-way merge of those streams — no O(n log n) re-sort per request.
+        The merge keys on the same distance the range constraint used
+        (shortest-path when a road network is set, Euclidean otherwise),
+        which also keeps outer ordering consistent with inner ordering.
         """
         consulted = self._lists.keys() if peers is None else peers
-        candidates: list[Worker] = []
-        for other_id in consulted:
-            if other_id == platform_id:
-                continue
-            candidates.extend(
-                worker
-                for worker in self._lists[other_id].eligible_for(request)
-                if worker.shareable
+        streams = [
+            (
+                entry
+                for entry in self._lists[other_id].eligible_with_distance(request)
+                if entry[2].shareable
             )
-        candidates.sort(
-            key=lambda w: (w.location.distance_to(request.location), w.worker_id)
-        )
-        return candidates
+            for other_id in consulted
+            if other_id != platform_id
+        ]
+        # Worker ids are globally unique, so the (distance, worker_id)
+        # tuple prefix is a total order and the Worker element is never
+        # compared.
+        return [worker for _, _, worker in heapq.merge(*streams)]
 
     def claim(self, worker_id: str, claimant: str | None = None) -> Worker:
         """Atomically remove a worker from the exchange (assignment).

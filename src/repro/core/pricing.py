@@ -16,10 +16,20 @@ candidates' history values below ``v_r`` — the empirical CDFs of Eq. 4 are
 step functions whose steps sit exactly at history values, so including them
 makes the discrete maximization exact for the estimator the algorithm
 actually uses.
+
+Like Algorithm 2, the any-acceptance product is the pricer's hot loop (one
+Eq.-4 query per candidate per grid point).  By default :meth:`quote` runs
+on the snapshot fast path — candidate histories are materialised once per
+call (:meth:`~repro.core.acceptance.AcceptanceEstimator.snapshot`) and the
+product iterates ``(history, size)`` tuples with an inlined ``bisect`` and
+one offer normalisation per grid point.  The product multiplies the exact
+same factors in the exact same candidate order, so quotes are bit-identical
+to the reference path (``fast_path=False``); see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 
@@ -62,6 +72,11 @@ class MaximumExpectedRevenuePricer:
         Disabling this reproduces a plain grid search (ablation knob).
     max_breakpoints:
         Cap on history breakpoints considered, for dense histories.
+    fast_path:
+        Evaluate the any-acceptance product over a per-call history
+        snapshot (default).  ``False`` selects the reference per-query
+        implementation — bit-identical results, kept for the equivalence
+        tests and the ``bench_hotpath`` baseline.
     """
 
     def __init__(
@@ -70,6 +85,7 @@ class MaximumExpectedRevenuePricer:
         grid_steps: int = 50,
         include_history_breakpoints: bool = True,
         max_breakpoints: int = 200,
+        fast_path: bool = True,
     ):
         if grid_steps < 1:
             raise ConfigurationError(f"grid_steps must be >= 1, got {grid_steps}")
@@ -81,6 +97,7 @@ class MaximumExpectedRevenuePricer:
         self.grid_steps = grid_steps
         self.include_history_breakpoints = include_history_breakpoints
         self.max_breakpoints = max_breakpoints
+        self.fast_path = fast_path
 
     def _any_acceptance_probability(
         self, payment: float, request_value: float, worker_ids: Sequence[Hashable]
@@ -126,13 +143,42 @@ class MaximumExpectedRevenuePricer:
             return PricingQuote(
                 payment=request_value, expected_revenue=0.0, acceptance_probability=0.0
             )
+        rows = (
+            self.estimator.snapshot(worker_ids).rows if self.fast_path else None
+        )
+        relative = self.estimator.mode == "relative"
+        default_probability = self.estimator.default_probability
         best_payment = request_value
         best_expected = -1.0
         best_probability = 0.0
         for payment in self._candidate_payments(request_value, worker_ids):
-            probability = self._any_acceptance_probability(
-                payment, request_value, worker_ids
-            )
+            if rows is None:
+                probability = self._any_acceptance_probability(
+                    payment, request_value, worker_ids
+                )
+            else:
+                # Fast path: same factors, same candidate order, one offer
+                # normalisation per grid point — bit-identical product.
+                offer = payment / request_value if relative else payment
+                cold = default_probability if payment > 0 else 0.0
+                none_accepts = 1.0
+                for history, size in rows:
+                    if history is None:
+                        none_accepts *= 1.0 - cold
+                    elif history[0] > offer:
+                        # Probability 0: multiplying by 1.0 is a no-op.
+                        continue
+                    elif history[size - 1] <= offer:
+                        # Probability exactly 1.0: the product collapses,
+                        # matching the reference early-exit.
+                        none_accepts = 0.0
+                    else:
+                        none_accepts *= (
+                            1.0 - bisect_right(history, offer) / size
+                        )
+                    if none_accepts == 0.0:
+                        break
+                probability = 1.0 - none_accepts
             expected = (request_value - payment) * probability
             # Tie-break toward higher payment: same platform revenue but a
             # higher chance of acceptance (and a happier lender).

@@ -97,6 +97,11 @@ class SimulatorConfig:
     pricer_history_breakpoints: bool = True
     #: Eq.-4 estimate for workers with no history.
     default_acceptance: float = 0.5
+    #: Run Algorithm 2 and the MER pricer on the snapshot fast path
+    #: (docs/PERFORMANCE.md).  ``False`` selects the reference per-query
+    #: implementations — bit-identical results, ~2-5x slower; kept for the
+    #: fast-path equivalence tests and ``benchmarks/bench_hotpath.py``.
+    payment_fast_path: bool = True
     #: Grid-index cell edge (km).
     cell_size_km: float = 1.0
     #: When False, outer candidate queries return nothing (no-cooperation
@@ -347,12 +352,16 @@ class Simulator:
             mode=scenario.oracle.mode,
         )
         payment_estimator = MinimumOuterPaymentEstimator(
-            acceptance, xi=config.payment_xi, eta=config.payment_eta
+            acceptance,
+            xi=config.payment_xi,
+            eta=config.payment_eta,
+            fast_path=config.payment_fast_path,
         )
         pricer = MaximumExpectedRevenuePricer(
             acceptance,
             grid_steps=config.pricer_grid_steps,
             include_history_breakpoints=config.pricer_history_breakpoints,
+            fast_path=config.payment_fast_path,
         )
 
         algorithms: dict[str, OnlineAlgorithm] = {}

@@ -13,6 +13,7 @@ a later time with a fresh arrival timestamp.
 
 from __future__ import annotations
 
+import bisect
 from collections.abc import Iterator
 
 from repro.core.entities import Request, Worker
@@ -37,7 +38,12 @@ class WaitingList:
     ):
         self._workers: dict[str, Worker] = {}
         self._index = GridIndex(cell_size_km)
-        self._max_radius = 0.0
+        #: Sorted multiset of live service radii.  The radius query below
+        #: scans out to the *largest live* radius; tracking the multiset
+        #: (rather than a high-water mark) lets the bound shrink when a
+        #: large-radius worker leaves, so query cost tracks the live pool
+        #: instead of the historical maximum.
+        self._radii: list[float] = []
         #: Optional road metric (paper §II): when set, the range constraint
         #: uses shortest-path distance.  The Euclidean grid query remains a
         #: sound prefilter because road distance dominates Euclidean.
@@ -61,8 +67,7 @@ class WaitingList:
             )
         self._workers[worker.worker_id] = worker
         self._index.insert(worker.worker_id, worker.location)
-        if worker.service_radius > self._max_radius:
-            self._max_radius = worker.service_radius
+        bisect.insort(self._radii, worker.service_radius)
 
     def remove(self, worker_id: str) -> Worker:
         """A worker leaves (assigned or withdrawn)."""
@@ -70,7 +75,13 @@ class WaitingList:
         if worker is None:
             raise SimulationError(f"worker {worker_id} is not in the waiting list")
         self._index.remove(worker_id)
+        del self._radii[bisect.bisect_left(self._radii, worker.service_radius)]
         return worker
+
+    @property
+    def _max_radius(self) -> float:
+        """The largest *live* service radius (0.0 for an empty pool)."""
+        return self._radii[-1] if self._radii else 0.0
 
     def discard(self, worker_id: str) -> Worker | None:
         """Remove if present; returns the worker or None."""
@@ -88,6 +99,21 @@ class WaitingList:
         (The 1-by-1 constraint is implicit: only unassigned workers are in
         the list.)  Results are sorted by (distance, worker_id) so greedy
         nearest-first selection is deterministic.
+        """
+        return [
+            worker for _, _, worker in self.eligible_with_distance(request)
+        ]
+
+    def eligible_with_distance(
+        self, request: Request
+    ) -> list[tuple[float, str, Worker]]:
+        """Eligible workers with their match distance, sorted by
+        ``(distance, worker_id)``.
+
+        The distance is the one the range constraint used (shortest-path
+        when a road network is set, Euclidean otherwise).  Exposing the
+        sorted tuples lets :class:`~repro.core.exchange.CooperationExchange`
+        k-way-merge per-platform results without re-sorting.
         """
         candidate_ids = self._index.query_radius(request.location, self._max_radius)
         eligible: list[tuple[float, str, Worker]] = []
@@ -107,7 +133,7 @@ class WaitingList:
                     continue
             eligible.append((distance, worker_id, worker))
         eligible.sort(key=lambda item: (item[0], item[1]))
-        return [worker for _, _, worker in eligible]
+        return eligible
 
     def nearest_eligible(self, request: Request) -> Worker | None:
         """The closest eligible worker, or None."""
@@ -122,4 +148,4 @@ class WaitingList:
         """Empty the list."""
         self._workers.clear()
         self._index.clear()
-        self._max_radius = 0.0
+        self._radii.clear()

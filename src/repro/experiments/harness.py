@@ -39,6 +39,12 @@ class ExperimentConfig:
         Attach a fresh :class:`repro.obs.Telemetry` (metrics only) to each
         per-seed run; the averaged row then carries the pooled
         :class:`~repro.obs.TelemetrySummary` into the JSON reports.
+    jobs:
+        Worker processes for the seed x algorithm cell grid.  ``1`` (the
+        default) runs serially in-process; ``> 1`` fans cells across a
+        :class:`repro.experiments.parallel.ParallelRunner` pool with
+        byte-identical deterministic output (docs/PERFORMANCE.md);
+        ``0`` means one worker per CPU.
     """
 
     seeds: tuple[int, ...] = (0, 1, 2)
@@ -46,6 +52,7 @@ class ExperimentConfig:
     service_duration: float = 1800.0
     simulator: SimulatorConfig = field(default_factory=SimulatorConfig)
     telemetry: bool = False
+    jobs: int = 1
 
     def simulator_config(self, seed: int) -> SimulatorConfig:
         """The per-seed simulator configuration."""
@@ -68,6 +75,12 @@ def run_algorithm(
     """Run one algorithm (or ``"off"``) on a scenario; returns the averaged
     metric row."""
     config = config or ExperimentConfig()
+    if config.jobs != 1:
+        from repro.experiments.parallel import ParallelRunner
+
+        return ParallelRunner(jobs=config.jobs).run_algorithm(
+            scenario, algorithm, config
+        )
     if algorithm.lower() == OFFLINE_NAME:
         if config.worker_reentry:
             solution = solve_offline_reentry(
@@ -93,4 +106,10 @@ def run_comparison(
 ) -> list[AlgorithmMetrics]:
     """Run several algorithms on the same scenario (same seeds, same
     realized worker behaviour — the oracle guarantees identical draws)."""
+    if config is not None and config.jobs != 1:
+        from repro.experiments.parallel import ParallelRunner
+
+        return ParallelRunner(jobs=config.jobs).run_comparison(
+            scenario, algorithms, config
+        )
     return [run_algorithm(scenario, name, config) for name in algorithms]

@@ -1,0 +1,180 @@
+"""Process-parallel experiment execution.
+
+The experiment harness averages every online algorithm over several seeds
+(:class:`~repro.experiments.harness.ExperimentConfig.seeds`), and the table
+/ figure studies sweep several algorithms over the same scenario — a grid
+of *(algorithm, seed)* cells, each of which is a **pure function** of
+``(scenario, config, algorithm, seed)``:
+
+* every stochastic draw flows from the cell's seed through the labelled
+  SHA-256 streams of :mod:`repro.utils.rng` (``derive_seed`` /
+  :class:`~repro.utils.rng.SeedSequence`), so a cell computes the same
+  bytes in any process;
+* the behaviour oracle realises reservations as pure functions of
+  ``(oracle seed, worker, request)``, so cells share no mutable state
+  that could influence results.
+
+:class:`ParallelRunner` therefore fans the cell grid across a
+``multiprocessing`` pool and merges the per-cell
+:class:`~repro.experiments.metrics.AlgorithmMetrics` rows **in the same
+deterministic order the serial harness uses** (algorithms in request
+order, seeds in ``config.seeds`` order) — float accumulation order
+included — so parallel output is byte-identical to serial output for
+every deterministic field.  The only exceptions are wall-clock-derived
+measurements (``response_time_ms`` and the
+:data:`repro.obs.WALL_CLOCK_FAMILIES` histogram families), which differ
+between any two runs, serial or not; strip them with
+:meth:`repro.obs.TelemetrySummary.without_wall_clock` (or run with
+``measure_response_time=False``) for byte-level comparisons.  The
+identity is pinned by ``tests/test_experiments_parallel.py``.
+
+Mergeable telemetry rides along unchanged: each cell's
+:class:`~repro.obs.MetricsSnapshot` is produced in the child process and
+pooled by :func:`~repro.experiments.metrics.average_metrics` exactly as
+in the serial path (snapshot merging is associative and deterministic).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import replace
+
+from repro.core.registry import algorithm_factory
+from repro.core.simulator import Scenario, Simulator
+from repro.errors import ConfigurationError
+from repro.experiments.harness import (
+    OFFLINE_NAME,
+    ExperimentConfig,
+    run_algorithm,
+)
+from repro.experiments.metrics import AlgorithmMetrics, average_metrics
+
+__all__ = ["ParallelRunner", "resolve_jobs", "run_cell"]
+
+#: Cell key: ``(algorithm, seed)``; OFF's single deterministic solve uses
+#: ``seed=None``.
+CellKey = tuple[str, int | None]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a job-count request.
+
+    ``None`` or ``0`` means "one worker per CPU"; anything else must be a
+    positive count.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def run_cell(
+    scenario: Scenario,
+    algorithm: str,
+    seed: int | None,
+    config: ExperimentConfig,
+) -> AlgorithmMetrics:
+    """Execute one *(algorithm, seed)* cell — the pool's unit of work.
+
+    A module-level function so it pickles under every multiprocessing
+    start method.  ``seed=None`` runs OFF's single deterministic solve;
+    otherwise the body is exactly one iteration of the serial harness's
+    per-seed loop, so the row it returns is the row serial would have
+    produced.
+    """
+    if seed is None:
+        return run_algorithm(scenario, algorithm, config)
+    factory = algorithm_factory(algorithm)
+    simulator = Simulator(config.simulator_config(seed))
+    return AlgorithmMetrics.from_simulation(simulator.run(scenario, factory))
+
+
+class ParallelRunner:
+    """Fan experiment cells across a process pool, merge deterministically.
+
+    Parameters
+    ----------
+    jobs:
+        Pool size; ``None``/``0`` uses every CPU.  ``1`` degenerates to
+        the serial path in-process (no pool is created).
+    mp_context:
+        ``multiprocessing`` start-method name.  Defaults to ``"fork"``
+        where available (cheap, inherits the loaded interpreter) and the
+        platform default elsewhere; results are identical either way
+        because cells are pure.
+    """
+
+    def __init__(self, jobs: int | None = None, mp_context: str | None = None):
+        self.jobs = resolve_jobs(jobs)
+        if mp_context is None and "fork" in multiprocessing.get_all_start_methods():
+            mp_context = "fork"
+        self.mp_context = mp_context
+
+    def _cells(
+        self, algorithms: list[str], config: ExperimentConfig
+    ) -> list[CellKey]:
+        """The grid, in the serial harness's merge order."""
+        cells: list[CellKey] = []
+        for name in algorithms:
+            if name.lower() == OFFLINE_NAME:
+                cells.append((name, None))
+                continue
+            if not config.seeds:
+                raise ConfigurationError("ExperimentConfig.seeds must be non-empty")
+            cells.extend((name, seed) for seed in config.seeds)
+        return cells
+
+    def run_comparison(
+        self,
+        scenario: Scenario,
+        algorithms: list[str],
+        config: ExperimentConfig | None = None,
+    ) -> list[AlgorithmMetrics]:
+        """Parallel, byte-identical counterpart of
+        :func:`repro.experiments.harness.run_comparison`."""
+        config = config or ExperimentConfig()
+        # Children must never recurse into the parallel path.
+        config = replace(config, jobs=1)
+        cells = self._cells(algorithms, config)
+        if self.jobs <= 1 or len(cells) <= 1:
+            results = [
+                run_cell(scenario, name, seed, config) for name, seed in cells
+            ]
+        else:
+            context = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context is not None
+                else multiprocessing
+            )
+            workers = min(self.jobs, len(cells))
+            with context.Pool(processes=workers) as pool:
+                results = pool.starmap(
+                    run_cell,
+                    [(scenario, name, seed, config) for name, seed in cells],
+                    chunksize=1,
+                )
+        # Merge per algorithm, seeds in config.seeds order — exactly the
+        # serial accumulation order, so averages are bit-identical.
+        rows: list[AlgorithmMetrics] = []
+        cursor = 0
+        for name in algorithms:
+            if name.lower() == OFFLINE_NAME:
+                rows.append(results[cursor])
+                cursor += 1
+                continue
+            per_seed = results[cursor : cursor + len(config.seeds)]
+            cursor += len(config.seeds)
+            rows.append(average_metrics(per_seed))
+        return rows
+
+    def run_algorithm(
+        self,
+        scenario: Scenario,
+        algorithm: str,
+        config: ExperimentConfig | None = None,
+    ) -> AlgorithmMetrics:
+        """Parallel counterpart of
+        :func:`repro.experiments.harness.run_algorithm` (seeds fan out)."""
+        return self.run_comparison(scenario, [algorithm], config)[0]

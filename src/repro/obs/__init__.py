@@ -26,7 +26,7 @@ from repro.obs.metrics import (
     MetricsSnapshot,
 )
 from repro.obs.probe import NULL_PROBE, NullProbe, Probe, Telemetry, TelemetryProbe
-from repro.obs.summary import TelemetrySummary
+from repro.obs.summary import WALL_CLOCK_FAMILIES, TelemetrySummary
 from repro.obs.tracing import SpanHandle, Tracer
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "TelemetryProbe",
     "Telemetry",
     "TelemetrySummary",
+    "WALL_CLOCK_FAMILIES",
     "SpanHandle",
     "Tracer",
 ]

@@ -211,6 +211,23 @@ class MetricsSnapshot:
                 return entry["value"]
         return 0.0
 
+    def without_families(self, *names: str) -> "MetricsSnapshot":
+        """A copy with the named metric families removed (any kind).
+
+        Used to strip wall-clock-valued families (e.g. measured-latency
+        histograms) before byte-level snapshot comparisons — everything
+        else in a snapshot is a deterministic function of (scenario,
+        seed); see :data:`repro.obs.WALL_CLOCK_FAMILIES`.
+        """
+        dropped = set(names)
+        return MetricsSnapshot(
+            counters={k: v for k, v in self.counters.items() if k not in dropped},
+            gauges={k: v for k, v in self.gauges.items() if k not in dropped},
+            histograms={
+                k: v for k, v in self.histograms.items() if k not in dropped
+            },
+        )
+
     def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         """Combine two snapshots as if one registry had seen both histories.
 

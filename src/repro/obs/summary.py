@@ -13,7 +13,17 @@ from dataclasses import dataclass, field
 
 from repro.obs.metrics import MetricsSnapshot
 
-__all__ = ["TelemetrySummary"]
+__all__ = ["TelemetrySummary", "WALL_CLOCK_FAMILIES"]
+
+#: Metric families whose *values* come from wall-clock reads (Stopwatch
+#: timings).  Everything else in a summary is a deterministic function of
+#: (scenario, seed); strip these before byte-level comparisons — e.g. the
+#: parallel-vs-serial identity guarantee of
+#: :class:`repro.experiments.parallel.ParallelRunner`.
+WALL_CLOCK_FAMILIES: tuple[str, ...] = (
+    "decision_seconds",
+    "exchange_rpc_seconds",
+)
 
 
 @dataclass(frozen=True)
@@ -57,3 +67,12 @@ class TelemetrySummary:
     def counter_value(self, name: str, **labels: str) -> float:
         """Convenience passthrough to the snapshot."""
         return self.metrics.counter_value(name, **labels)
+
+    def without_wall_clock(self) -> "TelemetrySummary":
+        """The summary minus :data:`WALL_CLOCK_FAMILIES` — the part that is
+        a deterministic function of (scenario, seed)."""
+        return TelemetrySummary(
+            metrics=self.metrics.without_families(*WALL_CLOCK_FAMILIES),
+            trace_events=self.trace_events,
+            span_counts=dict(self.span_counts),
+        )

@@ -24,14 +24,27 @@ __all__ = ["approximate_size_bytes", "MemoryMeter"]
 
 _ATOMIC_TYPES = (int, float, complex, bool, bytes, str, type(None), range)
 
+#: Atoms counted per *reference*, not per object: whether two equal numbers
+#: are the same CPython object is an interpreter accident (int caching,
+#: constant folding) that pickling does not preserve, so id-deduplicating
+#: them would make the metric differ between a scenario and its pickled
+#: copy — breaking the parallel-runner byte-identity guarantee
+#: (docs/PERFORMANCE.md).  str/bytes identity survives pickling (the
+#: pickle memo covers them), so they stay id-deduplicated.
+_VALUE_TYPES = (int, float, complex, bool, type(None))
+
 
 def approximate_size_bytes(obj: object, _seen: set[int] | None = None) -> int:
     """Recursively approximate the memory footprint of ``obj`` in bytes.
 
     Follows containers (dict/list/tuple/set/frozenset), object ``__dict__``
-    and ``__slots__``.  Shared sub-objects are counted once (cycle-safe).
-    Atomic immutables are counted with plain ``sys.getsizeof``.
+    and ``__slots__``.  Shared sub-objects are counted once (cycle-safe),
+    except plain numbers, which count per reference so the result is a
+    function of the data's *values*, not of interpreter-level object
+    sharing.  Atomic immutables are counted with plain ``sys.getsizeof``.
     """
+    if isinstance(obj, _VALUE_TYPES):
+        return sys.getsizeof(obj)
     if _seen is None:
         _seen = set()
     object_id = id(obj)

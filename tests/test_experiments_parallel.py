@@ -1,0 +1,176 @@
+"""The parallel experiment executor's byte-identity guarantee.
+
+``ParallelRunner`` fans (algorithm, seed) cells across a process pool and
+must merge them into *exactly* the rows the serial harness produces —
+deterministic fields byte for byte, pooled telemetry included.  Wall-clock
+derived values (``response_time_ms``, the
+:data:`repro.obs.WALL_CLOCK_FAMILIES` histogram families) are outside the
+guarantee and stripped before comparison, as documented in
+docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.simulator import SimulatorConfig
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentConfig,
+    ParallelRunner,
+    average_metrics,
+    run_algorithm,
+    run_comparison,
+)
+from repro.experiments.parallel import resolve_jobs, run_cell
+from repro.experiments.reporting import metrics_to_dict
+from repro.obs import WALL_CLOCK_FAMILIES, MetricsSnapshot
+
+from conftest import make_request, make_scenario, make_worker
+
+
+def _scenario():
+    workers = [
+        make_worker(f"a{i}", "A", i * 0.2, x=i * 0.25, y=0.1 * i, radius=1.8)
+        for i in range(8)
+    ] + [
+        make_worker(f"b{i}", "B", i * 0.3, x=i * 0.35, y=0.2, radius=1.5)
+        for i in range(6)
+    ]
+    requests = [
+        make_request(f"ra{i}", "A", 2.0 + i * 0.3, x=i * 0.25, value=4.0 + i)
+        for i in range(10)
+    ] + [
+        make_request(f"rb{i}", "B", 2.4 + i * 0.4, x=i * 0.35, y=0.2, value=6.0)
+        for i in range(6)
+    ]
+    return make_scenario(workers, requests, platform_ids=["A", "B"])
+
+
+def _config(**overrides):
+    defaults = dict(
+        seeds=(0, 1, 2),
+        service_duration=600.0,
+        simulator=SimulatorConfig(measure_response_time=False),
+        telemetry=True,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def _canonical(rows) -> str:
+    """Deterministic JSON view: wall-clock values stripped."""
+    payload = []
+    for row in rows:
+        entry = metrics_to_dict(row)
+        # OFF amortizes its solve wall-clock into response_time_ms; online
+        # rows ran with measure_response_time=False, so dropping the field
+        # uniformly loses nothing deterministic.
+        entry.pop("response_time_ms", None)
+        if row.telemetry is not None:
+            entry["telemetry"] = row.telemetry.without_wall_clock().as_dict()
+        payload.append(entry)
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+ALGORITHMS = ["demcom", "ramcom", "off"]
+
+
+class TestByteIdentity:
+    def test_parallel_equals_serial_including_telemetry(self):
+        scenario = _scenario()
+        config = _config()
+        serial = run_comparison(scenario, ALGORITHMS, config)
+        parallel = ParallelRunner(jobs=2).run_comparison(
+            scenario, ALGORITHMS, config
+        )
+        assert _canonical(parallel) == _canonical(serial)
+
+    def test_config_jobs_dispatches_to_parallel(self):
+        scenario = _scenario()
+        serial = run_comparison(scenario, ["demcom"], _config())
+        via_config = run_comparison(scenario, ["demcom"], _config(jobs=2))
+        assert _canonical(via_config) == _canonical(serial)
+
+    def test_run_algorithm_parallel_counterpart(self):
+        scenario = _scenario()
+        serial = run_algorithm(scenario, "ramcom", _config())
+        parallel = ParallelRunner(jobs=2).run_algorithm(
+            scenario, "ramcom", _config()
+        )
+        assert _canonical([parallel]) == _canonical([serial])
+
+    def test_single_job_falls_back_in_process(self):
+        scenario = _scenario()
+        config = _config()
+        serial = run_comparison(scenario, ["tota"], config)
+        in_process = ParallelRunner(jobs=1).run_comparison(
+            scenario, ["tota"], config
+        )
+        assert _canonical(in_process) == _canonical(serial)
+
+
+class TestCells:
+    def test_run_cell_matches_one_serial_seed(self):
+        # A cell is one *inner* per-seed iteration; the runner (like the
+        # serial harness) folds cells through average_metrics, so the
+        # averaged single cell must equal the serial single-seed row.
+        scenario = _scenario()
+        config = _config(seeds=(4,), telemetry=False)
+        row = average_metrics([run_cell(_scenario(), "demcom", 4, config)])
+        serial = run_algorithm(scenario, "demcom", config)
+        assert _canonical([row]) == _canonical([serial])
+
+    def test_run_cell_none_seed_is_offline(self):
+        config = _config(telemetry=False)
+        row = run_cell(_scenario(), "off", None, config)
+        serial = run_algorithm(_scenario(), "off", config)
+        assert row.algorithm == serial.algorithm
+        assert row.revenue == serial.revenue
+
+    def test_empty_seeds_raise(self):
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(jobs=2).run_comparison(
+                _scenario(), ["demcom"], _config(seeds=())
+            )
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-2)
+
+
+class TestWallClockCanonicalization:
+    def test_without_families_drops_all_kinds(self):
+        snapshot = MetricsSnapshot(
+            counters={"a_total": [], "decision_seconds": []},
+            gauges={"decision_seconds": []},
+            histograms={"decision_seconds": [], "keep_me": []},
+        )
+        stripped = snapshot.without_families("decision_seconds")
+        assert "decision_seconds" not in stripped.counters
+        assert "decision_seconds" not in stripped.gauges
+        assert "decision_seconds" not in stripped.histograms
+        assert "a_total" in stripped.counters
+        assert "keep_me" in stripped.histograms
+
+    def test_wall_clock_families_are_the_measured_latencies(self):
+        assert "decision_seconds" in WALL_CLOCK_FAMILIES
+        assert "exchange_rpc_seconds" in WALL_CLOCK_FAMILIES
+
+    def test_summary_without_wall_clock_is_parallel_stable(self):
+        scenario = _scenario()
+        config = _config(seeds=(0,))
+        serial = run_comparison(scenario, ["demcom"], config)[0]
+        parallel = ParallelRunner(jobs=2).run_comparison(
+            scenario, ["demcom", "ramcom"], config
+        )[0]
+        assert serial.telemetry is not None and parallel.telemetry is not None
+        assert (
+            serial.telemetry.without_wall_clock().as_dict()
+            == parallel.telemetry.without_wall_clock().as_dict()
+        )

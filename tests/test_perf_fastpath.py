@@ -1,0 +1,211 @@
+"""Golden equivalence tests for the Algorithm-2 / MER snapshot fast path.
+
+The fast path (docs/PERFORMANCE.md) must be *bit-identical* to the retained
+reference implementations — same estimates, same quotes, and the same RNG
+stream (one uniform per candidate with positive acceptance probability, in
+candidate order, until one accepts).  These tests pin that down at three
+levels: the estimator/pricer units, the RNG-boundary edge cases, and full
+DemCOM / RamCOM simulations run with ``payment_fast_path`` on vs off.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core import DemCOM, RamCOM, Simulator, SimulatorConfig
+from repro.core.acceptance import AcceptanceEstimator, AcceptanceSnapshot
+from repro.core.payment import MinimumOuterPaymentEstimator
+from repro.core.pricing import MaximumExpectedRevenuePricer
+from repro.utils.rng import derive_rng
+
+from conftest import make_request, make_scenario, make_worker
+
+
+def _populated_estimator(mode: str) -> tuple[AcceptanceEstimator, list[str]]:
+    acceptance = AcceptanceEstimator(mode=mode)
+    rng = derive_rng(99, "fastpath/histories")
+    workers = []
+    for index in range(12):
+        length = 1 + rng.randrange(40)
+        scale = 1.0 if mode == "relative" else 50.0
+        acceptance.set_history(
+            f"w{index}", [rng.random() * scale for _ in range(length)]
+        )
+        workers.append(f"w{index}")
+    workers.extend(f"cold{i}" for i in range(3))
+    return acceptance, workers
+
+
+class TestSnapshot:
+    def test_rows_alias_live_histories(self):
+        acceptance, workers = _populated_estimator("relative")
+        snapshot = acceptance.snapshot(workers)
+        assert len(snapshot) == len(workers)
+        history, size = snapshot.rows[0]
+        assert history is acceptance._histories["w0"]
+        assert size == len(history)
+
+    def test_cold_rows_are_none(self):
+        acceptance, workers = _populated_estimator("relative")
+        snapshot = acceptance.snapshot(workers)
+        assert snapshot.rows[-1] == (None, 0)
+
+    @pytest.mark.parametrize("mode", ["relative", "absolute"])
+    def test_probabilities_match_estimator(self, mode):
+        acceptance, workers = _populated_estimator(mode)
+        snapshot = acceptance.snapshot(workers)
+        probe = derive_rng(7, "fastpath/probe")
+        for _ in range(25):
+            value = 10.0 + 90.0 * probe.random()
+            payment = value * probe.random()
+            expected = [
+                acceptance.probability(payment, worker_id, value)
+                for worker_id in workers
+            ]
+            assert snapshot.probabilities(payment, value) == expected
+
+    def test_normalize_matches_private_helper(self):
+        for mode in ("relative", "absolute"):
+            acceptance, _ = _populated_estimator(mode)
+            snapshot = AcceptanceSnapshot(mode, 0.5, [])
+            assert snapshot.normalize(30.0, 40.0) == acceptance._normalize(
+                30.0, 40.0
+            )
+
+
+class TestEstimatorEquivalence:
+    @pytest.mark.parametrize("mode", ["relative", "absolute"])
+    def test_estimates_and_rng_stream_bit_identical(self, mode):
+        acceptance, workers = _populated_estimator(mode)
+        fast = MinimumOuterPaymentEstimator(acceptance, fast_path=True)
+        slow = MinimumOuterPaymentEstimator(acceptance, fast_path=False)
+        rng_fast = derive_rng(5, "fastpath/draws")
+        rng_slow = derive_rng(5, "fastpath/draws")
+        pick = derive_rng(5, "fastpath/calls")
+        for _ in range(40):
+            value = 5.0 + 95.0 * pick.random()
+            ids = pick.sample(workers, 1 + pick.randrange(len(workers)))
+            assert fast.estimate(value, ids, rng_fast) == slow.estimate(
+                value, ids, rng_slow
+            )
+            # Not just equal results: the exact same uniforms were drawn.
+            assert rng_fast.getstate() == rng_slow.getstate()
+
+    def test_probability_one_still_consumes_a_draw(self):
+        # Every history entry sits below the offer -> probability is
+        # exactly 1.0; the reference path still draws one uniform before
+        # accepting, so the fast path must too.
+        acceptance = AcceptanceEstimator(mode="absolute")
+        acceptance.set_history("w", [1.0, 2.0, 3.0])
+        fast = MinimumOuterPaymentEstimator(acceptance, fast_path=True)
+        slow = MinimumOuterPaymentEstimator(acceptance, fast_path=False)
+        rng_fast, rng_slow = random.Random(3), random.Random(3)
+        assert fast.estimate(50.0, ["w"], rng_fast) == slow.estimate(
+            50.0, ["w"], rng_slow
+        )
+        assert rng_fast.getstate() == rng_slow.getstate()
+        # The stream moved: draws really were consumed.
+        assert rng_fast.getstate() != random.Random(3).getstate()
+
+    def test_zero_default_probability_draws_nothing_for_cold_workers(self):
+        acceptance = AcceptanceEstimator(default_probability=0.0)
+        fast = MinimumOuterPaymentEstimator(acceptance, fast_path=True)
+        slow = MinimumOuterPaymentEstimator(acceptance, fast_path=False)
+        rng_fast, rng_slow = random.Random(4), random.Random(4)
+        assert fast.estimate(10.0, ["a", "b"], rng_fast) == slow.estimate(
+            10.0, ["a", "b"], rng_slow
+        )
+        # Probability 0 everywhere: neither path may touch the stream.
+        assert rng_fast.getstate() == random.Random(4).getstate()
+        assert rng_slow.getstate() == random.Random(4).getstate()
+
+    def test_no_candidates_short_circuits(self):
+        acceptance = AcceptanceEstimator()
+        fast = MinimumOuterPaymentEstimator(acceptance, fast_path=True)
+        rng = random.Random(1)
+        estimate = fast.estimate(10.0, [], rng)
+        assert estimate.always_rejected
+        assert rng.getstate() == random.Random(1).getstate()
+
+
+class TestPricerEquivalence:
+    @pytest.mark.parametrize("mode", ["relative", "absolute"])
+    @pytest.mark.parametrize("breakpoints", [True, False])
+    def test_quotes_bit_identical(self, mode, breakpoints):
+        acceptance, workers = _populated_estimator(mode)
+        fast = MaximumExpectedRevenuePricer(
+            acceptance,
+            include_history_breakpoints=breakpoints,
+            fast_path=True,
+        )
+        slow = MaximumExpectedRevenuePricer(
+            acceptance,
+            include_history_breakpoints=breakpoints,
+            fast_path=False,
+        )
+        pick = derive_rng(11, "fastpath/quotes")
+        for _ in range(25):
+            value = 5.0 + 95.0 * pick.random()
+            ids = pick.sample(workers, 1 + pick.randrange(len(workers)))
+            assert fast.quote(value, ids) == slow.quote(value, ids)
+
+
+def _golden_scenario():
+    workers = [
+        make_worker(f"a{i}", "A", i * 0.2, x=i * 0.3, y=0.1 * i, radius=1.8)
+        for i in range(10)
+    ] + [
+        make_worker(f"b{i}", "B", i * 0.3, x=i * 0.4, y=0.25, radius=1.5)
+        for i in range(8)
+    ]
+    requests = [
+        make_request(f"ra{i}", "A", 2.0 + i * 0.25, x=i * 0.3, value=4.0 + i)
+        for i in range(12)
+    ] + [
+        make_request(f"rb{i}", "B", 2.4 + i * 0.35, x=i * 0.4, y=0.25, value=6.5)
+        for i in range(8)
+    ]
+    return make_scenario(workers, requests, platform_ids=["A", "B"])
+
+
+def _golden_report(algorithm, fast_path: bool) -> str:
+    config = SimulatorConfig(
+        seed=7,
+        measure_response_time=False,
+        worker_reentry=True,
+        service_duration=600.0,
+        payment_fast_path=fast_path,
+    )
+    result = Simulator(config).run(_golden_scenario(), algorithm)
+    payload = {}
+    for pid in sorted(result.platforms):
+        ledger = result.platforms[pid].ledger
+        payload[pid] = {
+            "revenue": ledger.revenue,
+            "lender_income": ledger.total_lender_income,
+            "matches": [
+                [
+                    record.request.request_id,
+                    record.worker.worker_id,
+                    record.kind.value,
+                    record.payment,
+                ]
+                for record in ledger.records
+            ],
+            "rejected": [request.request_id for request in ledger.rejected],
+        }
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestEndToEndGolden:
+    """The byte-identity the determinism suite relies on: flipping
+    ``payment_fast_path`` must not move a single float."""
+
+    @pytest.mark.parametrize("algorithm", [DemCOM, RamCOM], ids=lambda a: a.name)
+    def test_fast_path_report_is_byte_identical(self, algorithm):
+        assert _golden_report(algorithm, True) == _golden_report(
+            algorithm, False
+        )
