@@ -93,11 +93,12 @@ RULES: dict[str, Rule] = {
             "wall-clock",
             "No time.time()/time.perf_counter()/time.monotonic()/"
             "datetime.now() in deterministic result paths outside "
-            "utils/timer.py and obs/.",
+            "utils/timer.py, obs/ and service/clock.py.",
             "Wall-clock reads belong in the sanctioned Stopwatch / tracer "
-            "wall-clock keys; anywhere else they leak nondeterminism into "
-            "reported results and make byte-identical reruns impossible.",
-            allowlist=("utils/timer.py", "obs/"),
+            "wall-clock keys / service clock; anywhere else they leak "
+            "nondeterminism into reported results and make byte-identical "
+            "reruns impossible.",
+            allowlist=("utils/timer.py", "obs/", "service/clock.py"),
         ),
         _rule(
             "DET003",

@@ -12,6 +12,11 @@ Subcommands regenerate the paper's experiments from a terminal:
 * ``bench`` — the hot-path performance benchmark (docs/PERFORMANCE.md);
 * ``lint`` — run the ``comlint`` project-invariant static analyzer
   (docs/STATIC_ANALYSIS.md);
+* ``serve`` — run the matching engine as a long-lived JSONL/TCP service
+  (docs/SERVICE.md);
+* ``replay-serve`` — replay a trace through an ephemeral service under
+  the virtual clock; ``--verify`` asserts byte-identity with the batch
+  simulator;
 * ``quickstart`` — a tiny end-to-end demo run;
 * ``datasets`` — the simulated Table-III statistics.
 
@@ -25,12 +30,22 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.experiments.harness import ExperimentConfig
 from repro.experiments.tables import TABLE_IDS, run_city_table
 from repro.experiments.figures import run_figure5_panel
 from repro.utils.tables import TextTable
 
 __all__ = ["main", "build_parser"]
+
+# Defaults shared by several subcommands (argparse defaults and the
+# hard-coded configs of demo commands must agree — keep them in one place).
+DEFAULT_SERVICE_DURATION = 1800.0
+DEFAULT_CITY_KM = 8.0
+DEFAULT_DEMO_REQUESTS = 400
+DEFAULT_DEMO_WORKERS = 100
+DEFAULT_SWEEP_REQUESTS = 600
+DEFAULT_SWEEP_WORKERS = 160
 
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
@@ -54,13 +69,18 @@ def build_parser() -> argparse.ArgumentParser:
             "tables and figures of Cheng et al., ICDE 2020."
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     table = subparsers.add_parser("table", help="regenerate Table V/VI/VII")
     table.add_argument("table_id", choices=sorted(TABLE_IDS), help="paper table id")
     table.add_argument("--scale", type=float, default=0.02)
     table.add_argument("--seeds", type=int, default=3, help="seed-days to average")
-    table.add_argument("--service-duration", type=float, default=1800.0)
+    table.add_argument(
+        "--service-duration", type=float, default=DEFAULT_SERVICE_DURATION
+    )
     table.add_argument(
         "--output", type=str, default=None, help="directory to save JSON results"
     )
@@ -110,8 +130,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--seeds", type=int, default=2)
     chaos.add_argument("--fault-seed", type=int, default=0)
-    chaos.add_argument("--requests", type=int, default=600)
-    chaos.add_argument("--workers", type=int, default=160)
+    chaos.add_argument("--requests", type=int, default=DEFAULT_SWEEP_REQUESTS)
+    chaos.add_argument("--workers", type=int, default=DEFAULT_SWEEP_WORKERS)
     chaos.add_argument(
         "--output", type=str, default=None, help="directory to save JSON results"
     )
@@ -127,8 +147,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--algorithm", default="ramcom", help="registry name (default: ramcom)"
     )
-    trace.add_argument("--requests", type=int, default=400)
-    trace.add_argument("--workers", type=int, default=100)
+    trace.add_argument("--requests", type=int, default=DEFAULT_DEMO_REQUESTS)
+    trace.add_argument("--workers", type=int, default=DEFAULT_DEMO_WORKERS)
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument(
         "--fault-rate",
@@ -236,6 +256,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
 
+    def _add_service_scenario_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--algorithm", default="ramcom", help="registry name (default: ramcom)"
+        )
+        sub.add_argument(
+            "--scenario",
+            type=str,
+            default=None,
+            help="scenario JSON (from workloads.save_scenario); default: synthetic",
+        )
+        sub.add_argument("--requests", type=int, default=DEFAULT_DEMO_REQUESTS)
+        sub.add_argument("--workers", type=int, default=DEFAULT_DEMO_WORKERS)
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--service-duration", type=float, default=DEFAULT_SERVICE_DURATION
+        )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the matching engine as a long-lived JSONL/TCP service "
+            "(docs/SERVICE.md)"
+        ),
+    )
+    _add_service_scenario_flags(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral, printed)"
+    )
+    serve.add_argument(
+        "--real-time",
+        action="store_true",
+        help="stamp arrivals with a wall clock instead of the virtual clock",
+    )
+    serve.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        help="real-time clock speed-up factor (with --real-time)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission bound: shed requests beyond this queue depth (0 = off)",
+    )
+    serve.add_argument(
+        "--restore",
+        type=str,
+        default=None,
+        help="boot from a snapshot file instead of a fresh scenario",
+    )
+
+    replay = subparsers.add_parser(
+        "replay-serve",
+        help=(
+            "replay a trace through an ephemeral service under the virtual "
+            "clock; --verify asserts byte-identity with the batch simulator"
+        ),
+    )
+    _add_service_scenario_flags(replay)
+    replay.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "also run Simulator.run on the same scenario and fail unless "
+            "the metric rows are byte-identical"
+        ),
+    )
+    replay.add_argument(
+        "--snapshot-at",
+        type=int,
+        default=None,
+        help=(
+            "checkpoint after this many events, restore into a second "
+            "gateway, and finish the stream from the snapshot (recovery "
+            "drill; composes with --verify)"
+        ),
+    )
+    replay.add_argument(
+        "--output", type=str, default=None, help="write the metrics JSON here"
+    )
+
     subparsers.add_parser("quickstart", help="tiny end-to-end demo")
     subparsers.add_parser("datasets", help="simulated Table III statistics")
     subparsers.add_parser("algorithms", help="list registered algorithms")
@@ -337,7 +440,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     scenario = SyntheticWorkload(
         SyntheticWorkloadConfig(
-            request_count=args.requests, worker_count=args.workers, city_km=8.0
+            request_count=args.requests,
+            worker_count=args.workers,
+            city_km=DEFAULT_CITY_KM,
         )
     ).build(seed=1)
     config = ExperimentConfig(seeds=tuple(range(args.seeds)), jobs=args.jobs)
@@ -366,7 +471,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     scenario = SyntheticWorkload(
         SyntheticWorkloadConfig(
-            request_count=args.requests, worker_count=args.workers, city_km=8.0
+            request_count=args.requests,
+            worker_count=args.workers,
+            city_km=DEFAULT_CITY_KM,
         )
     ).build(seed=args.seed)
     telemetry = Telemetry(tracing=True, wall_clock=not args.no_wall)
@@ -378,7 +485,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         telemetry=telemetry,
         fault_plan=fault_plan,
         worker_reentry=True,
-        service_duration=1800.0,
+        service_duration=DEFAULT_SERVICE_DURATION,
     )
     result = Simulator(config).run(scenario, algorithm_factory(args.algorithm))
     paths = telemetry.write_trace(args.output)
@@ -435,7 +542,11 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         "pricer": module.run_pricer_breakpoint_ablation,
     }
     scenario = SyntheticWorkload(
-        SyntheticWorkloadConfig(request_count=600, worker_count=160, city_km=8.0)
+        SyntheticWorkloadConfig(
+            request_count=DEFAULT_SWEEP_REQUESTS,
+            worker_count=DEFAULT_SWEEP_WORKERS,
+            city_km=DEFAULT_CITY_KM,
+        )
     ).build(seed=1)
     config = ExperimentConfig(seeds=tuple(range(args.seeds)), jobs=args.jobs)
     result = functions[args.study](scenario, config)
@@ -527,16 +638,187 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
+def _service_scenario(args: argparse.Namespace):
+    """The scenario a ``serve``/``replay-serve`` invocation operates on."""
+    if args.scenario:
+        from repro.workloads import load_scenario
+
+        return load_scenario(args.scenario)
+    from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+
+    return SyntheticWorkload(
+        SyntheticWorkloadConfig(
+            request_count=args.requests,
+            worker_count=args.workers,
+            city_km=DEFAULT_CITY_KM,
+        )
+    ).build(seed=args.seed)
+
+
+def _service_config(args: argparse.Namespace):
+    """Simulator config for the service commands.
+
+    Response times are not measured: the service layer reports its own
+    end-to-end latency histogram, and dropping the engine-side wall-clock
+    read makes the metric row a deterministic function of the scenario —
+    the property ``replay-serve --verify`` checks.
+    """
+    from repro.core import SimulatorConfig
+
+    return SimulatorConfig(
+        seed=args.seed,
+        service_duration=args.service_duration,
+        measure_response_time=False,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import (
+        AdmissionPolicy,
+        MatchingGateway,
+        MatchingServer,
+        RealTimeClock,
+    )
+
+    clock = RealTimeClock(speed=args.speed) if args.real_time else None
+    admission = AdmissionPolicy(max_pending=args.max_pending)
+    if args.restore:
+        gateway = MatchingGateway.from_snapshot(
+            args.restore, clock=clock, admission=admission
+        )
+        print(f"restored: {args.restore}")
+    else:
+        gateway = MatchingGateway(
+            scenario=_service_scenario(args),
+            algorithm=args.algorithm,
+            config=_service_config(args),
+            clock=clock,
+            admission=admission,
+        )
+    server = MatchingServer(gateway, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        mode = "real-time" if args.real_time else "virtual-clock"
+        print(f"serving {gateway.stats()['algorithm']} on {host}:{port} ({mode})")
+        print("protocol: one JSON object per line — see docs/SERVICE.md")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def _cmd_replay_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service import (
+        GatewayClient,
+        MatchingGateway,
+        MatchingServer,
+        drive_trace,
+    )
+
+    scenario = _service_scenario(args)
+    config = _service_config(args)
+
+    async def _replay() -> dict:
+        gateway = MatchingGateway(
+            scenario=scenario, algorithm=args.algorithm, config=config
+        )
+        server = MatchingServer(gateway)
+        host, port = await server.start()
+        events = list(scenario.events)
+        try:
+            async with GatewayClient(host, port) as client:
+                if args.snapshot_at is None:
+                    return await drive_trace(client, scenario.events)
+                import tempfile
+                from pathlib import Path
+
+                cut = max(0, min(args.snapshot_at, len(events)))
+                for event in events[:cut]:
+                    await _submit_event(client, event)
+                with tempfile.TemporaryDirectory() as tmp:
+                    path = await client.snapshot(str(Path(tmp) / "mid.snap"))
+                    print(f"checkpointed after {cut} events: {path}")
+                    restored = MatchingGateway.from_snapshot(path)
+                    restored_server = MatchingServer(restored)
+                    r_host, r_port = await restored_server.start()
+                    try:
+                        async with GatewayClient(r_host, r_port) as tail:
+                            for event in events[cut:]:
+                                await _submit_event(tail, event)
+                            return await tail.drain()
+                    finally:
+                        await restored_server.stop()
+        finally:
+            await server.stop()
+
+    metrics = asyncio.run(_replay())
+    rendered = json.dumps(metrics, indent=2, sort_keys=True)
+    print(rendered)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(rendered + "\n")
+        print(f"saved: {args.output}")
+    if args.verify:
+        from repro.core import Simulator
+        from repro.core.registry import algorithm_factory
+        from repro.experiments.metrics import AlgorithmMetrics
+        from repro.experiments.reporting import metrics_to_dict
+
+        result = Simulator(config).run(scenario, algorithm_factory(args.algorithm))
+        golden = metrics_to_dict(AlgorithmMetrics.from_simulation(result))
+        served_row = json.dumps(metrics, sort_keys=True)
+        golden_row = json.dumps(golden, sort_keys=True)
+        if served_row != golden_row:
+            print("VERIFY FAIL: served metrics differ from Simulator.run")
+            print(f"  served: {served_row}")
+            print(f"  golden: {golden_row}")
+            return 1
+        print("VERIFY OK: served metrics byte-identical to Simulator.run")
+    return 0
+
+
+async def _submit_event(client, event) -> None:
+    from repro.core.events import EventKind
+
+    if event.kind is EventKind.WORKER:
+        assert event.worker is not None
+        await client.submit_worker(event.worker)
+    else:
+        assert event.request is not None
+        await client.submit_request(event.request)
+
+
 def _cmd_quickstart(_: argparse.Namespace) -> int:
     from repro.core import Simulator, SimulatorConfig
     from repro.core.registry import algorithm_factory
     from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
 
     scenario = SyntheticWorkload(
-        SyntheticWorkloadConfig(request_count=400, worker_count=100, city_km=8.0)
+        SyntheticWorkloadConfig(
+            request_count=DEFAULT_DEMO_REQUESTS,
+            worker_count=DEFAULT_DEMO_WORKERS,
+            city_km=DEFAULT_CITY_KM,
+        )
     ).build(seed=1)
     simulator = Simulator(
-        SimulatorConfig(seed=0, worker_reentry=True, service_duration=1800.0)
+        SimulatorConfig(
+            seed=0, worker_reentry=True, service_duration=DEFAULT_SERVICE_DURATION
+        )
     )
     table = TextTable(
         ["Algorithm", "Revenue", "Completed", "|CoR|", "AcpRt"],
@@ -604,6 +886,8 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "bench": _cmd_bench,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
+    "replay-serve": _cmd_replay_serve,
     "quickstart": _cmd_quickstart,
     "datasets": _cmd_datasets,
     "algorithms": _cmd_algorithms,

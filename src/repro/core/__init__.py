@@ -32,6 +32,7 @@ from repro.core.ramcom import RamCOM
 from repro.core.simulator import (
     Scenario,
     SimulationResult,
+    SimulationSession,
     Simulator,
     SimulatorConfig,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "Simulator",
     "SimulatorConfig",
     "SimulationResult",
+    "SimulationSession",
     "ServiceTimeModel",
     "ConstantServiceTime",
     "TravelAwareServiceTime",

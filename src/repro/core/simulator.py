@@ -10,6 +10,16 @@ ratio, outer-payment rate, per-request response time, and memory footprint.
 
 Everything stochastic flows from ``SimulatorConfig.seed`` through labelled
 child streams, so a run is a pure function of (scenario, config).
+
+The engine is exposed at two granularities:
+
+* :meth:`Simulator.run` — batch replay of a whole :class:`Scenario`;
+* :class:`SimulationSession` — the same engine driven one arrival at a
+  time (``submit_worker`` / ``submit_request`` / ``finalize``).  This is
+  the seam the :mod:`repro.service` gateway uses to serve decisions from a
+  long-running process; ``Simulator.run`` is a thin loop over a session,
+  so a session fed the same events in the same order produces a
+  byte-identical :class:`SimulationResult`.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ __all__ = [
     "SimulatorConfig",
     "SimulationResult",
     "Simulator",
+    "SimulationSession",
     "DecisionLogEntry",
 ]
 
@@ -303,29 +314,42 @@ class SimulationResult:
         return records
 
 
-class Simulator:
-    """Runs one online algorithm per platform over a scenario."""
+class SimulationSession:
+    """One in-flight simulation, driven arrival by arrival.
 
-    def __init__(self, config: SimulatorConfig | None = None):
-        self.config = config or SimulatorConfig()
+    A session owns everything :meth:`Simulator.run` used to set up — the
+    exchange, the incentive machinery, one algorithm instance per platform,
+    the reentry/departure queues — and exposes the engine's per-event step
+    as methods:
 
-    def run(
+    * :meth:`submit_worker` / :meth:`submit_request` — deliver one arrival
+      (in global time order; each advances simulation time first);
+    * :meth:`finalize` — end of stream: flush batching algorithms, auto-
+      reject still-deferred requests and return the
+      :class:`SimulationResult`.
+
+    Feeding a session the events of a scenario in stream order is exactly
+    ``Simulator.run`` (which is implemented as that loop), so a service
+    replaying a recorded trace through a session produces a byte-identical
+    result.  The optional :attr:`on_resolution` hook observes decisions the
+    caller did not receive synchronously (batch flushes and end-of-stream
+    auto-rejects); :mod:`repro.service.gateway` uses it to answer outcome
+    queries for deferred requests.
+    """
+
+    def __init__(
         self,
+        config: SimulatorConfig,
         scenario: Scenario,
         algorithm_factory: Callable[[], OnlineAlgorithm],
-    ) -> SimulationResult:
-        """Replay the scenario and return the measured outcome.
-
-        ``algorithm_factory`` is called once per platform so platforms do
-        not share mutable algorithm state (each platform is an independent
-        decision maker in the paper's model).
-        """
-        config = self.config
+    ):
+        self.config = config
+        self.scenario = scenario
         seeds = SeedSequence(config.seed)
-        probe = (
+        self._probe = (
             config.telemetry.probe if config.telemetry is not None else NULL_PROBE
         )
-        sanitizer = (
+        self._sanitizer = (
             ConstraintSanitizer()
             if (config.sanitize or sanitize_from_env())
             else None
@@ -335,57 +359,58 @@ class Simulator:
             cell_size_km=config.cell_size_km,
             road_network=config.road_network,
         )
-        resilient: ResilientExchange | None = None
+        self._resilient: ResilientExchange | None = None
         if config.fault_plan is not None:
-            resilient = ResilientExchange(
+            self._resilient = ResilientExchange(
                 exchange,
                 FaultInjector(config.fault_plan),
                 retry_policy=config.retry_policy,
                 breaker_config=config.breaker,
-                probe=probe,
+                probe=self._probe,
             )
-            exchange = resilient
+            exchange = self._resilient
+        self.exchange = exchange
         # The estimator interprets histories in the same space (relative
         # rates vs absolute prices) as the scenario's ground truth.
-        acceptance = AcceptanceEstimator(
+        self.acceptance = AcceptanceEstimator(
             default_probability=config.default_acceptance,
             mode=scenario.oracle.mode,
         )
         payment_estimator = MinimumOuterPaymentEstimator(
-            acceptance,
+            self.acceptance,
             xi=config.payment_xi,
             eta=config.payment_eta,
             fast_path=config.payment_fast_path,
         )
         pricer = MaximumExpectedRevenuePricer(
-            acceptance,
+            self.acceptance,
             grid_steps=config.pricer_grid_steps,
             include_history_breakpoints=config.pricer_history_breakpoints,
             fast_path=config.payment_fast_path,
         )
 
-        algorithms: dict[str, OnlineAlgorithm] = {}
-        contexts: dict[str, PlatformContext] = {}
-        outcomes: dict[str, PlatformOutcome] = {}
+        self.algorithms: dict[str, OnlineAlgorithm] = {}
+        self.contexts: dict[str, PlatformContext] = {}
+        self.outcomes: dict[str, PlatformOutcome] = {}
         for platform_id in scenario.platform_ids:
             algorithm = algorithm_factory()
             context = PlatformContext(
                 platform_id=platform_id,
                 exchange=exchange,
-                acceptance=acceptance,
+                acceptance=self.acceptance,
                 payment_estimator=payment_estimator,
                 pricer=pricer,
                 oracle=scenario.oracle,
                 rng=seeds.child("algorithm").rng(platform_id),
                 value_upper_bound=scenario.value_upper_bound,
                 cooperation_enabled=config.cooperation_enabled,
-                probe=probe,
-                sanitizer=sanitizer,
+                probe=self._probe,
+                sanitizer=self._sanitizer,
             )
             algorithm.reset(context)
-            algorithms[platform_id] = algorithm
-            contexts[platform_id] = context
-            outcomes[platform_id] = PlatformOutcome(
+            self.algorithms[platform_id] = algorithm
+            self.contexts[platform_id] = context
+            self.outcomes[platform_id] = PlatformOutcome(
                 ledger=MatchingLedger(platform_id)
             )
 
@@ -395,236 +420,248 @@ class Simulator:
                 assert event.worker is not None
                 worker_id = event.worker.worker_id
                 if worker_id in scenario.oracle:
-                    acceptance.set_history(
+                    self.acceptance.set_history(
                         worker_id, scenario.oracle.history_of(worker_id)
                     )
 
         # Reentry queue: (time, sequence, worker) — sequence breaks ties.
-        reentry_heap: list[tuple[float, int, Worker]] = []
-        reentry_sequence = 0
+        self._reentry_heap: list[tuple[float, int, Worker]] = []
+        self._reentry_sequence = 0
         # Departure queue (shift ends): (time, worker_id).
-        departure_heap: list[tuple[float, str]] = []
+        self._departure_heap: list[tuple[float, str]] = []
 
-        algorithm_name = next(iter(algorithms.values())).name
-        decision_entries: list[DecisionLogEntry] = []
+        self.algorithm_name = next(iter(self.algorithms.values())).name
+        self.decision_entries: list[DecisionLogEntry] = []
         #: request_id -> Request for every deferred, not-yet-resolved request.
-        deferred: dict[str, Request] = {}
+        self.deferred: dict[str, Request] = {}
+        #: Observes (request, decision) pairs resolved *asynchronously* —
+        #: batch flushes and end-of-stream auto-rejects.  Immediate
+        #: decisions are returned by :meth:`submit_request` instead.
+        self.on_resolution: Callable[[Request, Decision], None] | None = None
 
-        def run_flush(platform_id: str, time: float) -> None:
-            nonlocal reentry_sequence
-            resolved = algorithms[platform_id].flush(time, contexts[platform_id])
-            if resolved and probe.enabled:
-                probe.instant(
-                    "flush", tid=platform_id, resolved=len(resolved)
-                )
-            for flushed_request, flushed_decision in resolved:
-                if flushed_request.request_id not in deferred:
-                    raise SimulationError(
-                        "flush returned non-deferred request",
-                        time=time,
-                        platform_id=platform_id,
-                        request_id=flushed_request.request_id,
-                    )
-                if flushed_decision.kind is DecisionKind.DEFER:
-                    raise SimulationError("flush may not re-defer a request")
-                del deferred[flushed_request.request_id]
-                outcome = outcomes[flushed_request.platform_id]
-                if flushed_decision.cooperative_attempt:
-                    outcome.cooperative_attempts += 1
-                    outcome.offers_made += flushed_decision.offers_made
-                if probe.enabled:
-                    probe.count(
-                        "decisions_total",
-                        platform=flushed_request.platform_id,
-                        kind=flushed_decision.kind.value,
-                    )
-                reentry_sequence = self._apply_decision(
-                    flushed_decision,
-                    flushed_request,
-                    exchange,
-                    outcomes,
-                    reentry_heap,
-                    reentry_sequence,
-                    scenario,
-                    acceptance,
-                    decision_entries,
-                    sanitizer,
-                )
-
-        run_span = (
-            probe.span(
+        self._run_span = (
+            self._probe.span(
                 "simulation.run",
                 tid="simulator",
                 scenario=scenario.name,
-                algorithm=algorithm_name,
+                algorithm=self.algorithm_name,
                 seed=config.seed,
+            )
+            if self._probe.enabled
+            else None
+        )
+        self.last_event_time = 0.0
+        self._finalized = False
+
+    def _run_flush(self, platform_id: str, time: float) -> None:
+        probe = self._probe
+        resolved = self.algorithms[platform_id].flush(
+            time, self.contexts[platform_id]
+        )
+        if resolved and probe.enabled:
+            probe.instant("flush", tid=platform_id, resolved=len(resolved))
+        for flushed_request, flushed_decision in resolved:
+            if flushed_request.request_id not in self.deferred:
+                raise SimulationError(
+                    "flush returned non-deferred request",
+                    time=time,
+                    platform_id=platform_id,
+                    request_id=flushed_request.request_id,
+                )
+            if flushed_decision.kind is DecisionKind.DEFER:
+                raise SimulationError("flush may not re-defer a request")
+            del self.deferred[flushed_request.request_id]
+            outcome = self.outcomes[flushed_request.platform_id]
+            if flushed_decision.cooperative_attempt:
+                outcome.cooperative_attempts += 1
+                outcome.offers_made += flushed_decision.offers_made
+            if probe.enabled:
+                probe.count(
+                    "decisions_total",
+                    platform=flushed_request.platform_id,
+                    kind=flushed_decision.kind.value,
+                )
+            self._apply_decision(flushed_request, flushed_decision)
+            if self.on_resolution is not None:
+                self.on_resolution(flushed_request, flushed_decision)
+
+    def advance_to(self, time: float) -> None:
+        """Move simulation time forward to ``time``.
+
+        Performs everything the engine does *between* arrivals: reinject
+        workers whose service completed, give batching algorithms a flush
+        opportunity, and evict workers whose shift ended.  Idempotent for
+        a repeated ``time``; called automatically by the submit methods.
+        """
+        self.last_event_time = max(self.last_event_time, time)
+        self._probe.advance(time)
+        if self._resilient is not None:
+            self._resilient.advance_to(time)
+        # Inject any workers whose service completed before this instant.
+        while self._reentry_heap and self._reentry_heap[0][0] <= time:
+            _, _, returning = heapq.heappop(self._reentry_heap)
+            self.exchange.worker_arrives(returning)
+            if self._sanitizer is not None:
+                self._sanitizer.observe_worker(returning)
+            if returning.departure_time is not None:
+                heapq.heappush(
+                    self._departure_heap,
+                    (returning.departure_time, returning.worker_id),
+                )
+            self.algorithms[returning.platform_id].on_worker_arrival(
+                returning, self.contexts[returning.platform_id]
+            )
+
+        # Give batching algorithms a chance to flush before this instant.
+        for platform_id in self.scenario.platform_ids:
+            self._run_flush(platform_id, time)
+
+        # Shift ends: still-waiting workers leave every list.  This is
+        # an administrative removal, not a cross-platform claim, so it
+        # bypasses fault injection (``evict``).
+        while self._departure_heap and self._departure_heap[0][0] < time:
+            __, departing_id = heapq.heappop(self._departure_heap)
+            if self.exchange.is_available(departing_id):
+                self.exchange.evict(departing_id)
+
+    def submit_worker(self, worker: Worker, time: float | None = None) -> None:
+        """Deliver one worker arrival (at ``worker.arrival_time``)."""
+        self.advance_to(worker.arrival_time if time is None else time)
+        probe = self._probe
+        if worker.platform_id not in self.outcomes:
+            raise SimulationError(
+                "worker belongs to unknown platform",
+                time=worker.arrival_time,
+                platform_id=worker.platform_id,
+                worker_id=worker.worker_id,
+            )
+        self.exchange.worker_arrives(worker)
+        if self._sanitizer is not None:
+            self._sanitizer.observe_worker(worker)
+        if probe.enabled:
+            probe.count("worker_arrivals_total", platform=worker.platform_id)
+        if worker.departure_time is not None:
+            heapq.heappush(
+                self._departure_heap, (worker.departure_time, worker.worker_id)
+            )
+        self.algorithms[worker.platform_id].on_worker_arrival(
+            worker, self.contexts[worker.platform_id]
+        )
+
+    def submit_request(
+        self, request: Request, time: float | None = None
+    ) -> Decision:
+        """Deliver one request arrival; returns the algorithm's decision.
+
+        A returned ``DEFER`` decision means the request is parked with a
+        batching algorithm; its resolution arrives later through
+        :attr:`on_resolution` (or as an auto-reject at :meth:`finalize`).
+        """
+        self.advance_to(request.arrival_time if time is None else time)
+        config = self.config
+        probe = self._probe
+        platform_id = request.platform_id
+        if platform_id not in self.outcomes:
+            raise SimulationError(
+                "request targets unknown platform",
+                time=request.arrival_time,
+                platform_id=platform_id,
+                request_id=request.request_id,
+            )
+        outcome = self.outcomes[platform_id]
+
+        decision_span = (
+            probe.span(
+                "decision",
+                tid=platform_id,
+                request=request.request_id,
+                value=request.value,
             )
             if probe.enabled
             else None
         )
-        last_event_time = 0.0
-        for event in scenario.events:
-            last_event_time = max(last_event_time, event.time)
-            probe.advance(event.time)
-            if resilient is not None:
-                resilient.advance_to(event.time)
-            # Inject any workers whose service completed before this event.
-            while reentry_heap and reentry_heap[0][0] <= event.time:
-                _, _, returning = heapq.heappop(reentry_heap)
-                exchange.worker_arrives(returning)
-                if sanitizer is not None:
-                    sanitizer.observe_worker(returning)
-                if returning.departure_time is not None:
-                    heapq.heappush(
-                        departure_heap,
-                        (returning.departure_time, returning.worker_id),
-                    )
-                algorithms[returning.platform_id].on_worker_arrival(
-                    returning, contexts[returning.platform_id]
+        if config.measure_response_time:
+            with Stopwatch() as watch:
+                decision = self.algorithms[platform_id].decide(
+                    request, self.contexts[platform_id]
                 )
-
-            # Give batching algorithms a chance to flush before this event.
-            for platform_id in scenario.platform_ids:
-                run_flush(platform_id, event.time)
-
-            # Shift ends: still-waiting workers leave every list.  This is
-            # an administrative removal, not a cross-platform claim, so it
-            # bypasses fault injection (``evict``).
-            while departure_heap and departure_heap[0][0] < event.time:
-                __, departing_id = heapq.heappop(departure_heap)
-                if exchange.is_available(departing_id):
-                    exchange.evict(departing_id)
-
-            if event.kind is EventKind.WORKER:
-                assert event.worker is not None
-                worker = event.worker
-                if worker.platform_id not in outcomes:
-                    raise SimulationError(
-                        "worker belongs to unknown platform",
-                        time=event.time,
-                        platform_id=worker.platform_id,
-                        worker_id=worker.worker_id,
-                    )
-                exchange.worker_arrives(worker)
-                if sanitizer is not None:
-                    sanitizer.observe_worker(worker)
-                if probe.enabled:
-                    probe.count(
-                        "worker_arrivals_total", platform=worker.platform_id
-                    )
-                if worker.departure_time is not None:
-                    heapq.heappush(
-                        departure_heap, (worker.departure_time, worker.worker_id)
-                    )
-                algorithms[worker.platform_id].on_worker_arrival(
-                    worker, contexts[worker.platform_id]
-                )
-                continue
-
-            assert event.request is not None
-            request = event.request
-            platform_id = request.platform_id
-            if platform_id not in outcomes:
-                raise SimulationError(
-                    "request targets unknown platform",
-                    time=event.time,
-                    platform_id=platform_id,
-                    request_id=request.request_id,
-                )
-            outcome = outcomes[platform_id]
-
-            decision_span = (
-                probe.span(
-                    "decision",
-                    tid=platform_id,
-                    request=request.request_id,
-                    value=request.value,
-                )
-                if probe.enabled
-                else None
+            if not watch.failed:
+                outcome.response_time.record(watch.elapsed_seconds)
+        else:
+            decision = self.algorithms[platform_id].decide(
+                request, self.contexts[platform_id]
+            )
+        if decision_span is not None:
+            decision_span.annotate(kind=decision.kind.value)
+            decision_span.end()
+            probe.count(
+                "decisions_total",
+                platform=platform_id,
+                kind=decision.kind.value,
             )
             if config.measure_response_time:
-                with Stopwatch() as watch:
-                    decision = algorithms[platform_id].decide(
-                        request, contexts[platform_id]
-                    )
-                if not watch.failed:
-                    outcome.response_time.record(watch.elapsed_seconds)
-            else:
-                decision = algorithms[platform_id].decide(
-                    request, contexts[platform_id]
-                )
-            if decision_span is not None:
-                decision_span.annotate(kind=decision.kind.value)
-                decision_span.end()
-                probe.count(
-                    "decisions_total",
+                probe.observe(
+                    "decision_seconds",
+                    watch.elapsed_seconds,
                     platform=platform_id,
-                    kind=decision.kind.value,
                 )
-                if config.measure_response_time:
-                    probe.observe(
-                        "decision_seconds",
-                        watch.elapsed_seconds,
-                        platform=platform_id,
-                    )
 
-            if decision.kind is DecisionKind.DEFER:
-                deferred[request.request_id] = request
-                continue
+        if decision.kind is DecisionKind.DEFER:
+            self.deferred[request.request_id] = request
+            return decision
 
-            if decision.cooperative_attempt:
-                outcome.cooperative_attempts += 1
-                outcome.offers_made += decision.offers_made
+        if decision.cooperative_attempt:
+            outcome.cooperative_attempts += 1
+            outcome.offers_made += decision.offers_made
 
-            reentry_sequence = self._apply_decision(
-                decision,
-                request,
-                exchange,
-                outcomes,
-                reentry_heap,
-                reentry_sequence,
-                scenario,
-                acceptance,
-                decision_entries,
-                sanitizer,
-            )
+        self._apply_decision(request, decision)
+        return decision
 
-        # End of stream: final flush, then auto-reject anything left parked.
+    def finalize(self) -> SimulationResult:
+        """End of stream: flush, auto-reject leftovers, return the result."""
+        if self._finalized:
+            raise SimulationError("session already finalized")
+        self._finalized = True
+        config = self.config
+        probe = self._probe
+        scenario = self.scenario
         for platform_id in scenario.platform_ids:
-            run_flush(platform_id, float("inf"))
-        for leftover in list(deferred.values()):
-            if sanitizer is not None:
-                sanitizer.observe_rejection(leftover, last_event_time)
-            outcomes[leftover.platform_id].ledger.record_rejection(leftover)
+            self._run_flush(platform_id, float("inf"))
+        for leftover in list(self.deferred.values()):
+            if self._sanitizer is not None:
+                self._sanitizer.observe_rejection(leftover, self.last_event_time)
+            self.outcomes[leftover.platform_id].ledger.record_rejection(leftover)
             if probe.enabled:
                 probe.count(
                     "decisions_total",
                     platform=leftover.platform_id,
                     kind="auto_reject",
                 )
-        deferred.clear()
+            if self.on_resolution is not None:
+                self.on_resolution(leftover, Decision.reject())
+        self.deferred.clear()
 
-        if sanitizer is not None:
-            sanitizer.finalize(
-                {pid: outcome.ledger for pid, outcome in outcomes.items()},
-                last_event_time,
+        if self._sanitizer is not None:
+            self._sanitizer.finalize(
+                {pid: outcome.ledger for pid, outcome in self.outcomes.items()},
+                self.last_event_time,
             )
 
-        if resilient is not None:
-            resilient.finalize(last_event_time)
+        if self._resilient is not None:
+            self._resilient.finalize(self.last_event_time)
             for platform_id in scenario.platform_ids:
-                outcomes[platform_id].resilience = resilient.stats_for(
+                self.outcomes[platform_id].resilience = self._resilient.stats_for(
                     platform_id
                 )
 
         memory_bytes = approximate_size_bytes(
             {
                 "outcomes": {
-                    pid: outcome.ledger.records for pid, outcome in outcomes.items()
+                    pid: outcome.ledger.records
+                    for pid, outcome in self.outcomes.items()
                 },
                 "waiting": {
-                    pid: exchange.inner_list(pid).workers()
+                    pid: self.exchange.inner_list(pid).workers()
                     for pid in scenario.platform_ids
                 },
                 "entities": (scenario.events.workers, scenario.events.requests),
@@ -638,47 +675,37 @@ class Simulator:
                 for pid in scenario.platform_ids:
                     probe.gauge(
                         "waiting_workers",
-                        len(exchange.inner_list(pid)),
+                        len(self.exchange.inner_list(pid)),
                         platform=pid,
                     )
-            if run_span is not None:
-                run_span.annotate(
+            if self._run_span is not None:
+                self._run_span.annotate(
                     requests=scenario.request_count,
                     workers=scenario.worker_count,
                 )
-                run_span.end()
+                self._run_span.end()
             telemetry_summary = config.telemetry.summary()
 
         return SimulationResult(
-            algorithm_name=algorithm_name,
+            algorithm_name=self.algorithm_name,
             scenario_name=scenario.name,
             seed=config.seed,
-            platforms=outcomes,
+            platforms=self.outcomes,
             memory_bytes=memory_bytes,
-            decisions=decision_entries,
+            decisions=self.decision_entries,
             telemetry=telemetry_summary,
         )
 
-    def _apply_decision(
-        self,
-        decision: Decision,
-        request: Request,
-        exchange: CooperationExchange,
-        outcomes: dict[str, PlatformOutcome],
-        reentry_heap: list[tuple[float, int, Worker]],
-        reentry_sequence: int,
-        scenario: Scenario,
-        acceptance: AcceptanceEstimator,
-        decision_entries: list["DecisionLogEntry"] | None = None,
-        sanitizer: ConstraintSanitizer | None = None,
-    ) -> int:
-        """Mutate world state according to a decision; returns the updated
-        reentry sequence counter."""
+    def _apply_decision(self, request: Request, decision: Decision) -> None:
+        """Mutate world state according to a non-DEFER decision."""
         config = self.config
-        outcome = outcomes[request.platform_id]
+        exchange = self.exchange
+        sanitizer = self._sanitizer
+        scenario = self.scenario
+        outcome = self.outcomes[request.platform_id]
 
-        if config.decision_log and decision_entries is not None:
-            decision_entries.append(
+        if config.decision_log:
+            self.decision_entries.append(
                 DecisionLogEntry(
                     time=request.arrival_time,
                     platform_id=request.platform_id,
@@ -696,7 +723,7 @@ class Simulator:
             if sanitizer is not None:
                 sanitizer.observe_rejection(request, request.arrival_time)
             outcome.ledger.record_rejection(request)
-            return reentry_sequence
+            return
 
         worker = decision.worker
         if worker is None:
@@ -725,9 +752,7 @@ class Simulator:
                 request_id=request.request_id,
                 worker_id=worker.worker_id,
             )
-        probe = (
-            config.telemetry.probe if config.telemetry is not None else NULL_PROBE
-        )
+        probe = self._probe
         claim_span = (
             probe.span(
                 "exchange.claim",
@@ -758,7 +783,7 @@ class Simulator:
             if sanitizer is not None:
                 sanitizer.observe_rejection(request, request.arrival_time)
             outcome.ledger.record_rejection(request)
-            return reentry_sequence
+            return
         if claim_span is not None:
             claim_span.annotate(outcome="ok")
             claim_span.end()
@@ -784,10 +809,10 @@ class Simulator:
         if kind is AssignmentKind.OUTER:
             # Credit the lender platform and grow the worker's visible
             # history (the online-learning loop behind Eq. 4).
-            outcomes[worker.platform_id].ledger.record_lender_income(
+            self.outcomes[worker.platform_id].ledger.record_lender_income(
                 request.platform_id, decision.payment
             )
-            acceptance.record_completion(
+            self.acceptance.record_completion(
                 worker.worker_id, decision.payment, request.value
             )
 
@@ -796,7 +821,7 @@ class Simulator:
                 request, worker, outer=outer_kind, payment=decision.payment
             )
             sanitizer.check_lender_conservation(
-                {pid: out.ledger for pid, out in outcomes.items()},
+                {pid: out.ledger for pid, out in self.outcomes.items()},
                 request.arrival_time,
             )
 
@@ -810,18 +835,20 @@ class Simulator:
             and request.arrival_time + occupation > worker.departure_time
         )
         if config.worker_reentry and not past_shift:
-            reentry_sequence += 1
+            self._reentry_sequence += 1
             if probe.enabled:
                 probe.count(
                     "worker_reentries_total", platform=worker.platform_id
                 )
             return_time = request.arrival_time + occupation
             returned = self._reentered_worker(worker, request, return_time, scenario)
-            acceptance.set_history(
+            self.acceptance.set_history(
                 returned.worker_id, scenario.oracle.history_of(worker.worker_id)
             )
-            heapq.heappush(reentry_heap, (return_time, reentry_sequence, returned))
-        return reentry_sequence
+            heapq.heappush(
+                self._reentry_heap,
+                (return_time, self._reentry_sequence, returned),
+            )
 
     @staticmethod
     def _reentered_worker(
@@ -849,3 +876,39 @@ class Simulator:
                 WorkerBehavior(new_id, original.distribution, original.history)
             )
         return clone
+
+
+class Simulator:
+    """Runs one online algorithm per platform over a scenario."""
+
+    def __init__(self, config: SimulatorConfig | None = None):
+        self.config = config or SimulatorConfig()
+
+    def session(
+        self,
+        scenario: Scenario,
+        algorithm_factory: Callable[[], OnlineAlgorithm],
+    ) -> SimulationSession:
+        """Begin a stepwise run (see :class:`SimulationSession`)."""
+        return SimulationSession(self.config, scenario, algorithm_factory)
+
+    def run(
+        self,
+        scenario: Scenario,
+        algorithm_factory: Callable[[], OnlineAlgorithm],
+    ) -> SimulationResult:
+        """Replay the scenario and return the measured outcome.
+
+        ``algorithm_factory`` is called once per platform so platforms do
+        not share mutable algorithm state (each platform is an independent
+        decision maker in the paper's model).
+        """
+        session = self.session(scenario, algorithm_factory)
+        for event in scenario.events:
+            if event.kind is EventKind.WORKER:
+                assert event.worker is not None
+                session.submit_worker(event.worker, time=event.time)
+            else:
+                assert event.request is not None
+                session.submit_request(event.request, time=event.time)
+        return session.finalize()

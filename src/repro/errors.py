@@ -117,6 +117,15 @@ class WorkloadError(ReproError):
     """A workload generator was asked for an impossible configuration."""
 
 
+class ServiceError(ReproError):
+    """The serving layer (:mod:`repro.service`) was misused or failed.
+
+    Covers gateway lifecycle errors (submitting to a stopped gateway,
+    querying a result before draining), protocol violations on the JSONL
+    wire, and snapshot format mismatches.
+    """
+
+
 class GraphError(ReproError):
     """A graph algorithm received malformed input."""
 

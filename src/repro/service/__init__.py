@@ -1,0 +1,62 @@
+"""repro.service — an asyncio gateway that serves COM decisions online.
+
+The batch :class:`~repro.core.simulator.Simulator` replays a complete
+scenario in one call; this package wraps the same engine — literally the
+same :class:`~repro.core.simulator.SimulationSession` code path — behind
+a long-running service so matching decisions can be requested one arrival
+at a time over a socket:
+
+- :mod:`~repro.service.gateway` — the in-process facade: a serialized
+  decision loop around one session, with admission control and metrics.
+- :mod:`~repro.service.server` / :mod:`~repro.service.client` — a
+  JSONL-over-TCP transport and its asyncio client + trace driver.
+- :mod:`~repro.service.clock` — pluggable real-time vs deterministic
+  virtual clocks; under the virtual clock a replayed trace produces
+  byte-identical metrics to ``Simulator.run``.
+- :mod:`~repro.service.admission` — bounded ingress with load shedding.
+- :mod:`~repro.service.snapshot` — checkpoint/restore of matching state.
+
+See docs/SERVICE.md for the protocol and operational guidance.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.clock import RealTimeClock, ServiceClock, VirtualClock
+from repro.service.client import GatewayClient, drive_trace
+from repro.service.gateway import (
+    STATUS_DEFERRED,
+    STATUS_SHED,
+    MatchingGateway,
+    ServiceOutcome,
+)
+from repro.service.server import (
+    DEFAULT_HOST,
+    MatchingServer,
+    request_from_wire,
+    request_to_wire,
+    worker_from_wire,
+    worker_to_wire,
+)
+from repro.service.snapshot import SNAPSHOT_FORMAT, read_snapshot, write_snapshot
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "DEFAULT_HOST",
+    "GatewayClient",
+    "MatchingGateway",
+    "MatchingServer",
+    "RealTimeClock",
+    "SNAPSHOT_FORMAT",
+    "STATUS_DEFERRED",
+    "STATUS_SHED",
+    "ServiceClock",
+    "ServiceOutcome",
+    "VirtualClock",
+    "drive_trace",
+    "read_snapshot",
+    "request_from_wire",
+    "request_to_wire",
+    "worker_from_wire",
+    "worker_to_wire",
+    "write_snapshot",
+]

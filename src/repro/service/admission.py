@@ -1,0 +1,78 @@
+"""Ingress admission control: bounded queues and load shedding.
+
+A long-running gateway cannot let its serialized decision queue grow
+without bound — decision latency is the product's first-class metric
+(paper §V-C1), and an unbounded backlog turns a load spike into unbounded
+latency for every later request.  The admission layer applies the classic
+streaming-admission treatment (cf. budget-aware online task assignment):
+each incoming *request* is admitted only while the pending queue is below
+a configured depth; beyond it the request is **shed** — answered
+immediately with a non-decision, never entering the matching engine.
+
+Worker arrivals are never shed: workers only add capacity, and dropping
+them would silently change the matching problem.
+
+Shedding is accounted on the controller (``offered`` / ``admitted`` /
+``shed``) and mirrored into the gateway's metrics registry
+(``service_shed_total``), so a replayed trace can assert a zero shed rate
+— the precondition for golden equivalence with the batch simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionPolicy", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Backpressure tunables for one gateway.
+
+    Attributes
+    ----------
+    max_pending:
+        Admit a request only while fewer than this many jobs are queued
+        for the decision loop.  ``0`` disables the bound (replay mode —
+        equivalence with the batch simulator requires that nothing is
+        shed).
+    """
+
+    max_pending: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 0:
+            raise ValueError(
+                f"max_pending must be >= 0, got {self.max_pending}"
+            )
+
+    @property
+    def unbounded(self) -> bool:
+        """True when the policy never sheds."""
+        return self.max_pending == 0
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` and counts the outcomes."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def admit(self, pending: int) -> bool:
+        """Decide one request given the current queue depth."""
+        self.offered += 1
+        if not self.policy.unbounded and pending >= self.policy.max_pending:
+            self.shed += 1
+            return False
+        self.admitted += 1
+        return True
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests shed (0.0 before any arrivals)."""
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered

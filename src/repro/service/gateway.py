@@ -1,0 +1,418 @@
+"""The matching gateway: COM decisions served from a long-running process.
+
+:class:`MatchingGateway` hosts the cooperative platforms — one
+:class:`~repro.core.simulator.SimulationSession` holding the shared
+:class:`~repro.core.exchange.CooperationExchange`, one algorithm instance
+per platform, and all incentive machinery — behind a **serialized decision
+queue**: every submitted arrival is processed one at a time, in submission
+order, by a single consumer task.  Serialization is what makes the live
+service equal to the paper's model (requests are decided one by one,
+workers are claimed atomically) and what makes a virtual-clock trace
+replay byte-identical to :meth:`repro.core.simulator.Simulator.run`.
+
+Layers around the session:
+
+* **admission** (:mod:`repro.service.admission`) — requests are shed with
+  an immediate ``shed`` outcome while the queue is at capacity;
+* **clock** (:mod:`repro.service.clock`) — live arrivals are stamped with
+  :meth:`~repro.service.clock.ServiceClock.now`; replays carry recorded
+  timestamps under the virtual clock;
+* **instrumentation** — queue depth, shed counts, per-decision outcome
+  counts and end-to-end latency flow into a :class:`repro.obs.
+  MetricsRegistry`, surfaced via :meth:`stats` (the ``stats`` protocol
+  verb);
+* **snapshots** (:mod:`repro.service.snapshot`) — the full matching state
+  checkpoints between decisions for graceful shutdown / crash recovery.
+
+The gateway is asyncio-native and transport-agnostic; the JSONL-over-TCP
+server in :mod:`repro.service.server` is one transport over it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.core.base import Decision, DecisionKind
+from repro.core.entities import Request, Worker
+from repro.core.registry import algorithm_factory
+from repro.core.simulator import (
+    Scenario,
+    SimulationResult,
+    SimulationSession,
+    Simulator,
+    SimulatorConfig,
+)
+from repro.errors import ConfigurationError, ServiceError
+from repro.obs import MetricsRegistry
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.clock import ServiceClock, VirtualClock
+from repro.service.snapshot import read_snapshot, write_snapshot
+from repro.utils.timer import Stopwatch
+
+__all__ = ["ServiceOutcome", "MatchingGateway"]
+
+#: Outcome statuses beyond the engine's decision kinds.
+STATUS_DEFERRED = "deferred"
+STATUS_SHED = "shed"
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceOutcome:
+    """One request's answer as seen by a service client.
+
+    ``status`` is a :class:`~repro.core.base.DecisionKind` value
+    (``serve_inner`` / ``serve_outer`` / ``reject``), ``deferred`` (parked
+    with a batching algorithm; the final status arrives asynchronously and
+    is visible via the ``outcome`` verb), or ``shed`` (rejected by
+    admission control without entering the matching engine).
+    """
+
+    request_id: str
+    status: str
+    worker_id: str | None = None
+    payment: float = 0.0
+    #: End-to-end service latency (submission to answer), milliseconds.
+    #: 0.0 for asynchronously resolved (flushed) outcomes.
+    latency_ms: float = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (the wire format)."""
+        return {
+            "request_id": self.request_id,
+            "status": self.status,
+            "worker_id": self.worker_id,
+            "payment": self.payment,
+            "latency_ms": self.latency_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceOutcome":
+        """Rebuild from :meth:`as_dict` output."""
+        return cls(
+            request_id=payload["request_id"],
+            status=payload["status"],
+            worker_id=payload.get("worker_id"),
+            payment=payload.get("payment", 0.0),
+            latency_ms=payload.get("latency_ms", 0.0),
+        )
+
+
+def _outcome_from_decision(request: Request, decision: Decision) -> ServiceOutcome:
+    if decision.kind is DecisionKind.DEFER:
+        return ServiceOutcome(request.request_id, STATUS_DEFERRED)
+    return ServiceOutcome(
+        request_id=request.request_id,
+        status=decision.kind.value,
+        worker_id=decision.worker.worker_id if decision.worker else None,
+        payment=decision.payment,
+    )
+
+
+class MatchingGateway:
+    """Hosts one COM deployment (scenario + algorithm) as a service."""
+
+    def __init__(
+        self,
+        scenario: Scenario | None = None,
+        algorithm: str = "ramcom",
+        config: SimulatorConfig | None = None,
+        clock: ServiceClock | None = None,
+        admission: AdmissionPolicy | None = None,
+        session: SimulationSession | None = None,
+    ):
+        if session is None:
+            if scenario is None:
+                raise ConfigurationError(
+                    "MatchingGateway needs a scenario (or a restored session)"
+                )
+            session = Simulator(config or SimulatorConfig()).session(
+                scenario, algorithm_factory(algorithm)
+            )
+        self._session = session
+        self.config = session.config
+        self.scenario = session.scenario
+        self.clock = clock or VirtualClock()
+        self.admission = AdmissionController(admission)
+        self.registry = MetricsRegistry()
+        self.result: SimulationResult | None = None
+        self._outcomes: dict[str, ServiceOutcome] = {}
+        self._queue: asyncio.Queue | None = None
+        self._loop_task: asyncio.Task | None = None
+        self._request_index: dict[str, Request] | None = None
+        self._worker_index: dict[str, Worker] | None = None
+        session.on_resolution = self._record_resolution
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str | Path,
+        clock: ServiceClock | None = None,
+        admission: AdmissionPolicy | None = None,
+    ) -> "MatchingGateway":
+        """Rebuild a gateway from a :meth:`snapshot` checkpoint."""
+        session, outcomes = read_snapshot(path)
+        gateway = cls(session=session, clock=clock, admission=admission)
+        gateway._outcomes = {
+            request_id: ServiceOutcome.from_dict(payload)
+            for request_id, payload in outcomes.items()
+        }
+        return gateway
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True while the decision loop is consuming the queue."""
+        return self._loop_task is not None and not self._loop_task.done()
+
+    async def start(self) -> "MatchingGateway":
+        """Start the decision loop (idempotent)."""
+        if self.running:
+            return self
+        self._queue = asyncio.Queue()
+        self._loop_task = asyncio.create_task(self._decision_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Stop the decision loop without finalizing the simulation."""
+        if self._loop_task is None:
+            return
+        if not self._loop_task.done():
+            assert self._queue is not None
+            await self._queue.put(("stop", None, self._new_future()))
+        await asyncio.gather(self._loop_task, return_exceptions=True)
+        self._loop_task = None
+
+    def _new_future(self) -> asyncio.Future:
+        return asyncio.get_running_loop().create_future()
+
+    def _ensure_running(self) -> None:
+        if self._loop_task is None:
+            raise ServiceError("gateway not started; call start() first")
+        if self._loop_task.done():
+            error = self._loop_task.exception()
+            if error is not None:
+                raise ServiceError("gateway decision loop failed") from error
+            raise ServiceError("gateway already stopped")
+
+    # -- the serialized decision loop ---------------------------------------
+
+    async def _decision_loop(self) -> None:
+        assert self._queue is not None
+        try:
+            while True:
+                kind, payload, future = await self._queue.get()
+                if kind == "stop":
+                    if not future.done():
+                        future.set_result(None)
+                    return
+                try:
+                    result = self._process(kind, payload)
+                except Exception as error:
+                    # Fail-stop: the caller sees the error through its
+                    # future and the loop dies with the same exception, so
+                    # a broken engine cannot silently keep answering.
+                    if not future.done():
+                        future.set_exception(error)
+                    raise
+                if not future.done():
+                    future.set_result(result)
+                self.registry.gauge("service_queue_depth").set(
+                    self._queue.qsize()
+                )
+        finally:
+            self._abort_pending()
+
+    def _abort_pending(self) -> None:
+        """Fail any jobs still queued when the loop exits."""
+        if self._queue is None:
+            return
+        while not self._queue.empty():
+            __, __, future = self._queue.get_nowait()
+            if not future.done():
+                future.set_exception(ServiceError("gateway stopped"))
+
+    def _process(self, kind: str, payload: object):
+        if kind == "worker":
+            assert isinstance(payload, Worker)
+            self._session.submit_worker(payload)
+            return None
+        if kind == "request":
+            assert isinstance(payload, Request)
+            decision = self._session.submit_request(payload)
+            outcome = _outcome_from_decision(payload, decision)
+            self._outcomes[payload.request_id] = outcome
+            self.registry.counter("service_decisions_total").inc(
+                platform=payload.platform_id, status=outcome.status
+            )
+            return outcome
+        if kind == "finalize":
+            self.result = self._session.finalize()
+            return self.result
+        if kind == "snapshot":
+            return write_snapshot(
+                self._session,
+                {
+                    request_id: outcome.as_dict()
+                    for request_id, outcome in self._outcomes.items()
+                },
+                Path(str(payload)),
+            )
+        raise ServiceError(f"unknown gateway job kind {kind!r}")
+
+    def _record_resolution(self, request: Request, decision: Decision) -> None:
+        """Session hook: a deferred request resolved asynchronously."""
+        outcome = _outcome_from_decision(request, decision)
+        self._outcomes[request.request_id] = outcome
+        self.registry.counter("service_decisions_total").inc(
+            platform=request.platform_id, status=f"flushed_{outcome.status}"
+        )
+
+    # -- replay interning ----------------------------------------------------
+    # A submitted entity that matches its canonical object in the gateway's
+    # scenario (by field equality) is replaced with it, so the matching
+    # state shares storage with the trace.  The analytic memory metric
+    # (§V-C2) id-deduplicates shared objects; without interning, entities
+    # arriving as copies — wire-decoded over TCP, or submitted after a
+    # snapshot restore whose session holds pickled copies — would be
+    # double-counted relative to the batch simulator, breaking the
+    # byte-identity of the replayed metric row.
+
+    def _canonical_request(self, request: Request) -> Request:
+        if self._request_index is None:
+            self._request_index = {
+                canonical.request_id: canonical
+                for canonical in self.scenario.events.requests
+            }
+        canonical = self._request_index.get(request.request_id)
+        return canonical if canonical == request else request
+
+    def _canonical_worker(self, worker: Worker) -> Worker:
+        if self._worker_index is None:
+            self._worker_index = {
+                canonical.worker_id: canonical
+                for canonical in self.scenario.events.workers
+            }
+        canonical = self._worker_index.get(worker.worker_id)
+        return canonical if canonical == worker else worker
+
+    # -- the service surface -------------------------------------------------
+
+    async def submit_worker(self, worker: Worker) -> None:
+        """Deliver one worker arrival (never shed — workers add capacity)."""
+        self._ensure_running()
+        assert self._queue is not None
+        worker = self._canonical_worker(worker)
+        self.registry.counter("service_workers_total").inc(
+            platform=worker.platform_id
+        )
+        future = self._new_future()
+        await self._queue.put(("worker", worker, future))
+        await future
+
+    async def submit_request(self, request: Request) -> ServiceOutcome:
+        """Deliver one request; returns its outcome (or ``shed``).
+
+        End-to-end latency (admission to answer) is recorded in the
+        ``service_latency_seconds`` histogram and on the returned outcome.
+        """
+        self._ensure_running()
+        assert self._queue is not None
+        request = self._canonical_request(request)
+        watch = Stopwatch().start()
+        if not self.admission.admit(self._queue.qsize()):
+            self.registry.counter("service_shed_total").inc(
+                platform=request.platform_id
+            )
+            self.registry.counter("service_decisions_total").inc(
+                platform=request.platform_id, status=STATUS_SHED
+            )
+            outcome = ServiceOutcome(
+                request.request_id, STATUS_SHED, latency_ms=watch.stop() * 1e3
+            )
+            self._outcomes[request.request_id] = outcome
+            return outcome
+        future = self._new_future()
+        await self._queue.put(("request", request, future))
+        self.registry.gauge("service_queue_depth").set(self._queue.qsize())
+        outcome = await future
+        elapsed = watch.stop()
+        self.registry.histogram("service_latency_seconds").observe(
+            elapsed, platform=request.platform_id
+        )
+        outcome = replace(outcome, latency_ms=elapsed * 1e3)
+        self._outcomes[request.request_id] = outcome
+        return outcome
+
+    async def drain(self) -> SimulationResult:
+        """Finalize the simulation and stop the loop; returns the result.
+
+        Equivalent to the batch engine's end-of-stream step: batching
+        algorithms flush, still-deferred requests auto-reject, and the
+        :class:`SimulationResult` is measured.  After draining, the
+        gateway answers no further arrivals.
+        """
+        self._ensure_running()
+        assert self._queue is not None
+        future = self._new_future()
+        await self._queue.put(("finalize", None, future))
+        result = await future
+        await self.stop()
+        return result
+
+    async def snapshot(self, path: str | Path) -> Path:
+        """Checkpoint the full matching state to ``path``.
+
+        Runs on the decision loop, so the snapshot sits *between*
+        decisions — never mid-claim.  Restore with :meth:`from_snapshot`.
+        """
+        self._ensure_running()
+        assert self._queue is not None
+        future = self._new_future()
+        await self._queue.put(("snapshot", path, future))
+        return await future
+
+    def outcome_of(self, request_id: str) -> ServiceOutcome | None:
+        """The recorded outcome of a request (None if unknown)."""
+        return self._outcomes.get(request_id)
+
+    def metrics_dict(self) -> dict:
+        """The drained run's metric row (requires :meth:`drain` first).
+
+        This is the golden-equivalence surface: under the virtual clock it
+        is byte-identical to the dict computed from ``Simulator.run`` on
+        the same scenario/config.
+        """
+        if self.result is None:
+            raise ServiceError("gateway not drained; no result to report")
+        from repro.experiments.metrics import AlgorithmMetrics
+        from repro.experiments.reporting import metrics_to_dict
+
+        return metrics_to_dict(AlgorithmMetrics.from_simulation(self.result))
+
+    def stats(self) -> dict:
+        """Live service statistics (the ``stats`` protocol verb)."""
+        latency = self.registry.histogram("service_latency_seconds")
+        pooled_count = sum(
+            series.count for series in latency.series().values()
+        )
+        return {
+            "algorithm": self._session.algorithm_name,
+            "scenario": self.scenario.name,
+            "platforms": list(self.scenario.platform_ids),
+            "running": self.running,
+            "drained": self.result is not None,
+            "pending": self._queue.qsize() if self._queue is not None else 0,
+            "decided": pooled_count,
+            "clock": {"virtual": self.clock.virtual, "now": self.clock.now()},
+            "admission": {
+                "max_pending": self.admission.policy.max_pending,
+                "offered": self.admission.offered,
+                "admitted": self.admission.admitted,
+                "shed": self.admission.shed,
+                "shed_rate": self.admission.shed_rate,
+            },
+            "metrics": self.registry.snapshot().as_dict(),
+        }

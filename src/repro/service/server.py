@@ -1,0 +1,256 @@
+"""JSONL-over-TCP transport for the matching gateway.
+
+The wire protocol is deliberately primitive — one JSON object per line in
+each direction, stdlib-only on both ends, trivially driven from ``nc`` or
+any language:
+
+Request lines carry a ``verb`` plus verb-specific fields; every response
+line carries ``"ok"`` (boolean), the echoed ``verb``, and either the
+result fields or an ``"error"`` string.  Verbs (see docs/SERVICE.md for
+the full schema):
+
+``ping``
+    Liveness check; echoes the server's clock reading.
+``request``
+    Submit one request ``{"verb": "request", "request": {"id", "platform",
+    "x", "y", "value"[, "t"]}}``; omitted ``t`` is stamped with the
+    gateway clock (live mode).  Answers the request's
+    :class:`~repro.service.gateway.ServiceOutcome`.
+``worker``
+    Submit one worker arrival (same shape, with ``radius`` and optional
+    ``shareable`` / ``departure``).
+``outcome``
+    Query a previously submitted request's outcome (deferred requests
+    resolve asynchronously on batch flushes).
+``stats``
+    The gateway's live statistics: queue depth, shed counters, decision
+    counts, latency histogram (see docs/OBSERVABILITY.md).
+``snapshot``
+    Checkpoint matching state to a server-side path.
+``drain``
+    End of stream: flush, finalize, and answer the run's full metric row
+    — the dict that is byte-identical to the batch simulator's under the
+    virtual clock.
+
+Entity ids must be unique per run (the engine enforces global uniqueness
+of worker ids; requests are keyed by id in the outcome log).  Submissions
+are answered in order per connection; concurrent connections interleave
+at whole-decision granularity through the gateway's serialized queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.core.entities import Request, Worker
+from repro.errors import ReproError, ServiceError
+from repro.geo.point import Point
+from repro.service.gateway import MatchingGateway
+
+__all__ = [
+    "MatchingServer",
+    "DEFAULT_HOST",
+    "request_to_wire",
+    "request_from_wire",
+    "worker_to_wire",
+    "worker_from_wire",
+]
+
+DEFAULT_HOST = "127.0.0.1"
+
+
+# -- entity codecs (shared with the client) ---------------------------------
+
+
+def request_to_wire(request: Request) -> dict:
+    """JSON-ready view of a request (field names match serialization.py)."""
+    return {
+        "id": request.request_id,
+        "platform": request.platform_id,
+        "t": request.arrival_time,
+        "x": request.location.x,
+        "y": request.location.y,
+        "value": request.value,
+    }
+
+
+def request_from_wire(payload: dict, default_time: float) -> Request:
+    """Decode a request; a missing ``t`` is stamped with ``default_time``."""
+    try:
+        return Request(
+            request_id=str(payload["id"]),
+            platform_id=str(payload["platform"]),
+            arrival_time=float(payload.get("t", default_time)),
+            location=Point(float(payload["x"]), float(payload["y"])),
+            value=float(payload["value"]),
+        )
+    except KeyError as error:
+        raise ServiceError(f"request payload missing field {error}") from error
+
+
+def worker_to_wire(worker: Worker) -> dict:
+    """JSON-ready view of a worker."""
+    return {
+        "id": worker.worker_id,
+        "platform": worker.platform_id,
+        "t": worker.arrival_time,
+        "x": worker.location.x,
+        "y": worker.location.y,
+        "radius": worker.service_radius,
+        "shareable": worker.shareable,
+        "departure": worker.departure_time,
+    }
+
+
+def worker_from_wire(payload: dict, default_time: float) -> Worker:
+    """Decode a worker; a missing ``t`` is stamped with ``default_time``."""
+    try:
+        departure = payload.get("departure")
+        return Worker(
+            worker_id=str(payload["id"]),
+            platform_id=str(payload["platform"]),
+            arrival_time=float(payload.get("t", default_time)),
+            location=Point(float(payload["x"]), float(payload["y"])),
+            service_radius=float(payload.get("radius", 1.0)),
+            shareable=bool(payload.get("shareable", True)),
+            departure_time=float(departure) if departure is not None else None,
+        )
+    except KeyError as error:
+        raise ServiceError(f"worker payload missing field {error}") from error
+
+
+# -- the server --------------------------------------------------------------
+
+
+class MatchingServer:
+    """Serves a :class:`MatchingGateway` over JSONL/TCP."""
+
+    def __init__(
+        self,
+        gateway: MatchingGateway,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+    ):
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        if self._server is None:
+            raise ServiceError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Start the gateway and the listener; returns the bound address.
+
+        ``port=0`` (the default) binds an ephemeral port — read it back
+        from the return value.
+        """
+        await self.gateway.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        """Close the listener and stop the gateway loop."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.gateway.stop()
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._answer(line)
+                writer.write(
+                    json.dumps(response, sort_keys=True).encode() + b"\n"
+                )
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-write; nothing to answer
+        finally:
+            writer.close()
+
+    async def _answer(self, line: bytes) -> dict:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            return {"ok": False, "verb": None, "error": f"bad JSON: {error}"}
+        if not isinstance(payload, dict):
+            return {"ok": False, "verb": None, "error": "payload must be an object"}
+        verb = payload.get("verb")
+        try:
+            return await self._dispatch(verb, payload)
+        except (ReproError, ValueError, TypeError) as error:
+            return {"ok": False, "verb": verb, "error": str(error)}
+
+    async def _dispatch(self, verb: object, payload: dict) -> dict:
+        gateway = self.gateway
+        if verb == "ping":
+            return {
+                "ok": True,
+                "verb": "ping",
+                "clock": gateway.clock.now(),
+                "virtual": gateway.clock.virtual,
+            }
+        if verb == "request":
+            request = request_from_wire(
+                payload.get("request") or {}, gateway.clock.now()
+            )
+            if gateway.clock.virtual:
+                gateway.clock.advance_to(request.arrival_time)  # type: ignore[attr-defined]
+            outcome = await gateway.submit_request(request)
+            return {"ok": True, "verb": "request", "outcome": outcome.as_dict()}
+        if verb == "worker":
+            worker = worker_from_wire(
+                payload.get("worker") or {}, gateway.clock.now()
+            )
+            if gateway.clock.virtual:
+                gateway.clock.advance_to(worker.arrival_time)  # type: ignore[attr-defined]
+            await gateway.submit_worker(worker)
+            return {"ok": True, "verb": "worker", "worker_id": worker.worker_id}
+        if verb == "outcome":
+            request_id = str(payload.get("request_id", ""))
+            outcome = gateway.outcome_of(request_id)
+            return {
+                "ok": True,
+                "verb": "outcome",
+                "request_id": request_id,
+                "outcome": outcome.as_dict() if outcome is not None else None,
+            }
+        if verb == "stats":
+            return {"ok": True, "verb": "stats", "stats": gateway.stats()}
+        if verb == "snapshot":
+            path = payload.get("path")
+            if not path:
+                raise ServiceError("snapshot verb needs a 'path' field")
+            saved = await gateway.snapshot(str(path))
+            return {"ok": True, "verb": "snapshot", "path": str(saved)}
+        if verb == "drain":
+            await gateway.drain()
+            return {
+                "ok": True,
+                "verb": "drain",
+                "metrics": gateway.metrics_dict(),
+            }
+        return {"ok": False, "verb": verb, "error": f"unknown verb {verb!r}"}

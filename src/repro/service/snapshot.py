@@ -1,0 +1,94 @@
+"""Checkpoint / restore of the full matching state.
+
+A long-running gateway must survive graceful shutdowns and recover from
+crashes without violating the paper's constraints — in particular the
+*invariable* constraint (a decided request is never re-matched) means the
+service cannot simply replay its input from scratch after a restart: it
+must resume from the exact matching state it had reached.
+
+A snapshot is a pickle of the live :class:`~repro.core.simulator.
+SimulationSession` — the exchange's waiting lists, every platform's
+ledger and algorithm state (including RamCOM's threshold draw and all RNG
+stream positions), the reentry/departure queues, deferred requests, the
+Eq.-4 acceptance histories, and the resilience layer's fault-injection
+cursor when a :class:`~repro.faults.plan.FaultPlan` is active (snapshots
+compose with :mod:`repro.faults`: a restored session continues the
+recorded fault schedule deterministically).  Restoring and continuing the
+stream therefore produces byte-identical results to an uninterrupted run
+— pinned by ``tests/test_service.py``.
+
+The file format is a small versioned envelope around the pickle payload;
+snapshots are point-in-time artifacts for operational recovery, not a
+long-term archival format (they are tied to the package version like any
+pickle).  Telemetry bundles hold live tracer state and are not
+checkpointed — snapshot a gateway running with ``telemetry=None``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.core.simulator import SimulationSession
+from repro.errors import ServiceError
+
+__all__ = ["SNAPSHOT_FORMAT", "write_snapshot", "read_snapshot"]
+
+#: Bump when the envelope layout changes.
+SNAPSHOT_FORMAT = 1
+
+_MAGIC = b"COMSNAP1\n"
+
+
+def write_snapshot(
+    session: SimulationSession,
+    outcomes: dict[str, dict],
+    path: str | Path,
+) -> Path:
+    """Checkpoint ``session`` (plus served-outcome log) to ``path``.
+
+    Must be called between decisions (the gateway schedules snapshots on
+    its serialized decision loop, which guarantees this).  The session's
+    resolution hook is transport state, not matching state — it is
+    stripped for the dump and reattached by the restoring gateway.
+    """
+    if session.config.telemetry is not None:
+        raise ServiceError(
+            "snapshots require telemetry=None (live tracer state does not "
+            "checkpoint); run the gateway without a telemetry bundle"
+        )
+    path = Path(path)
+    hook = session.on_resolution
+    session.on_resolution = None
+    try:
+        payload = pickle.dumps(
+            {
+                "format": SNAPSHOT_FORMAT,
+                "session": session,
+                "outcomes": dict(outcomes),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    finally:
+        session.on_resolution = hook
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(_MAGIC + payload)
+    return path
+
+
+def read_snapshot(path: str | Path) -> tuple[SimulationSession, dict[str, dict]]:
+    """Load a checkpoint; returns ``(session, outcome_log)``."""
+    path = Path(path)
+    blob = path.read_bytes()
+    if not blob.startswith(_MAGIC):
+        raise ServiceError(f"{path}: not a COM service snapshot")
+    envelope = pickle.loads(blob[len(_MAGIC):])
+    if envelope.get("format") != SNAPSHOT_FORMAT:
+        raise ServiceError(
+            f"{path}: snapshot format {envelope.get('format')!r} != "
+            f"{SNAPSHOT_FORMAT} (rebuild the snapshot with this version)"
+        )
+    session = envelope["session"]
+    if not isinstance(session, SimulationSession):
+        raise ServiceError(f"{path}: snapshot payload is not a session")
+    return session, envelope.get("outcomes", {})

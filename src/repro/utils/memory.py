@@ -34,6 +34,26 @@ _ATOMIC_TYPES = (int, float, complex, bool, bytes, str, type(None), range)
 _VALUE_TYPES = (int, float, complex, bool, type(None))
 
 
+def _container_size(obj: object) -> int:
+    """``sys.getsizeof`` with canonical (not historical) capacity.
+
+    A list grown by repeated ``append`` carries over-allocation slack,
+    while the same list unpickled arrives compact — so raw ``getsizeof``
+    would make the metric depend on each container's growth *history*,
+    not its contents, and differ between an uninterrupted run and one
+    resumed from a service snapshot (docs/SERVICE.md).  Measuring a
+    freshly rebuilt copy makes the overhead a deterministic function of
+    the element count alone.
+    """
+    if type(obj) is list:
+        return sys.getsizeof(list(obj))
+    if type(obj) is dict:
+        return sys.getsizeof(dict(obj))
+    if type(obj) is set:
+        return sys.getsizeof(set(obj))
+    return sys.getsizeof(obj)
+
+
 def approximate_size_bytes(obj: object, _seen: set[int] | None = None) -> int:
     """Recursively approximate the memory footprint of ``obj`` in bytes.
 
@@ -52,7 +72,7 @@ def approximate_size_bytes(obj: object, _seen: set[int] | None = None) -> int:
         return 0
     _seen.add(object_id)
 
-    size = sys.getsizeof(obj)
+    size = _container_size(obj)
     if isinstance(obj, _ATOMIC_TYPES):
         return size
 

@@ -43,6 +43,44 @@ class TestParser:
         assert args.no_wall is True
         assert args.seed == 3
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"com-repro {__version__}" in capsys.readouterr().out
+
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "4000", "--real-time", "--speed", "60"]
+        )
+        assert args.command == "serve"
+        assert args.port == 4000
+        assert args.real_time is True
+        assert args.speed == 60.0
+        assert args.max_pending == 1024
+
+    def test_replay_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["replay-serve", "--algorithm", "demcom", "--verify"]
+        )
+        assert args.command == "replay-serve"
+        assert args.algorithm == "demcom"
+        assert args.verify is True
+        assert args.snapshot_at is None
+
+    def test_shared_defaults_are_hoisted(self):
+        from repro.cli import DEFAULT_SERVICE_DURATION
+
+        table = build_parser().parse_args(["table", "V"])
+        replay = build_parser().parse_args(["replay-serve"])
+        assert (
+            table.service_duration
+            == replay.service_duration
+            == DEFAULT_SERVICE_DURATION
+        )
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -96,6 +134,50 @@ class TestCommands:
         assert main(["cr", "tota", "--trials", "5"]) == 0
         out = capsys.readouterr().out
         assert "random-order" in out
+
+    def test_replay_serve_verify(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "served.json"
+        assert (
+            main(
+                [
+                    "replay-serve",
+                    "--requests",
+                    "30",
+                    "--workers",
+                    "15",
+                    "--verify",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "VERIFY OK" in out
+        metrics = json.loads(output.read_text())
+        assert metrics["algorithm"] == "RamCOM"
+
+    def test_replay_serve_snapshot_drill(self, capsys):
+        assert (
+            main(
+                [
+                    "replay-serve",
+                    "--requests",
+                    "30",
+                    "--workers",
+                    "15",
+                    "--snapshot-at",
+                    "20",
+                    "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "checkpointed after 20 events" in out
+        assert "VERIFY OK" in out
 
     def test_trace_writes_artifacts(self, capsys, tmp_path):
         import json

@@ -1,0 +1,437 @@
+"""Tests for :mod:`repro.service` — the online matching gateway.
+
+The anchor property is golden equivalence: a trace replayed through the
+service under the virtual clock — in-process, over TCP, or interrupted by
+a snapshot/restore — produces a metric row byte-identical to
+``Simulator.run`` on the same scenario and config.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import Simulator, SimulatorConfig
+from repro.core.events import EventKind
+from repro.core.registry import algorithm_factory
+from repro.errors import ServiceError
+from repro.experiments.metrics import AlgorithmMetrics
+from repro.experiments.reporting import metrics_to_dict
+from repro.service import (
+    STATUS_SHED,
+    AdmissionController,
+    AdmissionPolicy,
+    GatewayClient,
+    MatchingGateway,
+    MatchingServer,
+    RealTimeClock,
+    ServiceOutcome,
+    VirtualClock,
+    drive_trace,
+    read_snapshot,
+    request_from_wire,
+    request_to_wire,
+    worker_from_wire,
+    worker_to_wire,
+)
+from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+
+from conftest import make_request, make_scenario, make_worker
+
+
+def build_scenario(seed: int = 7, requests: int = 60, workers: int = 30):
+    return SyntheticWorkload(
+        SyntheticWorkloadConfig(
+            request_count=requests, worker_count=workers, horizon_seconds=3600.0
+        )
+    ).build(seed=seed)
+
+
+def service_config() -> SimulatorConfig:
+    # measure_response_time=False drops the engine's only wall-clock field,
+    # making the metric row a pure function of the scenario.
+    return SimulatorConfig(measure_response_time=False)
+
+
+def golden_row(scenario, algorithm: str, config: SimulatorConfig) -> str:
+    result = Simulator(config).run(scenario, algorithm_factory(algorithm))
+    return json.dumps(
+        metrics_to_dict(AlgorithmMetrics.from_simulation(result)), sort_keys=True
+    )
+
+
+async def submit_event(target, event, clock=None) -> None:
+    if clock is not None:
+        clock.advance_to(event.time)
+    if event.kind is EventKind.WORKER:
+        await target.submit_worker(event.worker)
+    else:
+        await target.submit_request(event.request)
+
+
+class TestClocks:
+    def test_virtual_clock_advances_monotonically(self):
+        clock = VirtualClock()
+        assert clock.virtual and clock.now() == 0.0
+        clock.advance_to(5.0)
+        clock.advance_to(3.0)  # never rewinds
+        assert clock.now() == 5.0
+
+    def test_virtual_sleep_advances_instantly(self):
+        clock = VirtualClock()
+
+        async def main():
+            await clock.sleep_until(42.0)
+            return clock.now()
+
+        assert asyncio.run(main()) == 42.0
+
+    def test_real_time_clock_moves_forward(self):
+        clock = RealTimeClock(speed=100.0)
+        assert not clock.virtual
+
+        async def main():
+            start = clock.now()
+            await asyncio.sleep(0.01)
+            return clock.now() - start
+
+        assert asyncio.run(main()) > 0.0
+
+    def test_real_time_clock_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            RealTimeClock(speed=0.0)
+
+
+class TestAdmission:
+    def test_policy_rejects_negative_bound(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_pending=-1)
+
+    def test_bounded_controller_sheds_at_capacity(self):
+        controller = AdmissionController(AdmissionPolicy(max_pending=2))
+        assert controller.admit(pending=0)
+        assert controller.admit(pending=1)
+        assert not controller.admit(pending=2)
+        assert (controller.offered, controller.admitted, controller.shed) == (
+            3,
+            2,
+            1,
+        )
+        assert controller.shed_rate == pytest.approx(1 / 3)
+
+    def test_unbounded_policy_never_sheds(self):
+        controller = AdmissionController(AdmissionPolicy(max_pending=0))
+        assert controller.policy.unbounded
+        assert all(controller.admit(pending=10**6) for _ in range(100))
+        assert controller.shed == 0
+
+
+class TestWireCodecs:
+    def test_request_round_trip(self):
+        request = make_request("r1", "B", t=4.5, x=1.25, y=-2.5, value=17.0)
+        assert request_from_wire(request_to_wire(request), 0.0) == request
+
+    def test_worker_round_trip(self):
+        worker = make_worker("w1", "A", t=2.0, x=0.5, y=0.75, radius=2.0)
+        assert worker_from_wire(worker_to_wire(worker), 0.0) == worker
+
+    def test_missing_field_raises_service_error(self):
+        with pytest.raises(ServiceError):
+            request_from_wire({"id": "r1"}, 0.0)
+
+    def test_missing_timestamp_uses_default(self):
+        payload = request_to_wire(make_request())
+        del payload["t"]
+        assert request_from_wire(payload, 9.0).arrival_time == 9.0
+
+
+class TestGatewayEquivalence:
+    @pytest.mark.parametrize("algorithm", ["demcom", "ramcom"])
+    def test_virtual_clock_replay_matches_batch_run(self, algorithm):
+        scenario = build_scenario()
+        config = service_config()
+        golden = golden_row(scenario, algorithm, config)
+
+        async def replay() -> str:
+            gateway = MatchingGateway(
+                scenario=scenario, algorithm=algorithm, config=config
+            )
+            await gateway.start()
+            for event in scenario.events:
+                await submit_event(gateway, event, clock=gateway.clock)
+            await gateway.drain()
+            return json.dumps(gateway.metrics_dict(), sort_keys=True)
+
+        assert asyncio.run(replay()) == golden
+
+    @pytest.mark.parametrize("algorithm", ["demcom", "ramcom"])
+    def test_tcp_replay_matches_batch_run(self, algorithm):
+        scenario = build_scenario(seed=9)
+        config = service_config()
+        golden = golden_row(scenario, algorithm, config)
+
+        async def replay() -> str:
+            server = MatchingServer(
+                MatchingGateway(
+                    scenario=scenario, algorithm=algorithm, config=config
+                )
+            )
+            host, port = await server.start()
+            try:
+                async with GatewayClient(host, port) as client:
+                    metrics = await drive_trace(client, scenario.events)
+            finally:
+                await server.stop()
+            return json.dumps(metrics, sort_keys=True)
+
+        assert asyncio.run(replay()) == golden
+
+
+class TestGatewayLifecycle:
+    def test_submit_before_start_raises(self):
+        gateway = MatchingGateway(scenario=build_scenario(requests=5, workers=3))
+
+        async def main():
+            await gateway.submit_worker(make_worker())
+
+        with pytest.raises(ServiceError):
+            asyncio.run(main())
+
+    def test_immediate_outcome_and_query(self):
+        workers = [make_worker("w0", "A", t=0.0)]
+        requests = [make_request("r0", "A", t=1.0)]
+        scenario = make_scenario(workers, requests)
+
+        async def main():
+            gateway = MatchingGateway(
+                scenario=scenario, config=service_config()
+            )
+            await gateway.start()
+            for event in scenario.events:
+                await submit_event(gateway, event, clock=gateway.clock)
+            outcome = gateway.outcome_of("r0")
+            await gateway.drain()
+            return outcome
+
+        outcome = asyncio.run(main())
+        assert isinstance(outcome, ServiceOutcome)
+        assert outcome.request_id == "r0"
+        assert outcome.status in {"serve_inner", "serve_outer", "reject"}
+
+    def test_drain_stops_the_gateway(self):
+        scenario = build_scenario(requests=5, workers=3)
+
+        async def main():
+            gateway = MatchingGateway(scenario=scenario, config=service_config())
+            await gateway.start()
+            await gateway.drain()
+            assert not gateway.running
+            with pytest.raises(ServiceError):
+                await gateway.submit_worker(make_worker())
+            return gateway.metrics_dict()
+
+        metrics = asyncio.run(main())
+        assert metrics["algorithm"] == "RamCOM"
+
+    def test_stats_shape(self):
+        scenario = build_scenario(requests=5, workers=3)
+        request_count = sum(
+            1 for e in scenario.events if e.kind is not EventKind.WORKER
+        )
+
+        async def main():
+            gateway = MatchingGateway(scenario=scenario, config=service_config())
+            await gateway.start()
+            for event in scenario.events:
+                await submit_event(gateway, event, clock=gateway.clock)
+            stats = gateway.stats()
+            await gateway.drain()
+            return stats
+
+        stats = asyncio.run(main())
+        assert stats["algorithm"] == "RamCOM"
+        assert stats["running"] is True
+        assert stats["decided"] == request_count > 0
+        assert stats["admission"]["shed"] == 0
+        assert stats["clock"]["virtual"] is True
+        assert "service_decisions_total" in stats["metrics"]["counters"]
+
+
+class TestAdmissionShedding:
+    def test_overload_sheds_requests_but_not_workers(self):
+        scenario = build_scenario(requests=40, workers=10)
+        events = list(scenario.events)
+
+        async def main():
+            gateway = MatchingGateway(
+                scenario=scenario,
+                config=service_config(),
+                admission=AdmissionPolicy(max_pending=1),
+            )
+            await gateway.start()
+            for event in events:
+                gateway.clock.advance_to(event.time)
+            # Fire every submission concurrently so the queue backs up.
+            worker_jobs = [
+                gateway.submit_worker(e.worker)
+                for e in events
+                if e.kind is EventKind.WORKER
+            ]
+            request_jobs = [
+                gateway.submit_request(e.request)
+                for e in events
+                if e.kind is not EventKind.WORKER
+            ]
+            outcomes = await asyncio.gather(*request_jobs)
+            await asyncio.gather(*worker_jobs)
+            await gateway.stop()
+            return gateway, outcomes
+
+        gateway, outcomes = asyncio.run(main())
+        shed = [o for o in outcomes if o.status == STATUS_SHED]
+        assert gateway.admission.shed == len(shed) > 0
+        assert gateway.admission.offered == len(outcomes)
+        assert 0.0 < gateway.admission.shed_rate < 1.0
+        # Workers are never shed: all of them reached the engine.
+        stats = gateway.stats()
+        assert "service_shed_total" in stats["metrics"]["counters"]
+
+
+class TestSnapshotRestore:
+    def test_mid_stream_restore_matches_uninterrupted_run(self, tmp_path):
+        scenario = build_scenario(seed=11)
+        config = service_config()
+        golden = golden_row(scenario, "ramcom", config)
+        events = list(scenario.events)
+        cut = len(events) // 2
+        path = tmp_path / "mid.snap"
+
+        async def main() -> str:
+            gateway = MatchingGateway(
+                scenario=scenario, algorithm="ramcom", config=config
+            )
+            await gateway.start()
+            for event in events[:cut]:
+                await submit_event(gateway, event, clock=gateway.clock)
+            await gateway.snapshot(path)
+            await gateway.stop()
+
+            restored = MatchingGateway.from_snapshot(path)
+            await restored.start()
+            for event in events[cut:]:
+                await submit_event(restored, event, clock=restored.clock)
+            await restored.drain()
+            return json.dumps(restored.metrics_dict(), sort_keys=True)
+
+        assert asyncio.run(main()) == golden
+
+    def test_snapshot_preserves_outcome_log(self, tmp_path):
+        scenario = build_scenario(requests=10, workers=5)
+        events = list(scenario.events)
+        path = tmp_path / "log.snap"
+
+        async def main():
+            gateway = MatchingGateway(scenario=scenario, config=service_config())
+            await gateway.start()
+            for event in events[: len(events) // 2]:
+                await submit_event(gateway, event, clock=gateway.clock)
+            await gateway.snapshot(path)
+            decided = {
+                rid: gateway.outcome_of(rid)
+                for e in events[: len(events) // 2]
+                if e.kind is not EventKind.WORKER
+                for rid in [e.request.request_id]
+            }
+            await gateway.stop()
+            restored = MatchingGateway.from_snapshot(path)
+            return decided, restored
+
+        decided, restored = asyncio.run(main())
+        assert decided
+        for request_id, outcome in decided.items():
+            assert restored.outcome_of(request_id) == outcome
+
+    def test_snapshot_rejects_telemetry_sessions(self, tmp_path):
+        from repro.obs import Telemetry
+
+        scenario = build_scenario(requests=5, workers=3)
+        config = SimulatorConfig(
+            measure_response_time=False, telemetry=Telemetry()
+        )
+
+        async def main():
+            gateway = MatchingGateway(scenario=scenario, config=config)
+            await gateway.start()
+            try:
+                with pytest.raises(ServiceError):
+                    await gateway.snapshot(tmp_path / "no.snap")
+            finally:
+                await gateway.stop()
+
+        asyncio.run(main())
+
+    def test_read_snapshot_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "bogus.snap"
+        path.write_bytes(b"not a snapshot")
+        with pytest.raises(ServiceError):
+            read_snapshot(path)
+
+
+class TestServerProtocol:
+    def test_protocol_verbs_and_errors(self):
+        scenario = build_scenario(requests=8, workers=4)
+
+        async def main():
+            server = MatchingServer(
+                MatchingGateway(scenario=scenario, config=service_config())
+            )
+            host, port = await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+
+                async def raw(payload) -> dict:
+                    writer.write(json.dumps(payload).encode() + b"\n")
+                    await writer.drain()
+                    return json.loads(await reader.readline())
+
+                ping = await raw({"verb": "ping"})
+                unknown = await raw({"verb": "frobnicate"})
+                bad_request = await raw({"verb": "request", "request": {}})
+                not_json = None
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                not_json = json.loads(await reader.readline())
+                missing = await raw({"verb": "outcome", "request_id": "nope"})
+                writer.close()
+                return ping, unknown, bad_request, not_json, missing
+            finally:
+                await server.stop()
+
+        ping, unknown, bad_request, not_json, missing = asyncio.run(main())
+        assert ping["ok"] and ping["virtual"] is True
+        assert not unknown["ok"] and "unknown verb" in unknown["error"]
+        assert not bad_request["ok"] and "missing field" in bad_request["error"]
+        assert not not_json["ok"] and "bad JSON" in not_json["error"]
+        assert missing["ok"] and missing["outcome"] is None
+
+    def test_client_raises_on_error_response(self):
+        scenario = build_scenario(requests=5, workers=3)
+
+        async def main():
+            server = MatchingServer(
+                MatchingGateway(scenario=scenario, config=service_config())
+            )
+            host, port = await server.start()
+            try:
+                async with GatewayClient(host, port) as client:
+                    with pytest.raises(ServiceError):
+                        await client.call("frobnicate")
+                    stats = await client.stats()
+                    return stats
+            finally:
+                await server.stop()
+
+        stats = asyncio.run(main())
+        assert stats["algorithm"] == "RamCOM"
