@@ -1,11 +1,10 @@
 """Service benchmark: sustained throughput and end-to-end decision latency.
 
-Measures the serving layer the way an operator would size it: a synthetic
-trace is replayed through a :class:`~repro.service.gateway.MatchingGateway`
-(in-process — isolates the decision loop) and through the full
-JSONL-over-TCP stack on loopback (adds codec + socket cost), recording
-sustained requests/sec and the p50/p95/p99 of the per-request end-to-end
-latency reported on each :class:`~repro.service.gateway.ServiceOutcome`.
+Thin runner around :mod:`repro.experiments.service_bench` (the core lives
+in the package so ``com-repro bench --service`` shares it).  Three modes
+are measured: the in-process gateway, the gateway with the ``COMWAL1``
+write-ahead journal enabled, and the full JSONL-over-TCP stack — plus the
+journal-overhead ratio gated at 15%.
 
 The repo-root ``BENCH_service.json`` is the checked-in reference::
 
@@ -15,136 +14,31 @@ CI smoke (quick sizes, sanity thresholds only)::
 
     PYTHONPATH=src python benchmarks/bench_service.py --quick
 
+Gate the journal overhead against the reference::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --quick --check BENCH_service.json
+
 Also runnable through pytest (``test_service_throughput_sane``).
 """
 
 from __future__ import annotations
 
 import argparse
-import asyncio
 import json
 import sys
 from pathlib import Path
 
-from repro.core import SimulatorConfig
-from repro.core.events import EventKind
-from repro.service import (
-    GatewayClient,
-    MatchingGateway,
-    MatchingServer,
-    drive_trace,
+from repro.experiments.service_bench import (
+    check_service_regression,
+    render_service_report,
+    run_service_benchmark,
 )
-from repro.utils.timer import Stopwatch
-from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
-
-
-def _percentile(samples: list[float], q: float) -> float:
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
-    return ordered[index]
-
-
-def _build(requests: int, workers: int):
-    scenario = SyntheticWorkload(
-        SyntheticWorkloadConfig(
-            request_count=requests, worker_count=workers, horizon_seconds=7200.0
-        )
-    ).build(seed=5)
-    config = SimulatorConfig(measure_response_time=False)
-    return scenario, config
-
-
-async def _bench_gateway(scenario, config) -> dict:
-    """In-process: the decision loop without transport overhead."""
-    gateway = MatchingGateway(scenario=scenario, algorithm="ramcom", config=config)
-    await gateway.start()
-    latencies: list[float] = []
-    watch = Stopwatch().start()
-    decided = 0
-    for event in scenario.events:
-        gateway.clock.advance_to(event.time)
-        if event.kind is EventKind.WORKER:
-            await gateway.submit_worker(event.worker)
-        else:
-            outcome = await gateway.submit_request(event.request)
-            latencies.append(outcome.latency_ms)
-            decided += 1
-    elapsed = watch.stop()
-    await gateway.drain()
-    return _section(decided, elapsed, latencies)
-
-
-async def _bench_tcp(scenario, config) -> dict:
-    """Full stack: JSONL codec + loopback TCP + the decision loop."""
-    server = MatchingServer(
-        MatchingGateway(scenario=scenario, algorithm="ramcom", config=config)
-    )
-    host, port = await server.start()
-    latencies: list[float] = []
-    decided = 0
-    try:
-        async with GatewayClient(host, port) as client:
-            watch = Stopwatch().start()
-            for event in scenario.events:
-                if event.kind is EventKind.WORKER:
-                    await client.submit_worker(event.worker)
-                else:
-                    outcome = await client.submit_request(event.request)
-                    latencies.append(outcome.latency_ms)
-                    decided += 1
-            elapsed = watch.stop()
-            await client.drain()
-    finally:
-        await server.stop()
-    return _section(decided, elapsed, latencies)
-
-
-def _section(decided: int, elapsed: float, latencies: list[float]) -> dict:
-    return {
-        "requests": decided,
-        "elapsed_seconds": elapsed,
-        "requests_per_second": decided / elapsed if elapsed > 0 else 0.0,
-        "latency_ms": {
-            "p50": _percentile(latencies, 0.50),
-            "p95": _percentile(latencies, 0.95),
-            "p99": _percentile(latencies, 0.99),
-        },
-    }
-
-
-def run_service_benchmark(quick: bool = False) -> dict:
-    """The full payload (both modes); ``quick`` shrinks the trace for CI."""
-    requests, workers = (300, 100) if quick else (2000, 500)
-    scenario, config = _build(requests, workers)
-    payload = {
-        "benchmark": "service",
-        "schema": 1,
-        "mode": "quick" if quick else "full",
-        "gateway": asyncio.run(_bench_gateway(scenario, config)),
-        "tcp": asyncio.run(_bench_tcp(scenario, config)),
-    }
-    return payload
-
-
-def render_report(payload: dict) -> str:
-    lines = [f"service benchmark ({payload['mode']})"]
-    for section in ("gateway", "tcp"):
-        row = payload[section]
-        latency = row["latency_ms"]
-        lines.append(
-            f"  {section:8s} {row['requests_per_second']:>9.0f} req/s   "
-            f"p50 {latency['p50']:.3f} ms   p95 {latency['p95']:.3f} ms   "
-            f"p99 {latency['p99']:.3f} ms   ({row['requests']} requests)"
-        )
-    return "\n".join(lines)
 
 
 def test_service_throughput_sane():
     """Pytest entry point: the service keeps interactive decision latency."""
     payload = run_service_benchmark(quick=True)
-    for section in ("gateway", "tcp"):
+    for section in ("gateway", "gateway_journal", "tcp"):
         row = payload[section]
         assert row["requests"] > 0
         # Conservative floors for noisy CI runners; BENCH_service.json
@@ -156,6 +50,9 @@ def test_service_throughput_sane():
         payload["tcp"]["requests_per_second"]
         > payload["gateway"]["requests_per_second"] * 0.05
     )
+    # Loose sanity floor on the durability cost; the strict 15% budget is
+    # gated by `bench --service --check` where runner noise is visible.
+    assert payload["journal_overhead"]["throughput_ratio"] > 0.5
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -166,14 +63,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", type=str, default=None, help="write the JSON payload here"
     )
+    parser.add_argument(
+        "--check",
+        type=str,
+        default=None,
+        help="gate the journal-overhead ratio against this reference JSON "
+        "(e.g. BENCH_service.json); exit 1 on regression",
+    )
     args = parser.parse_args(argv)
     payload = run_service_benchmark(quick=args.quick)
-    print(render_report(payload))
+    print(render_service_report(payload))
     if args.output:
         Path(args.output).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
         print(f"saved: {args.output}")
+    if args.check:
+        failures = check_service_regression(payload, args.check)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"OK: journal overhead within budget of {args.check}")
     return 0
 
 

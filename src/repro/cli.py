@@ -197,14 +197,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="full sizes (default: quick)"
     )
     bench.add_argument(
+        "--service",
+        action="store_true",
+        help=(
+            "benchmark the serving layer instead: gateway, journaled "
+            "gateway and TCP throughput plus the journal-overhead gate "
+            "(docs/SERVICE.md)"
+        ),
+    )
+    bench.add_argument(
         "--output", type=str, default=None, help="write the JSON payload here"
     )
     bench.add_argument(
         "--check",
         type=str,
         default=None,
-        help="compare speedups against this reference JSON (e.g. "
-        "BENCH_hotpath.json); exit 1 on regression",
+        help="compare against this reference JSON (BENCH_hotpath.json, or "
+        "BENCH_service.json with --service); exit 1 on regression",
     )
     _add_jobs_flag(bench)
     bench.set_defaults(jobs=0)
@@ -308,6 +317,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="boot from a snapshot file instead of a fresh scenario",
     )
+    serve.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        help=(
+            "directory for the COMWAL1 write-ahead journal; if it already "
+            "holds a checkpoint the gateway auto-recovers the pre-crash "
+            "state (docs/RESILIENCE.md)"
+        ),
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=["always", "interval", "never"],
+        default="interval",
+        help="journal fsync policy (default: interval)",
+    )
+    serve.add_argument(
+        "--fsync-interval",
+        type=int,
+        default=256,
+        help="records between fsyncs under --fsync interval (default: 256)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=4096,
+        help="journal records between COMSNAP1 checkpoints (default: 4096)",
+    )
 
     replay = subparsers.add_parser(
         "replay-serve",
@@ -337,6 +374,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--output", type=str, default=None, help="write the metrics JSON here"
+    )
+
+    soak = subparsers.add_parser(
+        "soak",
+        help=(
+            "chaos soak: journaled service under load, killed and "
+            "recovered repeatedly; fails unless the final metrics row is "
+            "byte-identical to an uninterrupted run (docs/RESILIENCE.md)"
+        ),
+    )
+    _add_service_scenario_flags(soak)
+    soak.add_argument(
+        "--cycles",
+        type=int,
+        default=3,
+        help="crash->recover cycles to induce (default: 3)",
+    )
+    soak.add_argument(
+        "--soak-seed",
+        type=int,
+        default=0,
+        help="seed for the kill-point draw (independent of --seed)",
+    )
+    soak.add_argument(
+        "--speed",
+        type=float,
+        default=0.0,
+        help=(
+            "real-time clock compression: trace seconds per wall second "
+            "(0 = unthrottled, the default)"
+        ),
+    )
+    soak.add_argument(
+        "--fsync",
+        choices=["always", "interval", "never"],
+        default="interval",
+        help="journal fsync policy under test (default: interval)",
+    )
+    soak.add_argument(
+        "--directory",
+        type=str,
+        default=None,
+        help="journal directory (default: a fresh temporary directory)",
+    )
+    soak.add_argument(
+        "--output", type=str, default=None, help="write the JSON report here"
     )
 
     subparsers.add_parser("quickstart", help="tiny end-to-end demo")
@@ -574,13 +657,22 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
-    from repro.experiments.benchmark import (
-        check_regression,
-        render_report,
-        run_hotpath_benchmark,
-    )
+    if args.service:
+        from repro.experiments.service_bench import (
+            check_service_regression as check_regression,
+            render_service_report as render_report,
+        )
+        from repro.experiments.service_bench import run_service_benchmark
 
-    payload = run_hotpath_benchmark(quick=not args.full, jobs=args.jobs)
+        payload = run_service_benchmark(quick=not args.full)
+    else:
+        from repro.experiments.benchmark import (
+            check_regression,
+            render_report,
+            run_hotpath_benchmark,
+        )
+
+        payload = run_hotpath_benchmark(quick=not args.full, jobs=args.jobs)
     print(render_report(payload))
     if args.output:
         from pathlib import Path
@@ -595,7 +687,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:
             return 1
-        print(f"OK: speedups within tolerance of {args.check}")
+        what = "journal overhead" if args.service else "speedups"
+        print(f"OK: {what} within tolerance of {args.check}")
     return 0
 
 
@@ -675,20 +768,60 @@ def _service_config(args: argparse.Namespace):
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.errors import ConfigurationError
     from repro.service import (
         AdmissionPolicy,
+        JournalConfig,
         MatchingGateway,
         MatchingServer,
         RealTimeClock,
+        recover_gateway,
     )
 
     clock = RealTimeClock(speed=args.speed) if args.real_time else None
     admission = AdmissionPolicy(max_pending=args.max_pending)
+    if args.restore and args.journal:
+        raise ConfigurationError(
+            "--restore and --journal are mutually exclusive: a journal "
+            "directory carries its own checkpoint to recover from"
+        )
     if args.restore:
         gateway = MatchingGateway.from_snapshot(
             args.restore, clock=clock, admission=admission
         )
         print(f"restored: {args.restore}")
+    elif args.journal:
+        journal_config = JournalConfig(
+            directory=args.journal,
+            fsync=args.fsync,
+            fsync_interval=args.fsync_interval,
+            checkpoint_every=args.checkpoint_every,
+        )
+        if journal_config.checkpoint_path.exists():
+            gateway, report = recover_gateway(
+                args.journal,
+                fsync=args.fsync,
+                fsync_interval=args.fsync_interval,
+                checkpoint_every=args.checkpoint_every,
+                clock=clock,
+                admission=admission,
+            )
+            print(
+                f"recovered: {args.journal} "
+                f"({report.records_replayed} record(s) replayed, "
+                f"{report.torn_bytes_dropped} torn byte(s) dropped, "
+                f"{report.recovery_seconds * 1e3:.1f} ms)"
+            )
+        else:
+            gateway = MatchingGateway(
+                scenario=_service_scenario(args),
+                algorithm=args.algorithm,
+                config=_service_config(args),
+                clock=clock,
+                admission=admission,
+                journal=journal_config,
+            )
+            print(f"journal: {journal_config.journal_path} ({args.fsync})")
     else:
         gateway = MatchingGateway(
             scenario=_service_scenario(args),
@@ -792,6 +925,64 @@ def _cmd_replay_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import json
+    import tempfile
+
+    from repro.service import SoakConfig, run_soak
+
+    scenario = _service_scenario(args)
+    config = _service_config(args)
+    soak = SoakConfig(
+        cycles=args.cycles,
+        seed=args.soak_seed,
+        speed=args.speed,
+        fsync=args.fsync,
+    )
+    with contextlib.ExitStack() as stack:
+        directory = args.directory or stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="com-soak-")
+        )
+        report = asyncio.run(
+            run_soak(
+                scenario,
+                directory,
+                algorithm=args.algorithm,
+                config=config,
+                soak=soak,
+            )
+        )
+    print(
+        f"soak: {report.events_submitted} events, "
+        f"{report.induced_crashes} induced crash(es), "
+        f"{report.retries} retried arrival(s), sanitizer on"
+    )
+    for number, recovery in enumerate(report.recoveries, start=1):
+        print(
+            f"  recovery {number}: {recovery.records_replayed} record(s) "
+            f"replayed from seq {recovery.checkpoint_seq}, "
+            f"{recovery.torn_bytes_dropped} torn byte(s), "
+            f"{recovery.recovery_seconds * 1e3:.1f} ms"
+        )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"saved: {args.output}")
+    if not report.metrics_identical:
+        print("SOAK FAIL: drained metrics differ from an uninterrupted run")
+        return 1
+    print(
+        "SOAK OK: metrics byte-identical to an uninterrupted run "
+        f"(max recovery {report.max_recovery_seconds * 1e3:.1f} ms)"
+    )
+    return 0
+
+
 async def _submit_event(client, event) -> None:
     from repro.core.events import EventKind
 
@@ -888,6 +1079,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "serve": _cmd_serve,
     "replay-serve": _cmd_replay_serve,
+    "soak": _cmd_soak,
     "quickstart": _cmd_quickstart,
     "datasets": _cmd_datasets,
     "algorithms": _cmd_algorithms,

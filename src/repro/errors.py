@@ -126,6 +126,30 @@ class ServiceError(ReproError):
     """
 
 
+class JournalError(ServiceError):
+    """The write-ahead event journal (``COMWAL1``) was misused or corrupt.
+
+    Raised by :mod:`repro.service.journal` on framing violations that are
+    *not* a recoverable torn tail — a foreign or mismatched file header,
+    an out-of-sequence record, an append to a closed journal — and by
+    recovery when a replayed decision diverges from its journaled outcome
+    (which indicates the journal was produced by an incompatible engine
+    version, not a crash).
+    """
+
+
+class InducedCrash(ReproError):
+    """A deterministic kill point fired (:class:`repro.faults.CrashPlan`).
+
+    Simulates a fail-stop process crash at an exact, reproducible
+    boundary (the Nth journal append / checkpoint / ack).  The gateway's
+    decision loop dies with this exception and the server drops its
+    connections without answering, exactly as a killed process would —
+    the crash-recovery tests and the ``com-repro soak`` harness then
+    exercise journal recovery against it.
+    """
+
+
 class GraphError(ReproError):
     """A graph algorithm received malformed input."""
 

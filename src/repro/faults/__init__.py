@@ -14,7 +14,10 @@ first-class, *deterministic* part of the simulation:
 * :mod:`resilient` — :class:`ResilientExchange`, the retry / circuit
   breaker / degraded-mode wrapper, plus the :class:`ResilienceStats`
   failure accounting surfaced on :class:`~repro.core.simulator.
-  PlatformOutcome`.
+  PlatformOutcome`;
+* :mod:`crash` — :class:`CrashPlan` / :class:`CrashInjector`,
+  deterministic kill points (die at the Nth journal append / checkpoint
+  / ack boundary) for the serving layer's crash-recovery drills.
 
 See ``docs/RESILIENCE.md`` for the fault model and the degraded-mode
 guarantees versus the paper's constraints.
@@ -27,6 +30,12 @@ from repro.faults.plan import (
     OutageWindow,
     RetryPolicy,
 )
+from repro.faults.crash import (
+    CRASH_CHANNELS,
+    CrashInjector,
+    CrashPlan,
+    CrashPoint,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.resilient import (
     CircuitBreaker,
@@ -36,6 +45,10 @@ from repro.faults.resilient import (
 
 __all__ = [
     "ZERO_FAULTS",
+    "CRASH_CHANNELS",
+    "CrashInjector",
+    "CrashPlan",
+    "CrashPoint",
     "FaultPlan",
     "OutageWindow",
     "RetryPolicy",

@@ -1,0 +1,116 @@
+"""Deterministic kill-point injection for the serving layer.
+
+:class:`~repro.faults.plan.FaultPlan` models *environmental* failures
+(outages, lost claims, delays) that the matching engine survives in
+process.  A :class:`CrashPlan` models the failure the engine cannot
+survive: the gateway process itself dying.  It names exact boundaries in
+the durability pipeline —
+
+``journal_append``
+    fire *before* the Nth journal record is written (the record is lost;
+    the in-flight operation was applied in memory only and must be
+    retried after recovery);
+``journal_torn``
+    fire *mid-write* of the Nth record: half the frame reaches the file,
+    then the process dies — producing the torn tail that
+    :meth:`repro.service.journal.Journal.open` must truncate;
+``checkpoint``
+    fire before the Nth checkpoint is written (the previous checkpoint
+    must stay intact — this is what the atomic tmp+rename rotation is
+    for);
+``ack``
+    fire *after* the Nth operation was fully applied and journaled but
+    before its acknowledgement reaches the caller (the client retry is a
+    duplicate; request-ID dedup must absorb it).
+
+A plan is pure configuration; the mutable per-run cursor lives in
+:class:`CrashInjector` (mirroring the :class:`~repro.faults.plan.
+FaultPlan` / :class:`~repro.faults.injector.FaultInjector` split).  Kill
+points are exact indices, not rates: the crash-recovery property tests
+enumerate every boundary of a short trace, and the soak harness draws
+indices from a seeded stream — either way the run is a pure function of
+the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, InducedCrash
+
+__all__ = ["CRASH_CHANNELS", "CrashPoint", "CrashPlan", "CrashInjector"]
+
+#: The boundaries a kill point may name, in pipeline order.
+CRASH_CHANNELS = ("journal_append", "journal_torn", "checkpoint", "ack")
+
+
+@dataclass(frozen=True, slots=True)
+class CrashPoint:
+    """Die at the ``index``-th boundary (0-based) of ``channel``."""
+
+    channel: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.channel not in CRASH_CHANNELS:
+            raise ConfigurationError(
+                f"unknown crash channel {self.channel!r}; "
+                f"expected one of {CRASH_CHANNELS}"
+            )
+        if self.index < 0:
+            raise ConfigurationError(
+                f"crash index must be >= 0, got {self.index}"
+            )
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A declarative set of kill points (empty = never crash)."""
+
+    points: tuple[CrashPoint, ...] = ()
+
+    @classmethod
+    def at(cls, channel: str, index: int) -> "CrashPlan":
+        """A single-kill plan: die at boundary ``index`` of ``channel``."""
+        return cls(points=(CrashPoint(channel, index),))
+
+    @property
+    def is_zero(self) -> bool:
+        """True iff this plan never fires (pure pass-through)."""
+        return not self.points
+
+
+class CrashInjector:
+    """Counts boundaries and raises :class:`InducedCrash` at kill points.
+
+    One injector per gateway lifetime: recovery builds a fresh gateway,
+    so a restarted process naturally starts from boundary zero again —
+    matching how a real supervisor would restart a crashed binary.
+    """
+
+    def __init__(self, plan: CrashPlan | None):
+        self.plan = plan or CrashPlan()
+        self._points = {(p.channel, p.index) for p in self.plan.points}
+        self._counts: dict[str, int] = {}
+
+    @property
+    def active(self) -> bool:
+        """False iff no kill point can ever fire (callers may fast-path)."""
+        return bool(self._points)
+
+    def fires_next(self, channel: str) -> bool:
+        """Peek: would the next :meth:`fire` on ``channel`` raise?
+
+        Lets the journal stage a torn write (emit half a frame) before
+        the subsequent :meth:`fire` call kills the process.
+        """
+        return (channel, self._counts.get(channel, 0)) in self._points
+
+    def fire(self, channel: str) -> None:
+        """Count one boundary crossing; raise when a kill point matches."""
+        index = self._counts.get(channel, 0)
+        self._counts[channel] = index + 1
+        if (channel, index) in self._points:
+            raise InducedCrash(
+                f"induced crash at {channel} boundary #{index}"
+            )

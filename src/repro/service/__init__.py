@@ -15,8 +15,14 @@ at a time over a socket:
   byte-identical metrics to ``Simulator.run``.
 - :mod:`~repro.service.admission` — bounded ingress with load shedding.
 - :mod:`~repro.service.snapshot` — checkpoint/restore of matching state.
+- :mod:`~repro.service.journal` / :mod:`~repro.service.recovery` — the
+  ``COMWAL1`` write-ahead event journal and crash recovery (checkpoint +
+  suffix replay, byte-identical to the uninterrupted run).
+- :mod:`~repro.service.soak` — the chaos soak harness: paced load
+  through repeated induced crash→recover cycles, sanitizer on.
 
-See docs/SERVICE.md for the protocol and operational guidance.
+See docs/SERVICE.md for the protocol and operational guidance, and
+docs/RESILIENCE.md for the crash model.
 """
 
 from repro.service.admission import AdmissionController, AdmissionPolicy
@@ -36,26 +42,47 @@ from repro.service.server import (
     worker_from_wire,
     worker_to_wire,
 )
+from repro.service.journal import (
+    FSYNC_POLICIES,
+    JOURNAL_FORMAT,
+    Journal,
+    JournalConfig,
+    JournalRecord,
+    scan_journal,
+)
+from repro.service.recovery import RecoveryReport, recover_gateway
 from repro.service.snapshot import SNAPSHOT_FORMAT, read_snapshot, write_snapshot
+from repro.service.soak import SoakConfig, SoakReport, run_soak
 
 __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
     "DEFAULT_HOST",
+    "FSYNC_POLICIES",
     "GatewayClient",
+    "JOURNAL_FORMAT",
+    "Journal",
+    "JournalConfig",
+    "JournalRecord",
     "MatchingGateway",
     "MatchingServer",
     "RealTimeClock",
+    "RecoveryReport",
     "SNAPSHOT_FORMAT",
     "STATUS_DEFERRED",
     "STATUS_SHED",
     "ServiceClock",
     "ServiceOutcome",
+    "SoakConfig",
+    "SoakReport",
     "VirtualClock",
     "drive_trace",
     "read_snapshot",
+    "recover_gateway",
     "request_from_wire",
     "request_to_wire",
+    "run_soak",
+    "scan_journal",
     "worker_from_wire",
     "worker_to_wire",
     "write_snapshot",

@@ -5,6 +5,19 @@
 a lock (the protocol answers in submission order per connection), so one
 client instance is safe to share between tasks.
 
+Pass a :class:`~repro.faults.RetryPolicy` as ``reconnect`` and the
+client survives a server crash/restart transparently: a dropped
+connection, refused reconnect, or stalled call (``call_timeout_s`` per
+attempt) triggers exponential, seeded-jitter backoff and a fresh
+connection, and the call is re-sent.  Re-sending is safe against a
+*journaled* gateway — request/worker submissions are idempotent there
+(duplicate ids are answered from the durable outcome log, never
+re-applied); against an unjournaled gateway the retry of a ``request``
+or ``worker`` verb may double-apply, so only enable ``reconnect`` for
+deployments running with a write-ahead journal.  Backoff jitter comes
+from a :func:`~repro.utils.rng.derive_rng` stream, keeping retry
+schedules a pure function of ``(reconnect_seed, attempt)``.
+
 :func:`drive_trace` streams any :class:`~repro.core.events.EventStream`
 — synthetic scenarios from :mod:`repro.workloads` or traces loaded with
 :func:`repro.workloads.load_scenario` — into a server in event order and
@@ -21,30 +34,62 @@ import json
 from repro.core.entities import Request, Worker
 from repro.core.events import EventKind, EventStream
 from repro.errors import ServiceError
+from repro.faults.plan import RetryPolicy
 from repro.service.clock import ServiceClock
 from repro.service.gateway import ServiceOutcome
-from repro.service.server import request_to_wire, worker_to_wire
+from repro.service.wire import request_to_wire, worker_to_wire
+from repro.utils.rng import derive_rng
 
 __all__ = ["GatewayClient", "drive_trace"]
 
 
 class GatewayClient:
-    """One TCP connection to a :class:`MatchingServer`."""
+    """One TCP connection to a :class:`MatchingServer`.
 
-    def __init__(self, host: str, port: int):
+    With ``reconnect=None`` (the default) a transport failure surfaces
+    as a :class:`ServiceError` immediately — the pre-journal behaviour.
+    With a :class:`RetryPolicy` the client reconnects and retries per
+    the policy before giving up.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        reconnect: RetryPolicy | None = None,
+        reconnect_seed: int = 0,
+    ):
         self.host = host
         self.port = port
+        self.reconnect = reconnect
+        self._rng = derive_rng(reconnect_seed, "service.client.reconnect")
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._lock = asyncio.Lock()
+        #: Successful reconnections performed (observability for drills).
+        self.reconnects = 0
 
     async def connect(self) -> "GatewayClient":
         """Open the connection (idempotent); returns ``self``."""
         if self._writer is None:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port
-            )
+            await self._open()
         return self
+
+    async def _open(self) -> None:
+        connector = asyncio.open_connection(self.host, self.port)
+        if self.reconnect is not None:
+            self._reader, self._writer = await asyncio.wait_for(
+                connector, self.reconnect.call_timeout_s
+            )
+        else:
+            self._reader, self._writer = await connector
+
+    def _drop(self) -> None:
+        """Forget a (possibly poisoned) connection without waiting."""
+        if self._writer is not None:
+            self._writer.close()
+        self._reader = None
+        self._writer = None
 
     async def close(self) -> None:
         """Close the connection."""
@@ -63,24 +108,64 @@ class GatewayClient:
     async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
 
+    async def _roundtrip(self, data: bytes, verb: str) -> dict:
+        """One send + one response line on the current connection."""
+        if self._writer is None or self._reader is None:
+            raise ServiceError("client not connected; call connect() first")
+        self._writer.write(data)
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionResetError(
+                f"server closed the connection during {verb!r}"
+            )
+        return json.loads(line)
+
+    async def _call_with_reconnect(self, data: bytes, verb: str) -> dict:
+        policy = self.reconnect
+        assert policy is not None
+        last_error: Exception | None = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                # Jittered exponential backoff from a derived stream: the
+                # schedule is reproducible, the thundering herd is not.
+                await asyncio.sleep(policy.backoff_for(attempt - 1, self._rng))
+            try:
+                if self._writer is None:
+                    await self._open()
+                    if attempt:
+                        self.reconnects += 1
+                return await asyncio.wait_for(
+                    self._roundtrip(data, verb), policy.call_timeout_s
+                )
+            except (OSError, asyncio.TimeoutError) as error:
+                # Connection refused / reset / EOF / stalled call: the
+                # connection is unusable (a late response would desync
+                # the request/response pairing) — drop it and retry.
+                last_error = error
+                self._drop()
+        raise ServiceError(
+            f"{verb!r} failed after {policy.max_attempts} attempts "
+            f"(reconnect exhausted)"
+        ) from last_error
+
     async def call(self, verb: str, **fields: object) -> dict:
         """Send one ``{"verb": ...}`` line and await its response line.
 
         Raises :class:`ServiceError` when the server answers
-        ``"ok": false`` or hangs up mid-call.
+        ``"ok": false``, or when the transport fails (after exhausting
+        the ``reconnect`` policy, if one is configured).
         """
-        if self._writer is None or self._reader is None:
-            raise ServiceError("client not connected; call connect() first")
         payload = {"verb": verb, **fields}
+        data = json.dumps(payload, sort_keys=True).encode() + b"\n"
         async with self._lock:
-            self._writer.write(
-                json.dumps(payload, sort_keys=True).encode() + b"\n"
-            )
-            await self._writer.drain()
-            line = await self._reader.readline()
-        if not line:
-            raise ServiceError(f"server closed the connection during {verb!r}")
-        response = json.loads(line)
+            if self.reconnect is not None:
+                response = await self._call_with_reconnect(data, verb)
+            else:
+                try:
+                    response = await self._roundtrip(data, verb)
+                except ConnectionResetError as error:
+                    raise ServiceError(str(error)) from error
         if not response.get("ok"):
             raise ServiceError(
                 f"{verb} failed: {response.get('error', 'unknown error')}"

@@ -21,8 +21,20 @@ Layers around the session:
   counts and end-to-end latency flow into a :class:`repro.obs.
   MetricsRegistry`, surfaced via :meth:`stats` (the ``stats`` protocol
   verb);
-* **snapshots** (:mod:`repro.service.snapshot`) — the full matching state
-  checkpoints between decisions for graceful shutdown / crash recovery.
+* **durability** (:mod:`repro.service.journal` /
+  :mod:`repro.service.snapshot`) — with a :class:`~repro.service.journal.
+  JournalConfig`, every accepted operation is appended to the ``COMWAL1``
+  write-ahead journal *before its acknowledgement leaves the process*,
+  periodic ``COMSNAP1`` checkpoints rotate atomically, duplicate
+  submissions (client retries after a crash) are answered from the
+  outcome log instead of re-entering the engine, and
+  :func:`~repro.service.recovery.recover_gateway` rebuilds the exact
+  pre-crash state;
+* **kill points** (:mod:`repro.faults.crash`) — a :class:`~repro.faults.
+  CrashPlan` dies deterministically at journal/checkpoint/ack boundaries;
+  the gateway fail-stops (the decision loop terminates, pending callers
+  see the failure, :attr:`on_crash` fires so transports can drop
+  connections like a killed process would).
 
 The gateway is asyncio-native and transport-agnostic; the JSONL-over-TCP
 server in :mod:`repro.service.server` is one transport over it.
@@ -31,6 +43,7 @@ server in :mod:`repro.service.server` is one transport over it.
 from __future__ import annotations
 
 import asyncio
+from collections.abc import Callable
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -45,10 +58,13 @@ from repro.core.simulator import (
     SimulatorConfig,
 )
 from repro.errors import ConfigurationError, ServiceError
+from repro.faults.crash import CrashInjector, CrashPlan
 from repro.obs import MetricsRegistry
 from repro.service.admission import AdmissionController, AdmissionPolicy
 from repro.service.clock import ServiceClock, VirtualClock
+from repro.service.journal import JOURNAL_FORMAT, Journal, JournalConfig
 from repro.service.snapshot import read_snapshot, write_snapshot
+from repro.service.wire import request_to_wire, worker_to_wire
 from repro.utils.timer import Stopwatch
 
 __all__ = ["ServiceOutcome", "MatchingGateway"]
@@ -56,6 +72,14 @@ __all__ = ["ServiceOutcome", "MatchingGateway"]
 #: Outcome statuses beyond the engine's decision kinds.
 STATUS_DEFERRED = "deferred"
 STATUS_SHED = "shed"
+
+#: Job kinds whose acknowledgement waits on a journal commit.
+_JOURNALED_KINDS = frozenset(("worker", "request", "shed"))
+
+#: Group-commit cap: release acks at least every this many journaled jobs
+#: even while the queue stays non-empty, bounding both ack latency under
+#: sustained load and the batch a single ``interval`` fsync covers.
+_GROUP_COMMIT_MAX = 64
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,6 +111,21 @@ class ServiceOutcome:
             "latency_ms": self.latency_ms,
         }
 
+    def matches(self, other: "ServiceOutcome") -> bool:
+        """Same decision, ignoring the measured service latency.
+
+        Recovery verifies each replayed decision against its journaled
+        outcome with this — latency is a wall-clock observation, not
+        matching state, and legitimately differs between the original
+        run and its replay.
+        """
+        return (
+            self.request_id == other.request_id
+            and self.status == other.status
+            and self.worker_id == other.worker_id
+            and self.payment == other.payment
+        )
+
     @classmethod
     def from_dict(cls, payload: dict) -> "ServiceOutcome":
         """Rebuild from :meth:`as_dict` output."""
@@ -97,6 +136,11 @@ class ServiceOutcome:
             payment=payload.get("payment", 0.0),
             latency_ms=payload.get("latency_ms", 0.0),
         )
+
+
+def _retrieve_exception(task: asyncio.Task) -> None:
+    if not task.cancelled():
+        task.exception()
 
 
 def _outcome_from_decision(request: Request, decision: Decision) -> ServiceOutcome:
@@ -121,6 +165,8 @@ class MatchingGateway:
         clock: ServiceClock | None = None,
         admission: AdmissionPolicy | None = None,
         session: SimulationSession | None = None,
+        journal: JournalConfig | str | Path | None = None,
+        crash_plan: CrashPlan | None = None,
     ):
         if session is None:
             if scenario is None:
@@ -142,7 +188,21 @@ class MatchingGateway:
         self._loop_task: asyncio.Task | None = None
         self._request_index: dict[str, Request] | None = None
         self._worker_index: dict[str, Worker] | None = None
+        self._crash = CrashInjector(crash_plan)
+        #: Set to the fatal error when the gateway fail-stops.
+        self.crash_error: BaseException | None = None
+        #: Called once (with the fatal error) when the gateway fail-stops;
+        #: transports use it to drop connections like a killed process.
+        self.on_crash: Callable[[BaseException], None] | None = None
+        self.journal_config: JournalConfig | None = None
+        self._journal: Journal | None = None
+        self._journaled_workers: set[str] = set()
+        self._last_checkpoint_seq = 0
         session.on_resolution = self._record_resolution
+        if journal is not None:
+            if not isinstance(journal, JournalConfig):
+                journal = JournalConfig(directory=journal)
+            self._bootstrap_journal(journal)
 
     @classmethod
     def from_snapshot(
@@ -152,13 +212,112 @@ class MatchingGateway:
         admission: AdmissionPolicy | None = None,
     ) -> "MatchingGateway":
         """Rebuild a gateway from a :meth:`snapshot` checkpoint."""
-        session, outcomes = read_snapshot(path)
+        session, outcomes, _meta = read_snapshot(path)
         gateway = cls(session=session, clock=clock, admission=admission)
         gateway._outcomes = {
             request_id: ServiceOutcome.from_dict(payload)
             for request_id, payload in outcomes.items()
         }
         return gateway
+
+    # -- durability ----------------------------------------------------------
+
+    def _bootstrap_journal(self, config: JournalConfig) -> None:
+        """Start a fresh journal: birth record + the anchoring checkpoint.
+
+        The initial checkpoint makes recovery unconditional — every
+        journal is paired with at least one ``COMSNAP1`` snapshot, so
+        :func:`~repro.service.recovery.recover_gateway` never needs the
+        original constructor arguments.
+        """
+        self.journal_config = config
+        self._journal = Journal.create(
+            config.journal_path,
+            fsync=config.fsync,
+            fsync_interval=config.fsync_interval,
+            crash=self._crash if self._crash.active else None,
+        )
+        self._journal.append(
+            "meta",
+            format=JOURNAL_FORMAT,
+            algorithm=self._session.algorithm_name,
+            scenario=self.scenario.name,
+            fsync=config.fsync,
+        )
+        self._write_checkpoint()
+
+    def _attach_journal(
+        self,
+        config: JournalConfig,
+        journal: Journal,
+        journaled_workers: set[str],
+        last_checkpoint_seq: int,
+    ) -> None:
+        """Adopt a recovered journal (used by :mod:`repro.service.recovery`)."""
+        self.journal_config = config
+        self._journal = journal
+        self._journaled_workers = set(journaled_workers)
+        self._last_checkpoint_seq = last_checkpoint_seq
+
+    def _write_checkpoint(self) -> None:
+        """Rotate the ``COMSNAP1`` checkpoint and mark it in the journal.
+
+        The journal is committed first: the snapshot's ``journal_seq``
+        asserts that every earlier record is durable, which buffered
+        (group-commit) appends would otherwise violate.
+        """
+        assert self._journal is not None and self.journal_config is not None
+        self._journal.commit()
+        if self._crash.active:
+            self._crash.fire("checkpoint")
+        journal_seq = self._journal.next_seq
+        write_snapshot(
+            self._session,
+            self._outcome_log(),
+            self.journal_config.checkpoint_path,
+            meta={"journal_seq": journal_seq, "journal_format": JOURNAL_FORMAT},
+        )
+        self._journal.append("checkpoint", journal_seq=journal_seq)
+        self._journal.commit()
+        self._last_checkpoint_seq = journal_seq
+        self.registry.counter("service_checkpoints_total").inc()
+
+    def _maybe_checkpoint(self) -> None:
+        assert self._journal is not None and self.journal_config is not None
+        cadence = self.journal_config.checkpoint_every
+        if cadence > 0 and (
+            self._journal.next_seq - self._last_checkpoint_seq >= cadence
+        ):
+            self._write_checkpoint()
+
+    def _outcome_log(self) -> dict[str, dict]:
+        return {
+            request_id: outcome.as_dict()
+            for request_id, outcome in self._outcomes.items()
+        }
+
+    def _notify_crash(self, error: BaseException) -> None:
+        """Fail-stop: record the fatal error and tear transports down.
+
+        Idempotent.  The journal file is left as the crash left it (a
+        torn tail stays torn for recovery to truncate; closing may flush
+        records whose acks never went out, which is fine — the journal
+        is allowed to run ahead of acknowledgements, never behind) —
+        only the descriptor is released so recovery can reopen the file.
+        """
+        if self.crash_error is not None:
+            return
+        self.crash_error = error
+        if self._journal is not None:
+            self._journal.close()
+        if self._loop_task is not None:
+            if not self._loop_task.done():
+                self._loop_task.cancel()
+            # The loop dies re-raising the fatal error; the caller already
+            # received it through its future, so mark it retrieved.
+            self._loop_task.add_done_callback(_retrieve_exception)
+        if self.on_crash is not None:
+            self.on_crash(error)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -184,11 +343,15 @@ class MatchingGateway:
             await self._queue.put(("stop", None, self._new_future()))
         await asyncio.gather(self._loop_task, return_exceptions=True)
         self._loop_task = None
+        if self._journal is not None:
+            self._journal.close()
 
     def _new_future(self) -> asyncio.Future:
         return asyncio.get_running_loop().create_future()
 
     def _ensure_running(self) -> None:
+        if self.crash_error is not None:
+            raise ServiceError("gateway crashed") from self.crash_error
         if self._loop_task is None:
             raise ServiceError("gateway not started; call start() first")
         if self._loop_task.done():
@@ -201,29 +364,87 @@ class MatchingGateway:
 
     async def _decision_loop(self) -> None:
         assert self._queue is not None
+        # Journaled jobs whose acks await the next group commit.
+        pending_acks: list[tuple[asyncio.Future, object]] = []
         try:
             while True:
                 kind, payload, future = await self._queue.get()
-                if kind == "stop":
-                    if not future.done():
-                        future.set_result(None)
-                    return
                 try:
+                    if kind == "stop":
+                        self._release_acks(pending_acks)
+                        if not future.done():
+                            future.set_result(None)
+                        return
+                    if pending_acks and kind not in _JOURNALED_KINDS:
+                        # Control jobs (finalize / snapshot) must not
+                        # overtake queued acknowledgements.
+                        self._release_acks(pending_acks)
                     result = self._process(kind, payload)
-                except Exception as error:
+                    if self._journal is not None and kind in _JOURNALED_KINDS:
+                        # Group commit: the ack waits until the journal
+                        # flush that covers this batch.  A serialized
+                        # caller (queue empty after every job) degrades to
+                        # batch size one — commit-per-record, as before.
+                        pending_acks.append((future, result))
+                        if (
+                            self._queue.empty()
+                            or len(pending_acks) >= _GROUP_COMMIT_MAX
+                        ):
+                            self._release_acks(pending_acks)
+                            self._maybe_checkpoint()
+                    elif not future.done():
+                        future.set_result(result)
+                except BaseException as error:
                     # Fail-stop: the caller sees the error through its
                     # future and the loop dies with the same exception, so
                     # a broken engine cannot silently keep answering.
                     if not future.done():
                         future.set_exception(error)
+                    self._fail_acks(pending_acks, error)
+                    self._notify_crash(error)
                     raise
-                if not future.done():
-                    future.set_result(result)
                 self.registry.gauge("service_queue_depth").set(
                     self._queue.qsize()
                 )
         finally:
+            self._fail_acks(
+                pending_acks,
+                self.crash_error or ServiceError("gateway stopped"),
+            )
             self._abort_pending()
+
+    def _release_acks(
+        self, pending_acks: list[tuple[asyncio.Future, object]]
+    ) -> None:
+        """Commit the journal once, then release the batch's acks in order.
+
+        The ``ack`` kill point fires once per journaled job, after the
+        covering commit and before that job's future resolves — a crash
+        mid-batch leaves the suffix journaled-but-unacknowledged, which
+        recovery replays and dedup absorbs on retry.
+        """
+        if not pending_acks:
+            return
+        assert self._journal is not None
+        self._journal.commit()
+        crash_active = self._crash.active
+        for future, result in pending_acks:
+            if crash_active:
+                self._crash.fire("ack")
+            if not future.done():
+                future.set_result(result)
+        pending_acks.clear()
+
+    @staticmethod
+    def _fail_acks(
+        pending_acks: list[tuple[asyncio.Future, object]],
+        error: BaseException,
+    ) -> None:
+        """Fail every unreleased ack (their operations never completed)."""
+        for future, __ in pending_acks:
+            if not future.done():
+                future.set_exception(error)
+        pending_acks.clear()
 
     def _abort_pending(self) -> None:
         """Fail any jobs still queued when the loop exits."""
@@ -238,6 +459,21 @@ class MatchingGateway:
         if kind == "worker":
             assert isinstance(payload, Worker)
             self._session.submit_worker(payload)
+            if self._journal is not None:
+                # Encoding sits on the ack critical path: an arrival that
+                # IS the scenario's canonical entity (the interning path)
+                # journals as a bare ref — the checkpoint already holds
+                # the scenario, so the id alone reproduces it on replay.
+                if (
+                    self._worker_index is not None
+                    and self._worker_index.get(payload.worker_id) is payload
+                ):
+                    self._journal.append_worker_ref(payload.worker_id)
+                else:
+                    self._journal.append(
+                        "worker", worker=worker_to_wire(payload)
+                    )
+                self._journaled_workers.add(payload.worker_id)
             return None
         if kind == "request":
             assert isinstance(payload, Request)
@@ -247,18 +483,53 @@ class MatchingGateway:
             self.registry.counter("service_decisions_total").inc(
                 platform=payload.platform_id, status=outcome.status
             )
+            if self._journal is not None:
+                if (
+                    self._request_index is not None
+                    and self._request_index.get(payload.request_id) is payload
+                ):
+                    self._journal.append_request_ref(
+                        payload.request_id,
+                        outcome.status,
+                        outcome.worker_id,
+                        outcome.payment,
+                    )
+                else:
+                    self._journal.append(
+                        "request",
+                        request=request_to_wire(payload),
+                        outcome={
+                            "status": outcome.status,
+                            "worker_id": outcome.worker_id,
+                            "payment": outcome.payment,
+                        },
+                    )
             return outcome
+        if kind == "shed":
+            assert isinstance(payload, ServiceOutcome)
+            if self._journal is not None:
+                self._journal.append(
+                    "shed",
+                    request_id=payload.request_id,
+                    outcome=payload.as_dict(),
+                )
+            return payload
         if kind == "finalize":
             self.result = self._session.finalize()
             return self.result
         if kind == "snapshot":
+            meta = None
+            if self._journal is not None:
+                self._journal.commit()
+                meta = {
+                    "journal_seq": self._journal.next_seq,
+                    "journal_format": JOURNAL_FORMAT,
+                }
             return write_snapshot(
                 self._session,
-                {
-                    request_id: outcome.as_dict()
-                    for request_id, outcome in self._outcomes.items()
-                },
+                self._outcome_log(),
                 Path(str(payload)),
+                meta=meta,
             )
         raise ServiceError(f"unknown gateway job kind {kind!r}")
 
@@ -269,6 +540,12 @@ class MatchingGateway:
         self.registry.counter("service_decisions_total").inc(
             platform=request.platform_id, status=f"flushed_{outcome.status}"
         )
+        if self._journal is not None:
+            # Runs inside _process (flushes happen while an arrival is
+            # being applied), so the resolution lands in the journal just
+            # before the arrival that triggered it — replay regenerates
+            # it at exactly that point.
+            self._journal.append("resolution", outcome=outcome.as_dict())
 
     # -- replay interning ----------------------------------------------------
     # A submitted entity that matches its canonical object in the gateway's
@@ -301,9 +578,19 @@ class MatchingGateway:
     # -- the service surface -------------------------------------------------
 
     async def submit_worker(self, worker: Worker) -> None:
-        """Deliver one worker arrival (never shed — workers add capacity)."""
+        """Deliver one worker arrival (never shed — workers add capacity).
+
+        With journaling enabled, re-submitting an already-journaled
+        worker id (a client retry after a crash) is an acknowledged
+        no-op — the arrival was durably applied the first time.
+        """
         self._ensure_running()
         assert self._queue is not None
+        if self._journal is not None and worker.worker_id in self._journaled_workers:
+            self.registry.counter("service_dedup_total").inc(
+                platform=worker.platform_id, entity="worker"
+            )
+            return
         worker = self._canonical_worker(worker)
         self.registry.counter("service_workers_total").inc(
             platform=worker.platform_id
@@ -317,9 +604,23 @@ class MatchingGateway:
 
         End-to-end latency (admission to answer) is recorded in the
         ``service_latency_seconds`` histogram and on the returned outcome.
+
+        With journaling enabled, a request id that already has a durable
+        non-``shed`` outcome (a client retry after a crash) is answered
+        from the outcome log without re-entering the engine — retries
+        never double-apply.  A previously *shed* request is not deduped:
+        shedding means it never entered the engine, so a retry is a
+        legitimate new attempt.
         """
         self._ensure_running()
         assert self._queue is not None
+        if self._journal is not None:
+            recorded = self._outcomes.get(request.request_id)
+            if recorded is not None and recorded.status != STATUS_SHED:
+                self.registry.counter("service_dedup_total").inc(
+                    platform=request.platform_id, entity="request"
+                )
+                return recorded
         request = self._canonical_request(request)
         watch = Stopwatch().start()
         if not self.admission.admit(self._queue.qsize()):
@@ -333,6 +634,13 @@ class MatchingGateway:
                 request.request_id, STATUS_SHED, latency_ms=watch.stop() * 1e3
             )
             self._outcomes[request.request_id] = outcome
+            if self._journal is not None:
+                # Durably record the shed answer (on the decision loop, so
+                # the append serializes with decision records) before the
+                # caller sees it.
+                future = self._new_future()
+                await self._queue.put(("shed", outcome, future))
+                await future
             return outcome
         future = self._new_future()
         await self._queue.put(("request", request, future))
@@ -398,11 +706,22 @@ class MatchingGateway:
         pooled_count = sum(
             series.count for series in latency.series().values()
         )
+        journal: dict | None = None
+        if self.journal_config is not None:
+            journal = {
+                "path": str(self.journal_config.journal_path),
+                "fsync": self.journal_config.fsync,
+                "records": (
+                    self._journal.next_seq if self._journal is not None else 0
+                ),
+                "last_checkpoint_seq": self._last_checkpoint_seq,
+            }
         return {
             "algorithm": self._session.algorithm_name,
             "scenario": self.scenario.name,
             "platforms": list(self.scenario.platform_ids),
             "running": self.running,
+            "crashed": self.crash_error is not None,
             "drained": self.result is not None,
             "pending": self._queue.qsize() if self._queue is not None else 0,
             "decided": pooled_count,
@@ -414,5 +733,6 @@ class MatchingGateway:
                 "shed": self.admission.shed,
                 "shed_rate": self.admission.shed_rate,
             },
+            "journal": journal,
             "metrics": self.registry.snapshot().as_dict(),
         }

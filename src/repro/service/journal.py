@@ -1,0 +1,456 @@
+"""The write-ahead event journal (``COMWAL1``) behind the gateway.
+
+A snapshot alone makes recovery *coarse*: every decision since the last
+checkpoint dies with the process.  The journal closes that window — the
+gateway appends one durable record per accepted operation **before the
+acknowledgement leaves the process**, so the set of acknowledged
+decisions is always a prefix of the journal, and crash recovery (latest
+checkpoint + journal suffix replayed through the deterministic engine)
+reproduces the pre-crash state byte-for-byte.
+
+File layout
+-----------
+
+An 8-byte header (``COMWAL1\\n``) followed by length-prefixed,
+CRC32-framed records::
+
+    +----------+----------+------------------+
+    | len: u32 | crc: u32 | payload (len B)  |   big-endian, CRC of payload
+    +----------+----------+------------------+
+
+A payload is one compact JSON object — ``seq`` and ``kind`` first, then
+kind-specific fields in deterministic insertion order (the writer never
+sorts keys: encoding sits on the acknowledgement critical path, and
+insertion order is already a pure function of the record) — carrying a
+contiguous ``seq`` number, a ``kind`` and kind-specific fields:
+
+``meta``
+    journal birth certificate: algorithm, scenario name, journal format;
+``worker`` / ``request``
+    one accepted arrival — either the full entity in wire-dict shape or,
+    when the arrival is the scenario's own canonical entity (replay
+    interning), just a ``ref`` carrying its id (the checkpoint already
+    holds the scenario, and the slim record keeps the ack critical path
+    cheap); requests also carry the decided outcome (status, worker,
+    payment), which recovery verifies replayed decisions against;
+``resolution``
+    a deferred request resolved asynchronously on a batch flush (replay
+    regenerates these — the record exists so the outcome log survives a
+    crash without replay);
+``shed``
+    a request refused by admission control (never entered the engine, so
+    replay must *not* re-submit it);
+``checkpoint``
+    a ``COMSNAP1`` checkpoint landed; records before it are covered by
+    the snapshot and recovery replays only the suffix.
+
+Durability knobs
+----------------
+
+Appends are buffered and made durable by :meth:`Journal.commit` — the
+gateway **group-commits**, flushing once per decision batch before any
+of the batch's acknowledgements leave the process, so the per-record
+cost on the ack critical path is encoding alone.  The ``fsync`` policy
+decides what a commit does beyond flushing to the OS: ``"always"``
+fsyncs every commit (no acknowledged decision can be lost even to an OS
+crash), ``"interval"`` fsyncs once at least ``fsync_interval`` records
+have accumulated since the last sync (bounded loss window on OS crash;
+nothing acknowledged is lost on process crash — the common case —
+because acks are only released after the flush), ``"never"`` leaves
+syncing to the OS.  The threshold counts records, not wall seconds, so
+the sync schedule is a function of the trace and its batching, never of
+the clock.
+
+Torn tails
+----------
+
+A crash mid-append leaves a partial frame at the tail.  :meth:`Journal.
+open` scans the file, keeps the longest valid prefix, reports and
+truncates the torn bytes, and positions appends after the last good
+record.  Anything *before* the tail that fails its CRC is real
+corruption and raises :class:`~repro.errors.JournalError` — only the
+final frame of a file may legitimately be incomplete.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError, JournalError
+from repro.faults.crash import CrashInjector
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "JOURNAL_MAGIC",
+    "FSYNC_POLICIES",
+    "JournalConfig",
+    "JournalRecord",
+    "Journal",
+    "scan_journal",
+]
+
+#: Bump when the record schema changes.
+JOURNAL_FORMAT = 1
+
+JOURNAL_MAGIC = b"COMWAL1\n"
+
+#: Accepted ``JournalConfig.fsync`` values.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_FRAME = struct.Struct(">II")
+
+
+def _plain(text: str) -> bool:
+    """True when ``text`` embeds in a JSON string without any escaping."""
+    return (
+        text.isascii()
+        and text.isprintable()
+        and '"' not in text
+        and "\\" not in text
+    )
+
+
+
+
+@dataclass(frozen=True)
+class JournalConfig:
+    """Durability configuration for a journaled gateway.
+
+    Attributes
+    ----------
+    directory:
+        Where the journal (``events.walog``) and its rotating checkpoint
+        (``checkpoint.snap``) live.
+    fsync / fsync_interval:
+        The fsync policy (see module docstring).  ``interval`` counts
+        records, so the sync schedule is deterministic.
+    checkpoint_every:
+        Write a ``COMSNAP1`` checkpoint every this many journal records
+        (0 disables periodic checkpoints; the initial checkpoint that
+        anchors recovery is always written).  Checkpoints bound recovery
+        *replay time*, not data loss — the journal alone bounds loss —
+        and each one pickles the full session on the decision path, so
+        the default cadence is deliberately coarse: replaying a few
+        thousand records takes well under a second at engine speed,
+        while checkpointing every few hundred would dominate serving
+        cost.
+    """
+
+    directory: str | Path
+    fsync: str = "interval"
+    fsync_interval: int = 256
+    checkpoint_every: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, "
+                f"got {self.fsync!r}"
+            )
+        if self.fsync_interval < 1:
+            raise ConfigurationError(
+                f"fsync_interval must be >= 1, got {self.fsync_interval}"
+            )
+        if self.checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+
+    @property
+    def journal_path(self) -> Path:
+        return Path(self.directory) / "events.walog"
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return Path(self.directory) / "checkpoint.snap"
+
+
+@dataclass(frozen=True, slots=True)
+class JournalRecord:
+    """One decoded journal record."""
+
+    seq: int
+    kind: str
+    fields: dict
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JournalRecord":
+        fields = dict(payload)
+        try:
+            seq = fields.pop("seq")
+            kind = fields.pop("kind")
+        except KeyError as error:
+            raise JournalError(
+                f"journal record missing field {error}"
+            ) from error
+        return cls(seq=int(seq), kind=str(kind), fields=fields)
+
+
+@dataclass(frozen=True, slots=True)
+class _Scan:
+    """Result of walking a journal file."""
+
+    records: list[JournalRecord]
+    valid_bytes: int
+    torn_bytes: int
+
+
+def _scan_blob(blob: bytes, path: Path) -> _Scan:
+    if not blob.startswith(JOURNAL_MAGIC):
+        raise JournalError(f"{path}: not a COMWAL1 journal")
+    records: list[JournalRecord] = []
+    offset = len(JOURNAL_MAGIC)
+    end = len(blob)
+    while offset < end:
+        start = offset
+        if end - offset < _FRAME.size:
+            break  # torn tail: partial frame header
+        length, checksum = _FRAME.unpack_from(blob, offset)
+        offset += _FRAME.size
+        if end - offset < length:
+            offset = start
+            break  # torn tail: partial payload
+        payload = blob[offset:offset + length]
+        offset += length
+        if zlib.crc32(payload) != checksum:
+            if offset >= end:
+                offset = start
+                break  # torn tail: last frame half-written then overwritten
+            raise JournalError(
+                f"{path}: record at byte {start} failed its CRC32 with "
+                f"{end - offset} intact bytes after it — mid-file "
+                f"corruption, not a torn tail"
+            )
+        try:
+            decoded = json.loads(payload)
+        except json.JSONDecodeError as error:
+            raise JournalError(
+                f"{path}: record at byte {start} is not JSON"
+            ) from error
+        record = JournalRecord.from_payload(decoded)
+        if record.seq != len(records):
+            raise JournalError(
+                f"{path}: record at byte {start} has seq {record.seq}, "
+                f"expected {len(records)} (journal is not contiguous)"
+            )
+        records.append(record)
+    return _Scan(records=records, valid_bytes=offset, torn_bytes=end - offset)
+
+
+def scan_journal(path: str | Path) -> list[JournalRecord]:
+    """Read every intact record of a journal (read-only; tolerates a torn
+    tail without modifying the file)."""
+    path = Path(path)
+    return _scan_blob(path.read_bytes(), path).records
+
+
+class Journal:
+    """An append-only ``COMWAL1`` event log.
+
+    Create fresh with :meth:`create`, or re-open an existing file with
+    :meth:`open` (which performs torn-tail truncation and returns the
+    surviving records for replay).  ``crash`` wires a deterministic
+    :class:`~repro.faults.CrashInjector` into the append path for the
+    recovery drills — ``None`` (the default) appends unconditionally.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        file,
+        next_seq: int,
+        fsync: str,
+        fsync_interval: int,
+        crash: CrashInjector | None = None,
+    ):
+        self.path = path
+        self._file = file
+        self._next_seq = next_seq
+        self._fsync = fsync
+        self._fsync_interval = fsync_interval
+        self._since_sync = 0
+        #: Frames appended since the last commit; written in one OS call.
+        self._buffer = bytearray()
+        self._crash = crash
+        self.torn_bytes_dropped = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        fsync: str = "interval",
+        fsync_interval: int = 256,
+        crash: CrashInjector | None = None,
+    ) -> "Journal":
+        """Start a brand-new journal; refuses to clobber an existing one."""
+        path = Path(path)
+        if path.exists():
+            raise JournalError(
+                f"{path}: journal already exists — recover from it (or "
+                f"remove it) instead of overwriting"
+            )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        file = path.open("wb")
+        file.write(JOURNAL_MAGIC)
+        file.flush()
+        return cls(path, file, 0, fsync, fsync_interval, crash)
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        fsync: str = "interval",
+        fsync_interval: int = 256,
+        crash: CrashInjector | None = None,
+    ) -> tuple["Journal", list[JournalRecord]]:
+        """Re-open after a crash: truncate any torn tail, return records.
+
+        The returned journal appends after the last intact record; the
+        returned list is everything that survived, for recovery replay.
+        """
+        path = Path(path)
+        scan = _scan_blob(path.read_bytes(), path)
+        file = path.open("r+b")
+        if scan.torn_bytes:
+            file.truncate(scan.valid_bytes)
+        file.seek(scan.valid_bytes)
+        journal = cls(path, file, len(scan.records), fsync, fsync_interval, crash)
+        journal.torn_bytes_dropped = scan.torn_bytes
+        return journal, scan.records
+
+    # -- appending -----------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next append will carry."""
+        return self._next_seq
+
+    def append(self, kind: str, **fields: object) -> int:
+        """Frame and buffer one record; returns its sequence number.
+
+        The record is *not* durable until :meth:`commit` flushes the
+        buffer.  Callers must commit before acknowledging anything the
+        record covers — the gateway group-commits, so one flush (and one
+        policy fsync) covers every record of a decision batch.
+        """
+        if self._file.closed:
+            raise JournalError(f"{self.path}: journal is closed")
+        payload = {"seq": self._next_seq, "kind": kind, **fields}
+        encoded = json.dumps(payload, separators=(",", ":")).encode()
+        return self._append_encoded(encoded)
+
+    def append_worker_ref(self, ref: str) -> int:
+        """Hot-path append of a worker ref record.
+
+        Produces the same JSON :meth:`append` would (pinned by the
+        round-trip tests) without the generic encoder — ref records are
+        the bulk of a replayed trace's journal and sit on the
+        acknowledgement critical path, where ``json.dumps`` and kwargs
+        packing are ~5x the cost of an f-string.  An id that would need
+        JSON escaping falls back to the generic path.
+        """
+        if not _plain(ref):
+            return self.append("worker", ref=ref)
+        if self._file.closed:
+            raise JournalError(f"{self.path}: journal is closed")
+        return self._append_encoded(
+            f'{{"seq":{self._next_seq},"kind":"worker","ref":"{ref}"}}'.encode()
+        )
+
+    def append_request_ref(
+        self,
+        ref: str,
+        status: str,
+        worker_id: str | None,
+        payment: float,
+    ) -> int:
+        """Hot-path append of a request ref record (see
+        :meth:`append_worker_ref`)."""
+        if (
+            not _plain(ref)
+            or not _plain(status)
+            or not (worker_id is None or _plain(worker_id))
+            or not isinstance(payment, float)
+            or not math.isfinite(payment)
+        ):
+            return self.append(
+                "request",
+                ref=ref,
+                outcome={
+                    "status": status,
+                    "worker_id": worker_id,
+                    "payment": payment,
+                },
+            )
+        if self._file.closed:
+            raise JournalError(f"{self.path}: journal is closed")
+        encoded_worker = "null" if worker_id is None else f'"{worker_id}"'
+        return self._append_encoded(
+            (
+                f'{{"seq":{self._next_seq},"kind":"request","ref":"{ref}",'
+                f'"outcome":{{"status":"{status}",'
+                f'"worker_id":{encoded_worker},"payment":{payment!r}}}}}'
+            ).encode()
+        )
+
+    def _append_encoded(self, encoded: bytes) -> int:
+        frame = _FRAME.pack(len(encoded), zlib.crc32(encoded)) + encoded
+        if self._crash is not None and self._crash.active:
+            # Kill points, in pipeline order: die with the record unwritten,
+            # or die mid-write leaving the torn tail recovery must absorb.
+            self._crash.fire("journal_append")
+            if self._crash.fires_next("journal_torn"):
+                self._file.write(self._buffer)
+                self._file.write(frame[: max(1, len(frame) // 2)])
+                self._file.flush()
+                self._buffer.clear()
+            self._crash.fire("journal_torn")
+        self._buffer += frame
+        seq = self._next_seq
+        self._next_seq += 1
+        self._since_sync += 1
+        return seq
+
+    def commit(self) -> None:
+        """Write buffered records to the OS in one call; fsync per policy.
+
+        Once this returns, every appended record survives a process
+        crash (and, under the ``always`` policy — or when the
+        ``interval`` threshold was crossed — an OS crash too).  No-op
+        when nothing was appended since the last commit.
+        """
+        if not self._buffer:
+            return
+        if self._file.closed:
+            raise JournalError(f"{self.path}: journal is closed")
+        self._file.write(self._buffer)
+        self._file.flush()
+        self._buffer.clear()
+        if self._fsync == "always" or (
+            self._fsync == "interval"
+            and self._since_sync >= self._fsync_interval
+        ):
+            self.sync()
+
+    def sync(self) -> None:
+        """fdatasync the journal file (no-op when closed)."""
+        if not self._file.closed:
+            os.fdatasync(self._file.fileno())
+        self._since_sync = 0
+
+    def close(self) -> None:
+        """Flush and close; further appends raise :class:`JournalError`."""
+        if not self._file.closed:
+            if self._buffer:
+                self._file.write(self._buffer)
+                self._buffer.clear()
+            self._file.flush()
+            self._file.close()

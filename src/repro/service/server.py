@@ -43,10 +43,17 @@ from __future__ import annotations
 import asyncio
 import json
 
-from repro.core.entities import Request, Worker
-from repro.errors import ReproError, ServiceError
-from repro.geo.point import Point
+from repro.errors import InducedCrash, ReproError, ServiceError
 from repro.service.gateway import MatchingGateway
+
+# Entity codecs live in repro.service.wire (shared with the journal);
+# re-exported here for backward compatibility.
+from repro.service.wire import (
+    request_from_wire,
+    request_to_wire,
+    worker_from_wire,
+    worker_to_wire,
+)
 
 __all__ = [
     "MatchingServer",
@@ -58,66 +65,6 @@ __all__ = [
 ]
 
 DEFAULT_HOST = "127.0.0.1"
-
-
-# -- entity codecs (shared with the client) ---------------------------------
-
-
-def request_to_wire(request: Request) -> dict:
-    """JSON-ready view of a request (field names match serialization.py)."""
-    return {
-        "id": request.request_id,
-        "platform": request.platform_id,
-        "t": request.arrival_time,
-        "x": request.location.x,
-        "y": request.location.y,
-        "value": request.value,
-    }
-
-
-def request_from_wire(payload: dict, default_time: float) -> Request:
-    """Decode a request; a missing ``t`` is stamped with ``default_time``."""
-    try:
-        return Request(
-            request_id=str(payload["id"]),
-            platform_id=str(payload["platform"]),
-            arrival_time=float(payload.get("t", default_time)),
-            location=Point(float(payload["x"]), float(payload["y"])),
-            value=float(payload["value"]),
-        )
-    except KeyError as error:
-        raise ServiceError(f"request payload missing field {error}") from error
-
-
-def worker_to_wire(worker: Worker) -> dict:
-    """JSON-ready view of a worker."""
-    return {
-        "id": worker.worker_id,
-        "platform": worker.platform_id,
-        "t": worker.arrival_time,
-        "x": worker.location.x,
-        "y": worker.location.y,
-        "radius": worker.service_radius,
-        "shareable": worker.shareable,
-        "departure": worker.departure_time,
-    }
-
-
-def worker_from_wire(payload: dict, default_time: float) -> Worker:
-    """Decode a worker; a missing ``t`` is stamped with ``default_time``."""
-    try:
-        departure = payload.get("departure")
-        return Worker(
-            worker_id=str(payload["id"]),
-            platform_id=str(payload["platform"]),
-            arrival_time=float(payload.get("t", default_time)),
-            location=Point(float(payload["x"]), float(payload["y"])),
-            service_radius=float(payload.get("radius", 1.0)),
-            shareable=bool(payload.get("shareable", True)),
-            departure_time=float(departure) if departure is not None else None,
-        )
-    except KeyError as error:
-        raise ServiceError(f"worker payload missing field {error}") from error
 
 
 # -- the server --------------------------------------------------------------
@@ -136,6 +83,12 @@ class MatchingServer:
         self.host = host
         self.port = port
         self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        # Fail-stop plumbing: when the gateway dies (induced kill point or
+        # real engine failure), drop every connection and the listener so
+        # clients observe exactly what a killed process looks like — EOF
+        # mid-call, connection refused afterwards.
+        gateway.on_crash = self._on_gateway_crash
 
     @property
     def address(self) -> tuple[str, int]:
@@ -166,6 +119,15 @@ class MatchingServer:
             self._server = None
         await self.gateway.stop()
 
+    def _on_gateway_crash(self, error: BaseException) -> None:
+        """Tear the transport down like the process died (sync, in-loop)."""
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for writer in list(self._connections):
+            writer.transport.abort()
+        self._connections.clear()
+
     async def serve_forever(self) -> None:
         """Block serving connections until cancelled."""
         if self._server is None:
@@ -176,6 +138,7 @@ class MatchingServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 line = await reader.readline()
@@ -188,7 +151,12 @@ class MatchingServer:
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-write; nothing to answer
+        except InducedCrash:
+            # The kill point fired inside this call: die without answering
+            # (the crash teardown already aborted the transport).
+            pass
         finally:
+            self._connections.discard(writer)
             writer.close()
 
     async def _answer(self, line: bytes) -> dict:
@@ -201,6 +169,10 @@ class MatchingServer:
         verb = payload.get("verb")
         try:
             return await self._dispatch(verb, payload)
+        except InducedCrash:
+            # Never downgrade a kill point to an error *response* — a dead
+            # process cannot answer.  Propagates to the connection handler.
+            raise
         except (ReproError, ValueError, TypeError) as error:
             return {"ok": False, "verb": verb, "error": str(error)}
 

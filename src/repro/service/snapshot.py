@@ -17,16 +17,27 @@ recorded fault schedule deterministically).  Restoring and continuing the
 stream therefore produces byte-identical results to an uninterrupted run
 — pinned by ``tests/test_service.py``.
 
-The file format is a small versioned envelope around the pickle payload;
-snapshots are point-in-time artifacts for operational recovery, not a
-long-term archival format (they are tied to the package version like any
-pickle).  Telemetry bundles hold live tracer state and are not
-checkpointed — snapshot a gateway running with ``telemetry=None``.
+The file format is a small versioned envelope around the pickle payload:
+the ``COMSNAP1`` magic, an 8-byte big-endian payload length, the payload's
+CRC32, then the payload.  Writes are **atomic** — the envelope goes to a
+sibling tempfile first and lands via :func:`os.replace`, so a crash
+mid-checkpoint can never destroy the previous checkpoint (the rotation
+the journal's crash-recovery path relies on) — and reads verify the
+length and checksum before unpickling, so a truncated or bit-flipped file
+is rejected with a clear :class:`~repro.errors.ServiceError` instead of
+an unpickling traceback.  Snapshots are point-in-time artifacts for
+operational recovery, not a long-term archival format (they are tied to
+the package version like any pickle).  Telemetry bundles hold live tracer
+state and are not checkpointed — snapshot a gateway running with
+``telemetry=None``.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import struct
+import zlib
 from pathlib import Path
 
 from repro.core.simulator import SimulationSession
@@ -35,20 +46,25 @@ from repro.errors import ServiceError
 __all__ = ["SNAPSHOT_FORMAT", "write_snapshot", "read_snapshot"]
 
 #: Bump when the envelope layout changes.
-SNAPSHOT_FORMAT = 1
+SNAPSHOT_FORMAT = 2
 
 _MAGIC = b"COMSNAP1\n"
+#: 8-byte payload length + 4-byte CRC32, both big-endian.
+_FRAME = struct.Struct(">QI")
 
 
 def write_snapshot(
     session: SimulationSession,
     outcomes: dict[str, dict],
     path: str | Path,
+    meta: dict | None = None,
 ) -> Path:
     """Checkpoint ``session`` (plus served-outcome log) to ``path``.
 
     Must be called between decisions (the gateway schedules snapshots on
-    its serialized decision loop, which guarantees this).  The session's
+    its serialized decision loop, which guarantees this).  ``meta``
+    carries small JSON-able bookkeeping alongside the state — the journal
+    records its replay position (``journal_seq``) there.  The session's
     resolution hook is transport state, not matching state — it is
     stripped for the dump and reattached by the restoring gateway.
     """
@@ -66,29 +82,59 @@ def write_snapshot(
                 "format": SNAPSHOT_FORMAT,
                 "session": session,
                 "outcomes": dict(outcomes),
+                "meta": dict(meta) if meta else {},
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
     finally:
         session.on_resolution = hook
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_bytes(_MAGIC + payload)
+    # Atomic rotation: a crash before the replace leaves the previous
+    # checkpoint untouched; a crash after it leaves the new one complete.
+    staging = path.with_name(path.name + ".tmp")
+    staging.write_bytes(
+        _MAGIC + _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+    )
+    os.replace(staging, path)
     return path
 
 
-def read_snapshot(path: str | Path) -> tuple[SimulationSession, dict[str, dict]]:
-    """Load a checkpoint; returns ``(session, outcome_log)``."""
+def read_snapshot(
+    path: str | Path,
+) -> tuple[SimulationSession, dict[str, dict], dict]:
+    """Load a checkpoint; returns ``(session, outcome_log, meta)``.
+
+    Rejects anything that is not a complete, intact snapshot — wrong
+    magic, truncated payload, checksum mismatch, undecodable pickle —
+    with a :class:`ServiceError` naming the problem.
+    """
     path = Path(path)
     blob = path.read_bytes()
     if not blob.startswith(_MAGIC):
         raise ServiceError(f"{path}: not a COM service snapshot")
-    envelope = pickle.loads(blob[len(_MAGIC):])
-    if envelope.get("format") != SNAPSHOT_FORMAT:
+    frame = blob[len(_MAGIC):]
+    if len(frame) < _FRAME.size:
+        raise ServiceError(f"{path}: snapshot truncated inside the header")
+    length, checksum = _FRAME.unpack_from(frame)
+    payload = frame[_FRAME.size:]
+    if len(payload) != length:
         raise ServiceError(
-            f"{path}: snapshot format {envelope.get('format')!r} != "
-            f"{SNAPSHOT_FORMAT} (rebuild the snapshot with this version)"
+            f"{path}: snapshot truncated ({len(payload)} of {length} "
+            f"payload bytes present)"
+        )
+    if zlib.crc32(payload) != checksum:
+        raise ServiceError(f"{path}: snapshot payload failed its checksum")
+    try:
+        envelope = pickle.loads(payload)
+    except Exception as error:
+        raise ServiceError(f"{path}: snapshot payload does not unpickle") from error
+    if not isinstance(envelope, dict) or envelope.get("format") != SNAPSHOT_FORMAT:
+        got = envelope.get("format") if isinstance(envelope, dict) else None
+        raise ServiceError(
+            f"{path}: snapshot format {got!r} != {SNAPSHOT_FORMAT} "
+            f"(rebuild the snapshot with this version)"
         )
     session = envelope["session"]
     if not isinstance(session, SimulationSession):
         raise ServiceError(f"{path}: snapshot payload is not a session")
-    return session, envelope.get("outcomes", {})
+    return session, envelope.get("outcomes", {}), envelope.get("meta", {})

@@ -1,0 +1,79 @@
+"""Entity codecs shared by the TCP transport and the event journal.
+
+One canonical JSON-ready dict shape per entity, used in three places:
+on the JSONL wire (:mod:`repro.service.server` / :mod:`repro.service.
+client`), in ``COMWAL1`` journal records (:mod:`repro.service.journal`),
+and by recovery replay (:mod:`repro.service.recovery`).  Field names
+match the ``workloads`` JSON serialization, so saved scenarios stream
+through unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.entities import Request, Worker
+from repro.errors import ServiceError
+from repro.geo.point import Point
+
+__all__ = [
+    "request_to_wire",
+    "request_from_wire",
+    "worker_to_wire",
+    "worker_from_wire",
+]
+
+
+def request_to_wire(request: Request) -> dict:
+    """JSON-ready view of a request (field names match serialization.py)."""
+    return {
+        "id": request.request_id,
+        "platform": request.platform_id,
+        "t": request.arrival_time,
+        "x": request.location.x,
+        "y": request.location.y,
+        "value": request.value,
+    }
+
+
+def request_from_wire(payload: dict, default_time: float = 0.0) -> Request:
+    """Decode a request; a missing ``t`` is stamped with ``default_time``."""
+    try:
+        return Request(
+            request_id=str(payload["id"]),
+            platform_id=str(payload["platform"]),
+            arrival_time=float(payload.get("t", default_time)),
+            location=Point(float(payload["x"]), float(payload["y"])),
+            value=float(payload["value"]),
+        )
+    except KeyError as error:
+        raise ServiceError(f"request payload missing field {error}") from error
+
+
+def worker_to_wire(worker: Worker) -> dict:
+    """JSON-ready view of a worker."""
+    return {
+        "id": worker.worker_id,
+        "platform": worker.platform_id,
+        "t": worker.arrival_time,
+        "x": worker.location.x,
+        "y": worker.location.y,
+        "radius": worker.service_radius,
+        "shareable": worker.shareable,
+        "departure": worker.departure_time,
+    }
+
+
+def worker_from_wire(payload: dict, default_time: float = 0.0) -> Worker:
+    """Decode a worker; a missing ``t`` is stamped with ``default_time``."""
+    try:
+        departure = payload.get("departure")
+        return Worker(
+            worker_id=str(payload["id"]),
+            platform_id=str(payload["platform"]),
+            arrival_time=float(payload.get("t", default_time)),
+            location=Point(float(payload["x"]), float(payload["y"])),
+            service_radius=float(payload.get("radius", 1.0)),
+            shareable=bool(payload.get("shareable", True)),
+            departure_time=float(departure) if departure is not None else None,
+        )
+    except KeyError as error:
+        raise ServiceError(f"worker payload missing field {error}") from error

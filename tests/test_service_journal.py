@@ -1,0 +1,657 @@
+"""Crash-safety tests: the ``COMWAL1`` journal, recovery, and the soak.
+
+The anchor property extends PR 5's golden equivalence through process
+death: a trace replayed through a *journaled* gateway that is killed at
+**any** kill-point boundary (lost append, torn tail, checkpoint death,
+swallowed ack) and recovered from checkpoint + journal suffix produces a
+metrics row byte-identical to an uninterrupted ``Simulator.run`` — for
+DemCOM and RamCOM, in-process and over TCP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.core import Simulator, SimulatorConfig
+from repro.core.events import EventKind
+from repro.core.registry import algorithm_factory
+from repro.errors import ConfigurationError, InducedCrash, JournalError, ServiceError
+from repro.experiments.metrics import AlgorithmMetrics
+from repro.experiments.reporting import metrics_to_dict
+from repro.faults import CRASH_CHANNELS, CrashInjector, CrashPlan, RetryPolicy
+from repro.service import (
+    GatewayClient,
+    Journal,
+    JournalConfig,
+    MatchingGateway,
+    MatchingServer,
+    SoakConfig,
+    drive_trace,
+    recover_gateway,
+    run_soak,
+    scan_journal,
+    write_snapshot,
+)
+from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+
+from conftest import make_request, make_scenario, make_worker
+
+
+def build_scenario(seed: int = 13, requests: int = 8, workers: int = 4):
+    return SyntheticWorkload(
+        SyntheticWorkloadConfig(
+            request_count=requests, worker_count=workers, horizon_seconds=3600.0
+        )
+    ).build(seed=seed)
+
+
+def service_config() -> SimulatorConfig:
+    return SimulatorConfig(measure_response_time=False)
+
+
+def golden_row(scenario, algorithm: str, config: SimulatorConfig) -> str:
+    result = Simulator(config).run(scenario, algorithm_factory(algorithm))
+    return json.dumps(
+        metrics_to_dict(AlgorithmMetrics.from_simulation(result)), sort_keys=True
+    )
+
+
+#: Small knobs so short traces cross several fsync and checkpoint
+#: boundaries (the property test needs every channel to have kill points).
+JOURNAL_KWARGS = {"fsync": "interval", "fsync_interval": 4, "checkpoint_every": 6}
+
+
+def journal_config(directory) -> JournalConfig:
+    return JournalConfig(directory=directory, **JOURNAL_KWARGS)
+
+
+def _induced(gateway: MatchingGateway, error: Exception) -> bool:
+    """True when ``error`` is the armed kill point making itself felt.
+
+    A kill point that fires *after* an acknowledgement went out (e.g.
+    inside the post-batch checkpoint) kills the loop asynchronously; the
+    next call then sees ``ServiceError("gateway crashed")`` instead of
+    the ``InducedCrash`` itself — just like a real client noticing a dead
+    process one call late.
+    """
+    return isinstance(error, InducedCrash) or isinstance(
+        gateway.crash_error, InducedCrash
+    )
+
+
+async def drive_with_recovery(
+    scenario, algorithm, config, directory, plan: CrashPlan
+) -> tuple[MatchingGateway, int]:
+    """Replay the full trace with one armed kill point, recovering on crash.
+
+    Models the documented operator loop: the process dies mid-call, a
+    supervisor recovers from disk, and the client retries the in-flight
+    arrival (request-ID dedup absorbs it if it was journaled).  Returns
+    the drained gateway and the number of induced crashes (0 when the
+    kill point's index lies beyond the channel's last boundary).
+    """
+    directory = Path(directory)
+    events = list(scenario.events)
+    crashes = 0
+    try:
+        gateway = MatchingGateway(
+            scenario=scenario,
+            algorithm=algorithm,
+            config=config,
+            journal=journal_config(directory),
+            crash_plan=plan,
+        )
+    except InducedCrash:
+        # Died during journal bootstrap.  If the anchoring checkpoint
+        # never landed, nothing was ever acknowledged and the documented
+        # operator action (wipe, start fresh) is lossless.
+        crashes += 1
+        try:
+            gateway, __ = recover_gateway(directory, **JOURNAL_KWARGS)
+        except ServiceError:
+            shutil.rmtree(directory)
+            directory.mkdir()
+            gateway = MatchingGateway(
+                scenario=scenario,
+                algorithm=algorithm,
+                config=config,
+                journal=journal_config(directory),
+            )
+    await gateway.start()
+    index = 0
+    while index < len(events):
+        event = events[index]
+        gateway.clock.advance_to(event.time)
+        try:
+            if event.kind is EventKind.WORKER:
+                await gateway.submit_worker(event.worker)
+            else:
+                await gateway.submit_request(event.request)
+        except (InducedCrash, ServiceError) as error:
+            if not _induced(gateway, error):
+                raise
+            crashes += 1
+            gateway, __ = recover_gateway(directory, **JOURNAL_KWARGS)
+            await gateway.start()
+            continue  # retry the in-flight arrival
+        index += 1
+    try:
+        await gateway.drain()
+    except (InducedCrash, ServiceError) as error:
+        # Finalize appends resolution records, so a late kill point can
+        # fire mid-drain; recovery rolls back to the replayed arrivals
+        # and a second drain finalizes deterministically.
+        if not _induced(gateway, error):
+            raise
+        crashes += 1
+        gateway, __ = recover_gateway(directory, **JOURNAL_KWARGS)
+        await gateway.start()
+        await gateway.drain()
+    return gateway, crashes
+
+
+class TestJournalFile:
+    def test_append_commit_scan_round_trip(self, tmp_path):
+        path = tmp_path / "events.walog"
+        journal = Journal.create(path)
+        assert journal.append("meta", format=1, algorithm="RamCOM") == 0
+        assert journal.append_worker_ref("w0") == 1
+        assert (
+            journal.append_request_ref("r0", "serve_inner", "w0", 12.5) == 2
+        )
+        journal.commit()
+        journal.close()
+        records = scan_journal(path)
+        assert [record.seq for record in records] == [0, 1, 2]
+        assert [record.kind for record in records] == [
+            "meta",
+            "worker",
+            "request",
+        ]
+        assert records[1].fields == {"ref": "w0"}
+        assert records[2].fields["outcome"] == {
+            "status": "serve_inner",
+            "worker_id": "w0",
+            "payment": 12.5,
+        }
+
+    def test_ref_fast_paths_encode_byte_identically(self, tmp_path):
+        """The hand-formatted hot-path encoders must produce the exact
+        bytes the generic ``json.dumps`` path would."""
+        generic = Journal.create(tmp_path / "generic.walog")
+        generic.append("worker", ref="w012")
+        generic.append(
+            "request",
+            ref="r1",
+            outcome={
+                "status": "serve_outer",
+                "worker_id": "w3",
+                "payment": 13.734208101,
+            },
+        )
+        generic.append(
+            "request",
+            ref="r2",
+            outcome={"status": "reject", "worker_id": None, "payment": 0.0},
+        )
+        generic.commit()
+        generic.close()
+        fast = Journal.create(tmp_path / "fast.walog")
+        fast.append_worker_ref("w012")
+        fast.append_request_ref("r1", "serve_outer", "w3", 13.734208101)
+        fast.append_request_ref("r2", "reject", None, 0.0)
+        fast.commit()
+        fast.close()
+        assert (tmp_path / "fast.walog").read_bytes() == (
+            tmp_path / "generic.walog"
+        ).read_bytes()
+
+    def test_ref_fast_paths_fall_back_on_unfriendly_values(self, tmp_path):
+        path = tmp_path / "events.walog"
+        journal = Journal.create(path)
+        journal.append_worker_ref('we"ird\\id')
+        journal.append_request_ref("r0", "reject", None, float("inf"))
+        journal.commit()
+        journal.close()
+        records = scan_journal(path)
+        assert records[0].fields == {"ref": 'we"ird\\id'}
+        assert records[1].fields["outcome"]["payment"] == float("inf")
+
+    def test_append_is_not_durable_until_commit(self, tmp_path):
+        path = tmp_path / "events.walog"
+        journal = Journal.create(path)
+        journal.append("worker", ref="w0")
+        assert scan_journal(path) == []  # buffered, not yet written
+        journal.commit()
+        assert len(scan_journal(path)) == 1
+        journal.close()
+
+    def test_open_truncates_torn_tail_and_appends_after_it(self, tmp_path):
+        path = tmp_path / "events.walog"
+        journal = Journal.create(path)
+        journal.append("worker", ref="w0")
+        journal.commit()
+        journal.close()
+        intact = path.read_bytes()
+        path.write_bytes(intact + b"\x00\x00\x00\x40AB")  # partial frame
+        reopened, records = Journal.open(path)
+        assert reopened.torn_bytes_dropped == 6
+        assert [record.seq for record in records] == [0]
+        reopened.append("worker", ref="w1")
+        reopened.commit()
+        reopened.close()
+        assert [record.seq for record in scan_journal(path)] == [0, 1]
+
+    def test_mid_file_corruption_is_not_a_torn_tail(self, tmp_path):
+        path = tmp_path / "events.walog"
+        journal = Journal.create(path)
+        journal.append("worker", ref="w0")
+        journal.append("worker", ref="w1")
+        journal.commit()
+        journal.close()
+        blob = bytearray(path.read_bytes())
+        blob[20] ^= 0xFF  # flip a byte inside record 0's payload
+        path.write_bytes(bytes(blob))
+        with pytest.raises(JournalError, match="mid-file corruption"):
+            scan_journal(path)
+
+    def test_foreign_file_and_clobber_are_rejected(self, tmp_path):
+        path = tmp_path / "events.walog"
+        path.write_bytes(b"not a journal at all\n")
+        with pytest.raises(JournalError, match="not a COMWAL1 journal"):
+            scan_journal(path)
+        with pytest.raises(JournalError, match="already exists"):
+            Journal.create(path)
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        journal = Journal.create(tmp_path / "events.walog")
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append("worker", ref="w0")
+        with pytest.raises(JournalError, match="closed"):
+            journal.append_worker_ref("w0")
+
+    def test_close_flushes_buffered_records(self, tmp_path):
+        # The journal may run ahead of acknowledgements, never behind:
+        # closing with a dirty buffer writes it out.
+        path = tmp_path / "events.walog"
+        journal = Journal.create(path)
+        journal.append("worker", ref="w0")
+        journal.close()
+        assert len(scan_journal(path)) == 1
+
+    def test_fsync_always_round_trip(self, tmp_path):
+        path = tmp_path / "events.walog"
+        journal = Journal.create(path, fsync="always")
+        journal.append("worker", ref="w0")
+        journal.commit()
+        journal.close()
+        assert len(scan_journal(path)) == 1
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            JournalConfig(directory=tmp_path, fsync="sometimes")
+        with pytest.raises(ConfigurationError):
+            JournalConfig(directory=tmp_path, fsync_interval=0)
+        with pytest.raises(ConfigurationError):
+            JournalConfig(directory=tmp_path, checkpoint_every=-1)
+
+
+class TestCrashPlan:
+    def test_unknown_channel_and_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrashPlan.at("power_cord", 0)
+        with pytest.raises(ConfigurationError):
+            CrashPlan.at("ack", -1)
+
+    def test_injector_fires_exactly_at_its_index(self):
+        injector = CrashInjector(CrashPlan.at("ack", 2))
+        assert injector.active
+        injector.fire("ack")
+        injector.fire("journal_append")  # independent channel counters
+        assert not injector.fires_next("ack")
+        injector.fire("ack")
+        assert injector.fires_next("ack")
+        with pytest.raises(InducedCrash):
+            injector.fire("ack")
+        injector.fire("ack")  # past the kill point: inert again
+
+    def test_zero_plan_is_inert(self):
+        injector = CrashInjector(None)
+        assert not injector.active
+        for _ in range(100):
+            injector.fire("ack")
+
+
+class TestCrashRecoveryEveryBoundary:
+    """Satellite #3: kill the gateway at *every* boundary of every channel
+    on a short trace; recovery must be byte-identical every single time."""
+
+    #: Safety cap on boundary enumeration (a short trace has far fewer).
+    _CAP = 80
+
+    @pytest.mark.parametrize("algorithm", ["demcom", "ramcom"])
+    @pytest.mark.parametrize("channel", CRASH_CHANNELS)
+    def test_byte_identical_recovery_at_every_boundary(
+        self, tmp_path, algorithm, channel
+    ):
+        scenario = build_scenario()
+        config = service_config()
+        golden = golden_row(scenario, algorithm, config)
+        events = list(scenario.events)
+        boundaries = 0
+        for index in range(self._CAP):
+            directory = tmp_path / f"{channel}-{index}"
+            directory.mkdir()
+            gateway, crashes = asyncio.run(
+                drive_with_recovery(
+                    scenario,
+                    algorithm,
+                    config,
+                    directory,
+                    CrashPlan.at(channel, index),
+                )
+            )
+            row = json.dumps(gateway.metrics_dict(), sort_keys=True)
+            assert row == golden, (
+                f"recovery after a {channel} crash at boundary {index} "
+                f"diverged from the uninterrupted run"
+            )
+            if crashes == 0:
+                break  # past the channel's last boundary: exhausted
+            boundaries += 1
+            shutil.rmtree(directory)  # bound tmp usage across ~50 runs
+        else:
+            pytest.fail(f"{channel} still firing after {self._CAP} boundaries")
+        # Every arrival crosses an append/torn/ack boundary; checkpoints
+        # are sparser but the cadence guarantees periodic ones.
+        floor = 2 if channel == "checkpoint" else len(events)
+        assert boundaries >= floor
+
+
+class TestRecoveryEdges:
+    def test_bootstrap_crash_leaves_no_checkpoint(self, tmp_path):
+        config = journal_config(tmp_path)
+        journal = Journal.create(config.journal_path)
+        journal.append("meta", format=1)
+        journal.commit()
+        journal.close()
+        with pytest.raises(ServiceError, match="no checkpoint"):
+            recover_gateway(tmp_path, **JOURNAL_KWARGS)
+
+    def test_corrupt_checkpoint_is_rejected(self, tmp_path):
+        scenario = build_scenario()
+
+        async def main():
+            gateway = MatchingGateway(
+                scenario=scenario,
+                config=service_config(),
+                journal=journal_config(tmp_path),
+            )
+            await gateway.start()
+            await gateway.stop()
+
+        asyncio.run(main())
+        config = journal_config(tmp_path)
+        config.checkpoint_path.write_bytes(b"garbage, not a COMSNAP1")
+        with pytest.raises(ServiceError):
+            recover_gateway(tmp_path, **JOURNAL_KWARGS)
+
+    def test_checkpoint_from_a_different_history_is_rejected(self, tmp_path):
+        config = journal_config(tmp_path)
+        journal = Journal.create(config.journal_path)
+        journal.append("meta", format=1)
+        journal.commit()
+        journal.close()
+        scenario = build_scenario()
+        session = Simulator(service_config()).session(
+            scenario, algorithm_factory("ramcom")
+        )
+        write_snapshot(
+            session,
+            {},
+            config.checkpoint_path,
+            meta={"journal_seq": 99, "journal_format": 1},
+        )
+        with pytest.raises(JournalError, match="different histories"):
+            recover_gateway(tmp_path, **JOURNAL_KWARGS)
+
+    def test_replay_divergence_is_rejected(self, tmp_path):
+        scenario = build_scenario()
+        events = list(scenario.events)
+        cut = len(events) // 2
+
+        async def main():
+            gateway = MatchingGateway(
+                scenario=scenario,
+                config=service_config(),
+                journal=journal_config(tmp_path),
+            )
+            await gateway.start()
+            for event in events[:cut]:
+                gateway.clock.advance_to(event.time)
+                if event.kind is EventKind.WORKER:
+                    await gateway.submit_worker(event.worker)
+                else:
+                    await gateway.submit_request(event.request)
+            await gateway.stop()
+
+        asyncio.run(main())
+        # Forge a decision the engine would never make for a not-yet-seen
+        # request: replay must refuse to serve from such a journal.
+        undecided = next(
+            event.request
+            for event in events[cut:]
+            if event.kind is not EventKind.WORKER
+        )
+        config = journal_config(tmp_path)
+        journal, __ = Journal.open(config.journal_path)
+        journal.append_request_ref(
+            undecided.request_id, "serve_inner", "ghost-worker", 9999.0
+        )
+        journal.commit()
+        journal.close()
+        with pytest.raises(JournalError, match="replay diverged"):
+            recover_gateway(tmp_path, **JOURNAL_KWARGS)
+
+    def test_unknown_record_kind_is_rejected(self, tmp_path):
+        scenario = build_scenario()
+
+        async def main():
+            gateway = MatchingGateway(
+                scenario=scenario,
+                config=service_config(),
+                journal=journal_config(tmp_path),
+            )
+            await gateway.start()
+            await gateway.stop()
+
+        asyncio.run(main())
+        config = journal_config(tmp_path)
+        journal, __ = Journal.open(config.journal_path)
+        journal.append("frobnicate", x=1)
+        journal.commit()
+        journal.close()
+        with pytest.raises(JournalError, match="unknown kind"):
+            recover_gateway(tmp_path, **JOURNAL_KWARGS)
+
+    def test_crashed_gateway_refuses_further_submissions(self, tmp_path):
+        scenario = build_scenario()
+        events = list(scenario.events)
+
+        async def main():
+            gateway = MatchingGateway(
+                scenario=scenario,
+                config=service_config(),
+                journal=journal_config(tmp_path),
+                crash_plan=CrashPlan.at("ack", 2),
+            )
+            await gateway.start()
+            crashed = False
+            for event in events:
+                gateway.clock.advance_to(event.time)
+                try:
+                    if event.kind is EventKind.WORKER:
+                        await gateway.submit_worker(event.worker)
+                    else:
+                        await gateway.submit_request(event.request)
+                except InducedCrash:
+                    crashed = True
+                    break
+            assert crashed
+            assert gateway.crash_error is not None
+            assert gateway.stats()["crashed"] is True
+            with pytest.raises(ServiceError, match="gateway crashed"):
+                await gateway.submit_worker(make_worker("w-late", "A"))
+
+        asyncio.run(main())
+
+
+class TestJournaledDedup:
+    def test_duplicate_submissions_answer_from_the_outcome_log(self, tmp_path):
+        workers = [make_worker("w0", "A", t=0.0)]
+        requests = [make_request("r0", "A", t=1.0)]
+        scenario = make_scenario(workers, requests)
+
+        async def main():
+            gateway = MatchingGateway(
+                scenario=scenario,
+                config=service_config(),
+                journal=journal_config(tmp_path),
+            )
+            await gateway.start()
+            await gateway.submit_worker(workers[0])
+            await gateway.submit_worker(workers[0])  # retry: no-op
+            first = await gateway.submit_request(requests[0])
+            second = await gateway.submit_request(requests[0])  # retry
+            stats = gateway.stats()
+            await gateway.stop()
+            return first, second, stats
+
+        first, second, stats = asyncio.run(main())
+        assert second.matches(first)
+        dedup = stats["metrics"]["counters"]["service_dedup_total"]
+        assert sum(series["value"] for series in dedup) == 2
+        assert stats["journal"] is not None
+        assert stats["journal"]["records"] >= 4  # meta + checkpoint + ops
+
+
+class TestTcpCrashRecovery:
+    """Satellite #1: a reconnecting client rides through a server crash,
+    a supervisor recovers on the same port, and the drained row still
+    matches the uninterrupted run byte for byte."""
+
+    @pytest.mark.parametrize("algorithm", ["demcom", "ramcom"])
+    def test_client_survives_crash_and_recovery(self, tmp_path, algorithm):
+        scenario = build_scenario(seed=17, requests=10, workers=5)
+        config = service_config()
+        golden = golden_row(scenario, algorithm, config)
+
+        async def main():
+            gateway = MatchingGateway(
+                scenario=scenario,
+                algorithm=algorithm,
+                config=config,
+                journal=journal_config(tmp_path / "wal"),
+                crash_plan=CrashPlan.at("ack", 6),
+            )
+            server = MatchingServer(gateway)
+            host, port = await server.start()
+            recovered: list[MatchingServer] = []
+
+            async def supervisor():
+                while gateway.crash_error is None:
+                    await asyncio.sleep(0.005)
+                replacement, report = recover_gateway(
+                    tmp_path / "wal", **JOURNAL_KWARGS
+                )
+                assert report.records_replayed > 0
+                respawn = MatchingServer(replacement, host=host, port=port)
+                await respawn.start()
+                recovered.append(respawn)
+
+            watchdog = asyncio.create_task(supervisor())
+            client = GatewayClient(
+                host,
+                port,
+                reconnect=RetryPolicy(
+                    max_attempts=8,
+                    base_backoff_s=0.02,
+                    multiplier=1.5,
+                    max_backoff_s=0.2,
+                    call_timeout_s=5.0,
+                ),
+            )
+            try:
+                async with client:
+                    metrics = await drive_trace(client, scenario.events)
+            finally:
+                await watchdog
+                for respawn in recovered:
+                    await respawn.stop()
+                await server.stop()
+            return metrics, client.reconnects, len(recovered)
+
+        metrics, reconnects, respawns = asyncio.run(main())
+        assert json.dumps(metrics, sort_keys=True) == golden
+        assert reconnects >= 1
+        assert respawns == 1
+
+    def test_reconnect_exhaustion_surfaces_as_service_error(self):
+        # Reserve a port, then free it: every (re)connect attempt is
+        # refused — the policy must give up with a clear error, not hang.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+
+        async def main():
+            client = GatewayClient(
+                host,
+                port,
+                reconnect=RetryPolicy(
+                    max_attempts=2, base_backoff_s=0.01, call_timeout_s=0.5
+                ),
+            )
+            with pytest.raises(ServiceError, match="reconnect exhausted"):
+                await client.ping()
+            await client.close()
+
+        asyncio.run(main())
+
+
+class TestSoakSmoke:
+    def test_three_cycle_soak_is_byte_identical(self, tmp_path):
+        scenario = build_scenario(seed=21, requests=40, workers=20)
+        report = asyncio.run(
+            run_soak(
+                scenario,
+                tmp_path,
+                algorithm="ramcom",
+                config=service_config(),
+                soak=SoakConfig(cycles=3, seed=7),
+            )
+        )
+        assert report.induced_crashes == 3
+        assert report.retries == 3
+        assert len(report.recoveries) == 3
+        assert report.metrics_identical
+        assert report.sanitizer_enabled
+        assert report.events_submitted == sum(1 for _ in scenario.events)
+        assert report.max_recovery_seconds > 0.0
+        payload = report.as_dict()
+        assert payload["metrics_identical"] is True
+        assert len(payload["recoveries"]) == 3
+
+    def test_soak_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoakConfig(cycles=-1)
+        with pytest.raises(ConfigurationError):
+            SoakConfig(speed=-0.5)
