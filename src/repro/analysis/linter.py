@@ -70,6 +70,22 @@ _PROBE_METHODS = frozenset({"span", "instant", "count", "observe", "gauge"})
 #: Builtin constructors of mutable containers.
 _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
 
+#: The module whose import marks a file as event-sink-aware (OBS002).
+_EVENT_SINK_MODULE = "repro.obs.events"
+
+#: Event-sink names whose import from ``repro.obs`` marks the file too.
+_EVENT_SINK_NAMES = frozenset(
+    {
+        "EventLog",
+        "EventSink",
+        "GatewayEvent",
+        "NULL_EVENT_SINK",
+        "encode_canonical",
+        "canonical_projection",
+        "row_digest",
+    }
+)
+
 
 @dataclass(frozen=True, slots=True)
 class Violation:
@@ -144,6 +160,12 @@ class _Checker(ast.NodeVisitor):
         self._parents: list[ast.AST] = []
         #: Class bodies currently decorated as dataclasses.
         self._dataclass_depth = 0
+        #: OBS002 state: whether an event-sink import was seen, and every
+        #: json.dumps/json.dump call site.  Resolved in :meth:`finalize`
+        #: because the import may appear *after* the call in source order
+        #: (function-local imports are common in this codebase).
+        self._imports_event_sink = False
+        self._json_dump_calls: list[ast.Call] = []
 
     # -- plumbing ----------------------------------------------------------
 
@@ -200,6 +222,8 @@ class _Checker(ast.NodeVisitor):
                     "timing allowlist; use repro.utils.timer.Stopwatch or "
                     "the obs wall-clock keys",
                 )
+            elif owner == "json" and attribute in {"dumps", "dump"}:
+                self._json_dump_calls.append(node)
         elif isinstance(function, ast.Name):
             if function.id == "hash" and node.args:
                 self.emit(
@@ -213,6 +237,46 @@ class _Checker(ast.NodeVisitor):
                 self._check_set_iteration_parent(node)
         self._check_probe_call(node)
         self.generic_visit(node)
+
+    # -- OBS002: raw serialization in event-sink-aware modules --------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == _EVENT_SINK_MODULE or alias.name.startswith(
+                f"{_EVENT_SINK_MODULE}."
+            ):
+                self._imports_event_sink = True
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module == _EVENT_SINK_MODULE:
+            self._imports_event_sink = True
+        elif module == "repro.obs" and any(
+            alias.name in _EVENT_SINK_NAMES for alias in node.names
+        ):
+            self._imports_event_sink = True
+        self.generic_visit(node)
+
+    def finalize(self) -> None:
+        """Checks needing whole-module context, run after the AST pass.
+
+        OBS002 pairs two facts that may appear in either source order
+        (this codebase imports lazily inside functions): the module
+        touches the event-sink layer, and it also calls ``json.dumps`` /
+        ``json.dump`` directly.
+        """
+        if not self._imports_event_sink:
+            return
+        for call in self._json_dump_calls:
+            self.emit(
+                "OBS002",
+                call,
+                "direct json serialization in an event-sink-aware module; "
+                "encode via repro.obs.events.encode_canonical (or emit "
+                "through the EventLog) so COMEVT1 byte-identity digests "
+                "stay comparable",
+            )
 
     # -- DET003: unordered iteration ---------------------------------------
 
@@ -471,6 +535,7 @@ def lint_source(
         ]
     checker = _Checker(path, source, rules if rules is not None else RULES)
     checker.visit(tree)
+    checker.finalize()
     return sorted(
         checker.violations, key=lambda v: (v.path, v.line, v.column, v.rule_id)
     )

@@ -132,6 +132,26 @@ RULES: dict[str, Rule] = {
             allowlist=("obs/",),
         ),
         _rule(
+            "OBS002",
+            "raw-event-serialization",
+            "Modules that import the event-sink layer (repro.obs.events) "
+            "must not call json.dumps/json.dump directly; encode through "
+            "encode_canonical or emit via the EventLog.",
+            "COMEVT1 byte-identity (replay verification, drain digests, "
+            "soak stream comparison) hinges on one canonical encoder — "
+            "sorted keys, compact separators.  An ad-hoc json.dumps next "
+            "to event-sink code produces a second, near-identical encoding "
+            "whose digests silently diverge from the recorded stream.",
+            allowlist=(
+                # The canonical encoder itself.
+                "obs/events.py",
+                # Presentation layers: HTTP/SSE bodies and CLI reports are
+                # operator output, never fed back into identity checks.
+                "service/dashboard.py",
+                "cli.py",
+            ),
+        ),
+        _rule(
             "ERR001",
             "bare-except",
             "No bare `except:` clauses.",

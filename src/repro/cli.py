@@ -17,6 +17,9 @@ Subcommands regenerate the paper's experiments from a terminal:
 * ``replay-serve`` — replay a trace through an ephemeral service under
   the virtual clock; ``--verify`` asserts byte-identity with the batch
   simulator;
+* ``replay-events`` — re-drive a recorded ``COMEVT1`` event log and
+  verify the canonical stream and metrics row reproduce byte-identically
+  (docs/DASHBOARD.md);
 * ``quickstart`` — a tiny end-to-end demo run;
 * ``datasets`` — the simulated Table-III statistics.
 
@@ -345,6 +348,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="journal records between COMSNAP1 checkpoints (default: 4096)",
     )
+    serve.add_argument(
+        "--events",
+        type=str,
+        default=None,
+        help=(
+            "record a COMEVT1 event log at this path (replayable with "
+            "replay-events --verify; resumed across restarts under "
+            "--journal recovery)"
+        ),
+    )
+    serve.add_argument(
+        "--dashboard",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve the live HTTP+SSE ops dashboard on this port "
+            "(0 = ephemeral, printed; docs/DASHBOARD.md)"
+        ),
+    )
+    serve.add_argument(
+        "--dashboard-cell-km",
+        type=float,
+        default=1.0,
+        help="heatmap grid resolution in km (default: 1.0)",
+    )
 
     replay = subparsers.add_parser(
         "replay-serve",
@@ -374,6 +403,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--output", type=str, default=None, help="write the metrics JSON here"
+    )
+
+    replay_events = subparsers.add_parser(
+        "replay-events",
+        help=(
+            "re-drive a recorded COMEVT1 event log through the engine; "
+            "--verify fails unless the canonical stream and metrics row "
+            "reproduce byte-identically (docs/DASHBOARD.md)"
+        ),
+    )
+    _add_service_scenario_flags(replay_events)
+    replay_events.add_argument(
+        "--log",
+        type=str,
+        required=True,
+        help="the recorded .comevt stream (from serve --events or soak)",
+    )
+    replay_events.add_argument(
+        "--tcp",
+        action="store_true",
+        help=(
+            "route the replay through a loopback JSONL/TCP server instead "
+            "of the in-process gateway (adds wire-codec coverage)"
+        ),
+    )
+    replay_events.add_argument(
+        "--verify",
+        action="store_true",
+        help="exit non-zero unless every byte-identity held",
+    )
+    replay_events.add_argument(
+        "--output", type=str, default=None, help="write the replay report here"
     )
 
     soak = subparsers.add_parser(
@@ -417,6 +478,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="journal directory (default: a fresh temporary directory)",
+    )
+    soak.add_argument(
+        "--no-events",
+        action="store_true",
+        help=(
+            "skip recording + replay-verifying the COMEVT1 event stream "
+            "(recorded and verified by default)"
+        ),
     )
     soak.add_argument(
         "--output", type=str, default=None, help="write the JSON report here"
@@ -687,7 +756,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:
             return 1
-        what = "journal overhead" if args.service else "speedups"
+        what = "journal/event overhead" if args.service else "speedups"
         print(f"OK: {what} within tolerance of {args.check}")
     return 0
 
@@ -769,8 +838,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.errors import ConfigurationError
+    from repro.obs.events import EventLog
     from repro.service import (
         AdmissionPolicy,
+        DashboardServer,
         JournalConfig,
         MatchingGateway,
         MatchingServer,
@@ -789,6 +860,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         gateway = MatchingGateway.from_snapshot(
             args.restore, clock=clock, admission=admission
         )
+        if args.events:
+            gateway.attach_events(
+                EventLog(args.events, registry=gateway.registry)
+            )
         print(f"restored: {args.restore}")
     elif args.journal:
         journal_config = JournalConfig(
@@ -805,6 +880,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 checkpoint_every=args.checkpoint_every,
                 clock=clock,
                 admission=admission,
+                events=args.events,
             )
             print(
                 f"recovered: {args.journal} "
@@ -820,6 +896,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 clock=clock,
                 admission=admission,
                 journal=journal_config,
+                events=args.events,
             )
             print(f"journal: {journal_config.journal_path} ({args.fsync})")
     else:
@@ -829,19 +906,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             config=_service_config(args),
             clock=clock,
             admission=admission,
+            events=args.events,
         )
+    if args.events:
+        print(f"event log: {args.events} (COMEVT1)")
+    if args.dashboard is not None and not isinstance(gateway.events, EventLog):
+        # The dashboard streams from an EventLog; with no --events given,
+        # keep it in memory (ring only, nothing written to disk).
+        gateway.attach_events(EventLog(registry=gateway.registry))
     server = MatchingServer(gateway, host=args.host, port=args.port)
+    dashboard = (
+        DashboardServer(
+            gateway,
+            host=args.host,
+            port=args.dashboard,
+            cell_km=args.dashboard_cell_km,
+        )
+        if args.dashboard is not None
+        else None
+    )
 
     async def _serve() -> None:
         host, port = await server.start()
         mode = "real-time" if args.real_time else "virtual-clock"
         print(f"serving {gateway.stats()['algorithm']} on {host}:{port} ({mode})")
         print("protocol: one JSON object per line — see docs/SERVICE.md")
+        if dashboard is not None:
+            dash_host, dash_port = await dashboard.start()
+            print(f"dashboard: http://{dash_host}:{dash_port}/ (SSE at /events)")
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
             pass
         finally:
+            if dashboard is not None:
+                await dashboard.stop()
             await server.stop()
 
     try:
@@ -925,6 +1024,53 @@ def _cmd_replay_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay_events(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service import replay_event_log
+
+    scenario = _service_scenario(args)
+    config = _service_config(args)
+    report = asyncio.run(
+        replay_event_log(
+            args.log,
+            scenario,
+            algorithm=args.algorithm,
+            config=config,
+            tcp=args.tcp,
+        )
+    )
+    print(
+        f"replayed {args.log} ({report.mode}): "
+        f"{report.recorded_events} recorded event(s), "
+        f"{report.workers} worker(s), {report.requests} request(s), "
+        f"{report.sheds} shed(s), {report.crashes_recorded} crash marker(s)"
+    )
+    print(
+        f"  stream {'identical' if report.stream_identical else 'DIVERGED'}, "
+        f"metrics row {'identical' if report.row_identical else 'DIVERGED'}"
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"saved: {args.output}")
+    if args.verify:
+        if not report.verified:
+            print(
+                "VERIFY FAIL: replay did not reproduce the recorded stream"
+            )
+            return 1
+        print(
+            "VERIFY OK: canonical event stream and metrics row "
+            "byte-identical to the recording"
+        )
+    return 0
+
+
 def _cmd_soak(args: argparse.Namespace) -> int:
     import asyncio
     import contextlib
@@ -940,6 +1086,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         seed=args.soak_seed,
         speed=args.speed,
         fsync=args.fsync,
+        events=not args.no_events,
     )
     with contextlib.ExitStack() as stack:
         directory = args.directory or stack.enter_context(
@@ -976,6 +1123,17 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     if not report.metrics_identical:
         print("SOAK FAIL: drained metrics differ from an uninterrupted run")
         return 1
+    if report.events_identical is False:
+        print(
+            "SOAK FAIL: replaying the COMEVT1 stream did not reproduce "
+            "the recorded canonical events"
+        )
+        return 1
+    if report.events_identical:
+        print(
+            f"  event log: {report.event_count} canonical event(s), "
+            "replay byte-identical across crash markers"
+        )
     print(
         "SOAK OK: metrics byte-identical to an uninterrupted run "
         f"(max recovery {report.max_recovery_seconds * 1e3:.1f} ms)"
@@ -1079,6 +1237,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "serve": _cmd_serve,
     "replay-serve": _cmd_replay_serve,
+    "replay-events": _cmd_replay_events,
     "soak": _cmd_soak,
     "quickstart": _cmd_quickstart,
     "datasets": _cmd_datasets,

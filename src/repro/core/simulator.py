@@ -617,6 +617,20 @@ class SimulationSession:
         self._apply_decision(request, decision)
         return decision
 
+    def breaker_trips(self) -> dict[str, int]:
+        """Cumulative circuit-breaker trips per platform (empty sans faults).
+
+        The serving layer diffs this after each decision to surface trips
+        as operational events without threading a probe (which would make
+        the session unpicklable for ``COMSNAP1`` snapshots).
+        """
+        if self._resilient is None:
+            return {}
+        return {
+            platform_id: self._resilient.stats_for(platform_id).breaker_trips
+            for platform_id in self.scenario.platform_ids
+        }
+
     def finalize(self) -> SimulationResult:
         """End of stream: flush, auto-reject leftovers, return the result."""
         if self._finalized:

@@ -138,6 +138,16 @@ class JournalError(ServiceError):
     """
 
 
+class EventLogError(ReproError):
+    """The ``COMEVT1`` event log (:mod:`repro.obs.events`) is corrupt.
+
+    Raised when a recorded event stream cannot be decoded — a malformed
+    line *before* the tail (a torn trailing line is expected after a
+    crash and silently truncated), a record missing its required
+    ``kind``/``seq``/``time`` envelope, or a sequence discontinuity.
+    """
+
+
 class InducedCrash(ReproError):
     """A deterministic kill point fired (:class:`repro.faults.CrashPlan`).
 

@@ -1,25 +1,32 @@
-"""Service benchmark: throughput, latency, and journal overhead.
+"""Service benchmark: throughput, latency, journal and event overhead.
 
 Measures the serving layer the way an operator would size it: a synthetic
 trace replayed through a :class:`~repro.service.gateway.MatchingGateway`
-three ways —
+four ways —
 
 ``gateway``
     in-process, no durability: the serialized decision loop alone;
 ``gateway_journal``
     in-process with the ``COMWAL1`` write-ahead journal on (default
     ``interval`` fsync policy) — the cost of crash safety;
+``gateway_events``
+    in-process with the ``COMEVT1`` event log on (file-backed
+    :class:`~repro.obs.events.EventLog`) — the cost of live ops;
 ``tcp``
     the full JSONL-over-TCP stack on loopback.
 
 Each section records sustained requests/sec and p50/p95/p99 end-to-end
-latency.  The ``journal_overhead`` section carries the **self-relative
-throughput ratio** (journaled req/s ÷ unjournaled req/s, measured in the
-same run on the same machine, hence machine-independent) which
-:func:`check_service_regression` gates against the durability budget:
-journaling may cost at most 15% of throughput.  ``com-repro bench
---service --check BENCH_service.json`` runs the gate; the repo-root
-``BENCH_service.json`` is the checked-in reference.
+latency.  The ``journal_overhead`` and ``event_overhead`` sections carry
+**self-relative throughput ratios** (instrumented req/s ÷ plain req/s,
+measured in the same run on the same machine, hence machine-independent)
+which :func:`check_service_regression` gates against the budgets:
+journaling may cost at most 15% of throughput, an enabled event log at
+most 15%, and the *disabled* event path (the ``sink.enabled`` flag
+checks every deployment pays) at most 5% of mean decision latency —
+measured the same way as ``benchmarks/bench_telemetry_overhead.py``,
+by micro-timing the flag-check shape against the null sink.
+``com-repro bench --service --check BENCH_service.json`` runs the
+gates; the repo-root ``BENCH_service.json`` is the checked-in reference.
 """
 
 from __future__ import annotations
@@ -41,6 +48,8 @@ from repro.utils.timer import Stopwatch
 from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
 
 __all__ = [
+    "EVENT_DISABLED_BUDGET",
+    "EVENT_OVERHEAD_BUDGET",
     "JOURNAL_OVERHEAD_BUDGET",
     "run_service_benchmark",
     "render_service_report",
@@ -49,6 +58,18 @@ __all__ = [
 
 #: Journaling may cost at most this fraction of unjournaled throughput.
 JOURNAL_OVERHEAD_BUDGET = 0.15
+
+#: A file-backed event log may cost at most this fraction of throughput.
+EVENT_OVERHEAD_BUDGET = 0.15
+
+#: With no sink attached, the event seam's flag checks may cost at most
+#: this fraction of mean per-decision latency.
+EVENT_DISABLED_BUDGET = 0.05
+
+#: ``sink.enabled`` touchpoints a decision pays with events off: the
+#: decision-loop emit guard, the resolution-hook guard, the admission
+#: shed guard, and the periodic flush guard.
+_EVENT_FLAG_CHECKS_PER_DECISION = 4
 
 
 def _percentile(samples: list[float], q: float) -> float:
@@ -147,6 +168,37 @@ async def _bench_gateway_journaled(
     return await _drive_gateway(gateway, scenario)
 
 
+async def _bench_gateway_events(
+    scenario: Scenario, config: SimulatorConfig, directory: str | Path
+) -> dict:
+    """In-process with the ``COMEVT1`` event log writing to a file."""
+    gateway = MatchingGateway(
+        scenario=scenario,
+        algorithm="ramcom",
+        config=config,
+        events=Path(directory) / "events.comevt",
+    )
+    return await _drive_gateway(gateway, scenario)
+
+
+def _disabled_event_check_seconds(iterations: int = 200_000) -> float:
+    """Per-touchpoint cost of the disabled event path's flag check.
+
+    The seam with no sink attached is exactly ``if sink.enabled:`` on
+    :data:`~repro.obs.events.NULL_EVENT_SINK` (``enabled`` is a class
+    attribute reading ``False``) — time that shape directly, the same
+    technique ``benchmarks/bench_telemetry_overhead.py`` uses for probes.
+    """
+    from repro.obs.events import NULL_EVENT_SINK
+
+    sink = NULL_EVENT_SINK
+    watch = Stopwatch().start()
+    for _ in range(iterations):
+        if sink.enabled:  # pragma: no cover - never taken
+            sink.emit("decision", 0.0)
+    return watch.stop() / iterations
+
+
 async def _bench_tcp(scenario: Scenario, config: SimulatorConfig) -> dict:
     """Full stack: JSONL codec + loopback TCP + the decision loop."""
     server = MatchingServer(
@@ -187,7 +239,19 @@ def run_service_benchmark(quick: bool = False) -> dict:
     scenario, config = _build(requests, workers)
     gateway_row: dict = {}
     journal_row: dict = {}
-    ratios: list[float] = []
+    events_row: dict = {}
+    journal_ratios: list[float] = []
+    event_ratios: list[float] = []
+
+    def _keep_best(best: dict, candidate: dict) -> dict:
+        if (
+            not best
+            or candidate["requests_per_second"]
+            > best["requests_per_second"]
+        ):
+            return candidate
+        return best
+
     for __ in range(_BENCH_REPS):
         # Paired back-to-back so drift (thermal, noisy neighbours) hits
         # both sides of each ratio sample alike.
@@ -196,35 +260,58 @@ def run_service_benchmark(quick: bool = False) -> dict:
             journaled = asyncio.run(
                 _bench_gateway_journaled(scenario, config, tmp)
             )
+        with tempfile.TemporaryDirectory() as tmp:
+            evented = asyncio.run(
+                _bench_gateway_events(scenario, config, tmp)
+            )
         if plain["requests_per_second"] > 0:
-            ratios.append(
+            journal_ratios.append(
                 journaled["requests_per_second"]
                 / plain["requests_per_second"]
             )
-        if (
-            not gateway_row
-            or plain["requests_per_second"]
-            > gateway_row["requests_per_second"]
-        ):
-            gateway_row = plain
-        if (
-            not journal_row
-            or journaled["requests_per_second"]
-            > journal_row["requests_per_second"]
-        ):
-            journal_row = journaled
+            event_ratios.append(
+                evented["requests_per_second"]
+                / plain["requests_per_second"]
+            )
+        gateway_row = _keep_best(gateway_row, plain)
+        journal_row = _keep_best(journal_row, journaled)
+        events_row = _keep_best(events_row, evented)
+    decision_seconds = (
+        gateway_row["elapsed_seconds"] / gateway_row["requests"]
+        if gateway_row.get("requests")
+        else 0.0
+    )
+    disabled_fraction = (
+        _EVENT_FLAG_CHECKS_PER_DECISION
+        * _disabled_event_check_seconds()
+        / decision_seconds
+        if decision_seconds > 0
+        else 0.0
+    )
     return {
         "benchmark": "service",
-        "schema": 2,
+        "schema": 3,
         "mode": "quick" if quick else "full",
         "gateway": gateway_row,
         "gateway_journal": journal_row,
+        "gateway_events": events_row,
         "journal_overhead": {
             # Self-relative (both sides of each pair measured back to
             # back on the same machine), so the ratio is comparable
             # across machines and robust to one-sided noise.
-            "throughput_ratio": max(ratios) if ratios else 0.0,
+            "throughput_ratio": max(journal_ratios) if journal_ratios else 0.0,
             "budget": JOURNAL_OVERHEAD_BUDGET,
+        },
+        "event_overhead": {
+            "throughput_ratio": max(event_ratios) if event_ratios else 0.0,
+            "budget": EVENT_OVERHEAD_BUDGET,
+            "disabled": {
+                # Flag-check cost as a fraction of mean decision latency
+                # — what a deployment without --events pays for the seam.
+                "fraction": disabled_fraction,
+                "budget": EVENT_DISABLED_BUDGET,
+                "flag_checks_per_decision": _EVENT_FLAG_CHECKS_PER_DECISION,
+            },
         },
         "tcp": asyncio.run(_bench_tcp(scenario, config)),
     }
@@ -232,8 +319,10 @@ def run_service_benchmark(quick: bool = False) -> dict:
 
 def render_service_report(payload: dict) -> str:
     lines = [f"service benchmark ({payload['mode']})"]
-    for section in ("gateway", "gateway_journal", "tcp"):
-        row = payload[section]
+    for section in ("gateway", "gateway_journal", "gateway_events", "tcp"):
+        row = payload.get(section)
+        if row is None:
+            continue
         latency = row["latency_ms"]
         lines.append(
             f"  {section:15s} {row['requests_per_second']:>9.0f} req/s   "
@@ -245,6 +334,15 @@ def render_service_report(payload: dict) -> str:
         f"  journal overhead: {1.0 - overhead['throughput_ratio']:.1%} of "
         f"throughput (budget {overhead['budget']:.0%})"
     )
+    events = payload.get("event_overhead")
+    if events is not None:
+        disabled = events["disabled"]
+        lines.append(
+            f"  event overhead:   {1.0 - events['throughput_ratio']:.1%} of "
+            f"throughput enabled (budget {events['budget']:.0%}); "
+            f"disabled path {disabled['fraction']:.2%} of decision latency "
+            f"(budget {disabled['budget']:.0%})"
+        )
     return "\n".join(lines)
 
 
@@ -253,33 +351,46 @@ def check_service_regression(
     reference_path: str | Path,
     tolerance: float = JOURNAL_OVERHEAD_BUDGET,
 ) -> list[str]:
-    """Gate the durability cost; returns human-readable failures.
+    """Gate the instrumentation costs; returns human-readable failures.
 
-    Two checks, both on the machine-independent self-relative ratio:
-    the fresh run must keep journaled throughput within ``tolerance``
-    of unjournaled (the budget), and must not fall more than the budget
-    below the checked-in reference's ratio (drift guard).  Absolute
-    req/s are reported but never gated on.
+    All gates run on machine-independent self-relative numbers: the
+    journal and enabled-event-log throughput ratios must stay within
+    their budgets and must not fall more than the budget below the
+    checked-in reference's ratios (drift guard); the disabled event
+    path's flag-check cost must stay within its fraction of mean
+    decision latency.  Absolute req/s are reported but never gated on.
     """
     failures: list[str] = []
-    measured = result["journal_overhead"]["throughput_ratio"]
-    floor = 1.0 - tolerance
-    if measured < floor:
-        failures.append(
-            f"journal_overhead: journaled throughput is {measured:.3f}x "
-            f"unjournaled, below the {floor:.3f}x budget "
-            f"(journaling may cost at most {tolerance:.0%})"
-        )
     reference = json.loads(Path(reference_path).read_text())
-    reference_ratio = reference.get("journal_overhead", {}).get(
-        "throughput_ratio"
-    )
-    if reference_ratio is not None:
-        drift_floor = reference_ratio * (1.0 - tolerance)
-        if measured < drift_floor:
+
+    def _gate_ratio(section: str, what: str, budget: float) -> None:
+        measured = result[section]["throughput_ratio"]
+        floor = 1.0 - budget
+        if measured < floor:
             failures.append(
-                f"journal_overhead: ratio {measured:.3f}x fell below "
-                f"{drift_floor:.3f}x (reference {reference_ratio:.3f}x "
-                f"- {tolerance:.0%} tolerance)"
+                f"{section}: {what} throughput is {measured:.3f}x plain, "
+                f"below the {floor:.3f}x budget "
+                f"({what} may cost at most {budget:.0%})"
+            )
+        reference_ratio = reference.get(section, {}).get("throughput_ratio")
+        if reference_ratio is not None:
+            drift_floor = reference_ratio * (1.0 - budget)
+            if measured < drift_floor:
+                failures.append(
+                    f"{section}: ratio {measured:.3f}x fell below "
+                    f"{drift_floor:.3f}x (reference {reference_ratio:.3f}x "
+                    f"- {budget:.0%} tolerance)"
+                )
+
+    _gate_ratio("journal_overhead", "journaled", tolerance)
+    events = result.get("event_overhead")
+    if events is not None:
+        _gate_ratio("event_overhead", "event-logged", events["budget"])
+        disabled = events["disabled"]
+        if disabled["fraction"] > disabled["budget"]:
+            failures.append(
+                f"event_overhead: disabled-path flag checks cost "
+                f"{disabled['fraction']:.2%} of mean decision latency, "
+                f"over the {disabled['budget']:.0%} budget"
             )
     return failures

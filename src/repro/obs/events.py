@@ -1,0 +1,475 @@
+"""The ``COMEVT1`` gateway event log: live ops telemetry that replays.
+
+One append-only JSONL stream records everything a running
+:class:`~repro.service.gateway.MatchingGateway` does — arrivals,
+decisions with payment and platform attribution, shed requests, breaker
+trips, crash/recovery markers, periodic metrics snapshots.  The stream
+serves two masters at once:
+
+* **live ops** — the dashboard (:mod:`repro.service.dashboard`) tails it
+  over SSE and renders the map/heatmap/panel view;
+* **replay** — the *canonical* subset of the stream is a complete,
+  deterministic record of the run's inputs and outputs.  Re-driving the
+  recorded arrivals through a fresh engine regenerates the canonical
+  stream **byte-identically** (``com-repro replay-events --verify``),
+  which unifies the event log with the journal/trace/replay machinery.
+
+Event taxonomy:
+
+* :data:`CANONICAL_KINDS` (``meta`` / ``worker`` / ``decision`` /
+  ``resolution`` / ``shed`` / ``drain``) — a pure function of the trace;
+  these survive the canonical projection.  A ``decision`` event carries
+  the full request wire entity alongside the outcome, so one event per
+  request records both the arrival and what the engine did with it.
+* :data:`OPS_KINDS` (``breaker`` / ``metrics`` / ``crash`` /
+  ``recovered``) — operational annotations (wall-clock values, failure
+  markers); stripped by :func:`canonical_projection`, which is what
+  "byte-identical modulo crash markers" means.
+
+Every line is one JSON object encoded by :func:`encode_canonical`
+(sorted keys, compact separators) with a ``kind`` / ``seq`` / ``time``
+envelope; the projection drops ``seq`` (a process-local counter that
+restarts mid-stream numbering never disturbs) and any ``wall`` field
+(reserved for wall-clock payloads).  The file tail is crash-tolerant the
+same way the journal's is: a torn trailing line is truncated on
+:meth:`EventLog.resume`, corruption anywhere earlier raises
+:class:`~repro.errors.EventLogError`.
+
+The write path mirrors the :class:`~repro.obs.probe.Probe` seam:
+:class:`EventSink` is the no-op default (a couple of ``enabled`` flag
+reads per decision — budgeted like the probe's disabled path), and
+:class:`EventLog` is the live implementation with an in-memory ring for
+SSE catch-up, bounded per-subscriber queues that drop (and count) on
+backpressure, and counters mirrored into a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import time
+from collections import deque
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO
+
+from repro.errors import EventLogError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EVENT_FORMAT",
+    "CANONICAL_KINDS",
+    "OPS_KINDS",
+    "EventSink",
+    "NULL_EVENT_SINK",
+    "EventLog",
+    "GatewayEvent",
+    "canonical_projection",
+    "encode_canonical",
+    "read_events",
+    "row_digest",
+]
+
+#: Schema tag carried by every stream's ``meta`` event.
+EVENT_SCHEMA = "COMEVT1"
+#: Bumped on incompatible envelope changes.
+EVENT_FORMAT = 1
+
+#: Kinds that are a deterministic function of the trace — the replayable
+#: record.  :func:`canonical_projection` keeps exactly these.
+CANONICAL_KINDS = frozenset(
+    {"meta", "worker", "decision", "resolution", "shed", "drain"}
+)
+#: Operational kinds (wall-clock content, failure markers); informative
+#: for dashboards, excluded from byte-identity comparisons.
+OPS_KINDS = frozenset({"breaker", "metrics", "crash", "recovered"})
+
+#: Envelope keys owned by the log itself; ``emit`` fields must not collide.
+_ENVELOPE_KEYS = frozenset({"kind", "seq", "time"})
+
+
+def encode_canonical(payload: object) -> bytes:
+    """The one true event/row encoding: sorted keys, compact separators.
+
+    Every byte-identity comparison in the event-log machinery (stream
+    projections, metric-row digests) goes through this single encoder so
+    there is exactly one way to serialise a record.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def row_digest(row: dict) -> str:
+    """SHA-256 hex digest of a metric row's canonical encoding.
+
+    The ``drain`` event carries this, which makes a recorded stream
+    self-verifying: replay recomputes the digest from its own drained
+    row, and the canonical byte comparison then covers the metrics too.
+    """
+    return hashlib.sha256(encode_canonical(row)).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class GatewayEvent:
+    """One decoded event: the envelope plus its kind-specific fields."""
+
+    seq: int
+    kind: str
+    time: float
+    fields: dict
+
+    def as_dict(self) -> dict:
+        """The full JSON-ready record (what the file line holds)."""
+        payload = {"kind": self.kind, "seq": self.seq, "time": self.time}
+        payload.update(self.fields)
+        return payload
+
+    def canonical_dict(self) -> dict:
+        """The record minus ``seq`` and any ``wall`` payload.
+
+        ``seq`` is process-local (a recovered process resumes numbering,
+        a replay restarts it); ``wall`` is reserved for wall-clock
+        observations.  Neither may disturb byte-identity.
+        """
+        payload = {"kind": self.kind, "time": self.time}
+        for key, value in self.fields.items():
+            if key != "wall":
+                payload[key] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GatewayEvent":
+        """Decode one record; raises :class:`EventLogError` if malformed."""
+        try:
+            seq = int(payload["seq"])
+            kind = str(payload["kind"])
+            at = float(payload["time"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise EventLogError(
+                f"event record missing or malformed envelope: {payload!r}"
+            ) from error
+        fields = {
+            key: value
+            for key, value in payload.items()
+            if key not in _ENVELOPE_KEYS
+        }
+        return cls(seq=seq, kind=kind, time=at, fields=fields)
+
+
+def canonical_projection(events: Iterable[GatewayEvent]) -> bytes:
+    """The replay-comparable bytes of a stream.
+
+    Keeps :data:`CANONICAL_KINDS` only, drops ``seq``/``wall``, encodes
+    each record with :func:`encode_canonical`, one per line.  Two runs
+    of the same trace — live vs replayed, crashed-and-recovered vs
+    uninterrupted — must produce equal projections.
+    """
+    lines = [
+        encode_canonical(event.canonical_dict())
+        for event in events
+        if event.kind in CANONICAL_KINDS
+    ]
+    if not lines:
+        return b""
+    return b"\n".join(lines) + b"\n"
+
+
+def _scan(path: Path) -> tuple[list[GatewayEvent], int]:
+    """Decode a stream file; returns (events, intact byte length).
+
+    A torn trailing line (no newline, or undecodable) is dropped and
+    excluded from the intact length — the crash-tolerant tail.  Any
+    earlier malformed line raises :class:`EventLogError`.
+    """
+    raw = path.read_bytes()
+    events: list[GatewayEvent] = []
+    intact = 0
+    offset = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline < 0:
+            break  # torn tail: bytes past the last newline
+        line = raw[offset:newline]
+        if line:
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise EventLogError(
+                    f"{path}: undecodable event line at byte {offset} "
+                    f"(not the torn tail): {error}"
+                ) from None
+            if not isinstance(payload, dict):
+                raise EventLogError(
+                    f"{path}: event line at byte {offset} is not an object"
+                )
+            events.append(GatewayEvent.from_dict(payload))
+        offset = newline + 1
+        intact = offset
+    return events, intact
+
+
+def read_events(path: str | Path) -> list[GatewayEvent]:
+    """Read a recorded ``COMEVT1`` stream (torn trailing line tolerated)."""
+    events, __ = _scan(Path(path))
+    return events
+
+
+class EventSink:
+    """The no-op default sink — the event-log analogue of ``NULL_PROBE``.
+
+    Decision-path code guards every emission with ``sink.enabled``, so a
+    gateway without an event log pays only attribute reads (budgeted at
+    <= 5% of mean decision latency by the service benchmark's
+    ``event_overhead.disabled`` gate).
+    """
+
+    __slots__ = ()
+
+    enabled: bool = False
+
+    def emit(self, kind: str, at: float, **fields: object) -> None:
+        """Record one event (no-op here)."""
+        return None
+
+    def flush(self) -> None:
+        """Push buffered bytes to the OS (no-op here)."""
+        return None
+
+    def close(self) -> None:
+        """Flush and release the underlying file (no-op here)."""
+        return None
+
+
+#: Shared no-op sink; safe to share because it holds no state.
+NULL_EVENT_SINK = EventSink()
+
+#: Deferred file writes are encoded in batches of this many events.
+_WRITE_BATCH = 256
+
+
+class EventLog(EventSink):
+    """The live sink: JSONL file + in-memory ring + SSE subscriptions.
+
+    ``path=None`` keeps the stream purely in memory (dashboard without
+    persistence, golden runs in tests); ``ring=0`` makes the in-memory
+    ring unbounded (needed when the ring *is* the record).  Subscriber
+    queues are bounded: a slow consumer loses events (counted in
+    :attr:`dropped` and ``service_events_dropped_total``) instead of
+    stalling the decision loop — SSE clients resynchronise from the ring
+    by ``seq``.
+    """
+
+    __slots__ = (
+        "path",
+        "next_seq",
+        "emitted",
+        "dropped",
+        "_file",
+        "_pending",
+        "_ring",
+        "_registry",
+        "_counter",
+        "_subscribers",
+        "_observers",
+        "_queue_limit",
+        "_epoch",
+        "_closed",
+    )
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+        ring: int = 4096,
+        queue_limit: int = 1024,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.next_seq = 0
+        #: Events emitted by this process (``next_seq`` counts the whole
+        #: file after a resume; this counts our own lifetime only).
+        self.emitted = 0
+        #: Events dropped on subscriber backpressure.
+        self.dropped = 0
+        self._file: IO[bytes] | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("wb")
+        #: Write-behind buffer: events whose JSON encoding is deferred off
+        #: the decision path until a batch boundary or :meth:`flush`.
+        self._pending: list[GatewayEvent] = []
+        self._ring: deque[GatewayEvent] = (
+            deque(maxlen=ring) if ring > 0 else deque()
+        )
+        self._registry = registry
+        self._counter = (
+            registry.counter("service_events_total")
+            if registry is not None
+            else None
+        )
+        self._subscribers: list[asyncio.Queue] = []
+        self._observers: list[Callable[[GatewayEvent], None]] = []
+        self._queue_limit = queue_limit
+        self._epoch = time.monotonic()
+        self._closed = False
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | Path,
+        *,
+        registry: MetricsRegistry | None = None,
+        ring: int = 4096,
+        queue_limit: int = 1024,
+    ) -> "EventLog":
+        """Reopen a stream a crashed process left behind.
+
+        Scans the file, truncates a torn trailing line, seeds the ring
+        with the recorded tail, and continues ``seq`` numbering where
+        the file left off — the recovered gateway appends to the same
+        stream (:func:`canonical_projection` is what stays comparable
+        across the crash, not raw bytes).
+        """
+        target = Path(path)
+        recorded, intact = _scan(target)
+        if intact < target.stat().st_size:
+            os.truncate(target, intact)
+        log = cls(
+            path=None, registry=registry, ring=ring, queue_limit=queue_limit
+        )
+        log.path = target
+        log._file = target.open("ab")
+        log._ring.extend(recorded)
+        log.next_seq = recorded[-1].seq + 1 if recorded else 0
+        return log
+
+    # -- the write path ------------------------------------------------------
+
+    def emit(self, kind: str, at: float, **fields: object) -> None:
+        """Append one event and fan it out (file, ring, subscribers).
+
+        Synchronous and yield-free, so a batch of emissions from one
+        decision is atomic with respect to other asyncio tasks.  File
+        encoding is write-behind: the event lands in :attr:`_pending`
+        and is JSON-encoded at the next batch boundary / :meth:`flush`,
+        keeping the decision path's per-event cost to appends and
+        counters (the ``event_overhead`` benchmark gate).
+        """
+        if self._closed:
+            return
+        if _ENVELOPE_KEYS & fields.keys():
+            raise EventLogError(
+                f"event fields may not shadow the envelope: {sorted(_ENVELOPE_KEYS & fields.keys())}"
+            )
+        event = GatewayEvent(seq=self.next_seq, kind=kind, time=at, fields=fields)
+        self.next_seq += 1
+        self.emitted += 1
+        if self._file is not None:
+            self._pending.append(event)
+            if len(self._pending) >= _WRITE_BATCH:
+                self._write_pending()
+        self._ring.append(event)
+        if self._counter is not None:
+            self._counter.inc(kind=kind)
+        for queue in self._subscribers:
+            try:
+                queue.put_nowait(event)
+            except asyncio.QueueFull:
+                self.dropped += 1
+                if self._registry is not None:
+                    self._registry.counter(
+                        "service_events_dropped_total"
+                    ).inc(reason="slow_subscriber")
+        if self._registry is not None and self._subscribers:
+            self._registry.gauge("service_event_lag").set(self.lag)
+        for observer in self._observers:
+            observer(event)
+
+    def _write_pending(self) -> None:
+        """Encode and write the deferred batch in emission order."""
+        if not self._pending or self._file is None:
+            return
+        self._file.write(
+            b"".join(
+                encode_canonical(event.as_dict()) + b"\n"
+                for event in self._pending
+            )
+        )
+        self._pending.clear()
+
+    def flush(self) -> None:
+        """Encode the pending batch and push buffered bytes to the OS."""
+        if self._file is not None and not self._closed:
+            self._write_pending()
+            self._file.flush()
+
+    def close(self) -> None:
+        """Flush and release the file; further emissions are dropped."""
+        if self._closed:
+            return
+        self._write_pending()
+        self._closed = True
+        if self._file is not None:
+            self._file.flush()
+            self._file.close()
+            self._file = None
+
+    # -- the read path -------------------------------------------------------
+
+    def events(self, since: int = -1) -> list[GatewayEvent]:
+        """Ring contents with ``seq > since`` (SSE catch-up)."""
+        return [event for event in self._ring if event.seq > since]
+
+    def subscribe(self) -> asyncio.Queue:
+        """A bounded live queue of every future event."""
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self._queue_limit)
+        self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        """Detach a queue from :meth:`subscribe`."""
+        try:
+            self._subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    def add_observer(self, observer: Callable[[GatewayEvent], None]) -> None:
+        """Register a synchronous per-event callback (dashboard state).
+
+        Observers run inline on the emitting (decision-loop) task; they
+        must be cheap and must not raise.
+        """
+        self._observers.append(observer)
+
+    # -- observability of the observer ---------------------------------------
+
+    @property
+    def lag(self) -> int:
+        """Deepest subscriber backlog (0 with no subscribers)."""
+        return max(
+            (queue.qsize() for queue in self._subscribers), default=0
+        )
+
+    @property
+    def events_per_second(self) -> float:
+        """This process's emission rate over its lifetime (wall clock)."""
+        elapsed = time.monotonic() - self._epoch
+        return self.emitted / elapsed if elapsed > 0 else 0.0
+
+    def stats(self) -> dict:
+        """JSON-ready health row (the gateway ``stats`` verb's section)."""
+        return {
+            "path": str(self.path) if self.path is not None else None,
+            "next_seq": self.next_seq,
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "subscribers": len(self._subscribers),
+            "lag": self.lag,
+            "events_per_second": self.events_per_second,
+        }

@@ -13,17 +13,57 @@ from dataclasses import dataclass, field
 
 from repro.obs.metrics import MetricsSnapshot
 
-__all__ = ["TelemetrySummary", "WALL_CLOCK_FAMILIES"]
+__all__ = [
+    "TelemetrySummary",
+    "WALL_CLOCK_FAMILIES",
+    "strip_wall_clock_families",
+]
 
 #: Metric families whose *values* come from wall-clock reads (Stopwatch
 #: timings).  Everything else in a summary is a deterministic function of
 #: (scenario, seed); strip these before byte-level comparisons — e.g. the
 #: parallel-vs-serial identity guarantee of
 #: :class:`repro.experiments.parallel.ParallelRunner`.
+#: ``service_latency_seconds`` is the gateway's end-to-end wall latency
+#: histogram (:mod:`repro.service.gateway`); ``claim_backoff_seconds`` is
+#: *not* listed — its values are seeded simulated backoffs, deterministic
+#: per (scenario, seed).
 WALL_CLOCK_FAMILIES: tuple[str, ...] = (
     "decision_seconds",
     "exchange_rpc_seconds",
+    "service_latency_seconds",
 )
+
+#: The three sections of a :meth:`MetricsSnapshot.as_dict` payload.
+_SNAPSHOT_SECTIONS = ("counters", "gauges", "histograms")
+
+
+def strip_wall_clock_families(payload: object) -> object:
+    """Strip :data:`WALL_CLOCK_FAMILIES` from *nested* snapshot payloads.
+
+    :meth:`MetricsSnapshot.without_families` only sees one flat snapshot;
+    exported payloads (gateway ``stats``, the dashboard ``/state`` body,
+    ``metrics_to_dict`` rows with telemetry attached) embed snapshot
+    dicts at arbitrary depth.  This walks any JSON-shaped payload and
+    removes wall-clock families from every ``counters`` / ``gauges`` /
+    ``histograms`` section it finds, returning a filtered copy (the
+    input is never mutated).
+    """
+    if isinstance(payload, dict):
+        filtered: dict = {}
+        for key, value in payload.items():
+            if key in _SNAPSHOT_SECTIONS and isinstance(value, dict):
+                filtered[key] = {
+                    name: strip_wall_clock_families(entries)
+                    for name, entries in value.items()
+                    if name not in WALL_CLOCK_FAMILIES
+                }
+            else:
+                filtered[key] = strip_wall_clock_families(value)
+        return filtered
+    if isinstance(payload, list):
+        return [strip_wall_clock_families(item) for item in payload]
+    return payload
 
 
 @dataclass(frozen=True)
@@ -70,9 +110,16 @@ class TelemetrySummary:
 
     def without_wall_clock(self) -> "TelemetrySummary":
         """The summary minus :data:`WALL_CLOCK_FAMILIES` — the part that is
-        a deterministic function of (scenario, seed)."""
+        a deterministic function of (scenario, seed).
+
+        Strips recursively via :func:`strip_wall_clock_families`, so
+        wall-clock histogram series survive in *no* snapshot section even
+        when a merged/pooled payload carries nested snapshot dicts.
+        """
+        payload = strip_wall_clock_families(self.metrics.as_dict())
+        assert isinstance(payload, dict)
         return TelemetrySummary(
-            metrics=self.metrics.without_families(*WALL_CLOCK_FAMILIES),
+            metrics=MetricsSnapshot.from_dict(payload),
             trace_events=self.trace_events,
             span_counts=dict(self.span_counts),
         )

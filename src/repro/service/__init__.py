@@ -20,14 +20,20 @@ at a time over a socket:
   suffix replay, byte-identical to the uninterrupted run).
 - :mod:`~repro.service.soak` — the chaos soak harness: paced load
   through repeated induced crash→recover cycles, sanitizer on.
+- :mod:`~repro.service.dashboard` / :mod:`~repro.service.replay` — live
+  ops over the ``COMEVT1`` event stream (:mod:`repro.obs.events`): a
+  stdlib HTTP + SSE dashboard, and verified byte-identical replay of
+  recorded streams (``com-repro replay-events --verify``).
 
-See docs/SERVICE.md for the protocol and operational guidance, and
+See docs/SERVICE.md for the protocol and operational guidance,
+docs/DASHBOARD.md for the event schema and live-ops endpoints, and
 docs/RESILIENCE.md for the crash model.
 """
 
 from repro.service.admission import AdmissionController, AdmissionPolicy
 from repro.service.clock import RealTimeClock, ServiceClock, VirtualClock
 from repro.service.client import GatewayClient, drive_trace
+from repro.service.dashboard import DashboardServer, LiveState
 from repro.service.gateway import (
     STATUS_DEFERRED,
     STATUS_SHED,
@@ -51,6 +57,7 @@ from repro.service.journal import (
     scan_journal,
 )
 from repro.service.recovery import RecoveryReport, recover_gateway
+from repro.service.replay import ReplayReport, replay_event_log
 from repro.service.snapshot import SNAPSHOT_FORMAT, read_snapshot, write_snapshot
 from repro.service.soak import SoakConfig, SoakReport, run_soak
 
@@ -58,8 +65,11 @@ __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
     "DEFAULT_HOST",
+    "DashboardServer",
     "FSYNC_POLICIES",
     "GatewayClient",
+    "LiveState",
+    "ReplayReport",
     "JOURNAL_FORMAT",
     "Journal",
     "JournalConfig",
@@ -79,6 +89,7 @@ __all__ = [
     "drive_trace",
     "read_snapshot",
     "recover_gateway",
+    "replay_event_log",
     "request_from_wire",
     "request_to_wire",
     "run_soak",

@@ -187,6 +187,11 @@ class GatewayClient:
         """Announce one worker arrival."""
         await self.call("worker", worker=worker_to_wire(worker))
 
+    async def replay_shed(self, request: Request) -> ServiceOutcome:
+        """Re-apply a recorded shed decision (the event-replay path)."""
+        response = await self.call("shed", request=request_to_wire(request))
+        return ServiceOutcome.from_dict(response["outcome"])
+
     async def outcome_of(self, request_id: str) -> ServiceOutcome | None:
         """Look up a request's latest recorded outcome (None if unknown)."""
         response = await self.call("outcome", request_id=request_id)

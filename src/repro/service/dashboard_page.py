@@ -1,0 +1,284 @@
+"""The dashboard's single-file HTML page (no external assets).
+
+Served verbatim at ``GET /`` by :class:`~repro.service.dashboard.
+DashboardServer`.  Everything is inline — vanilla JS, canvas rendering,
+``EventSource`` for the SSE stream, ``fetch`` for ``/state`` — so the
+page works from a bare ``python -m repro.cli serve --dashboard`` with no
+build step, CDN, or network access (the map is an abstract city-km
+plane, not map tiles).
+
+Three live surfaces, all driven by the ``COMEVT1`` stream:
+
+* **map** — workers (rings) and requests (dots) positioned on the city
+  plane, coloured by platform; recent matches drawn as connecting edges;
+* **heatmap** — per-grid-cell request counts (the spatial-load view:
+  hot downtown cells saturate first);
+* **panels** — rolling decisions/sec and shed/sec folded from event
+  arrival times, plus end-to-end latency quantiles polled from the
+  ``/state`` histogram (wall-clock families are stripped from the
+  exported snapshot, so latency is read from the dedicated panel's
+  ``service_latency_seconds`` poll of ``/metrics``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>COM live ops</title>
+<style>
+  :root { color-scheme: dark; }
+  body { margin: 0; font: 13px/1.4 system-ui, sans-serif;
+         background: #0d1117; color: #c9d1d9; }
+  header { display: flex; gap: 1.5em; align-items: baseline;
+           padding: 8px 14px; background: #161b22;
+           border-bottom: 1px solid #30363d; flex-wrap: wrap; }
+  header h1 { font-size: 15px; margin: 0; color: #e6edf3; }
+  .stat b { color: #e6edf3; font-variant-numeric: tabular-nums; }
+  .ok { color: #3fb950; } .bad { color: #f85149; }
+  main { display: grid; grid-template-columns: 2fr 1fr;
+         gap: 10px; padding: 10px; }
+  section { background: #161b22; border: 1px solid #30363d;
+            border-radius: 6px; padding: 8px; }
+  section h2 { font-size: 12px; margin: 0 0 6px;
+               color: #8b949e; text-transform: uppercase; }
+  canvas { width: 100%; display: block; }
+  #log { height: 120px; overflow-y: auto; font: 11px/1.5 ui-monospace,
+         monospace; white-space: pre; color: #8b949e; }
+  #panels { display: grid; gap: 10px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>COM live ops</h1>
+  <span class="stat">run <b id="h-run">–</b></span>
+  <span class="stat">decided <b id="h-decided">0</b></span>
+  <span class="stat">shed <b id="h-shed">0</b></span>
+  <span class="stat">queue <b id="h-queue">0</b></span>
+  <span class="stat">events/s <b id="h-eps">0</b></span>
+  <span class="stat">event lag <b id="h-lag">0</b></span>
+  <span class="stat" id="h-state">connecting…</span>
+</header>
+<main>
+  <div id="panels">
+    <section><h2>city map — workers ∘, requests ·, matches —</h2>
+      <canvas id="map" width="860" height="560"></canvas></section>
+    <section><h2>event feed</h2><div id="log"></div></section>
+  </div>
+  <div id="panels">
+    <section><h2>grid-cell request load</h2>
+      <canvas id="heat" width="420" height="280"></canvas></section>
+    <section><h2>decisions / shed per second</h2>
+      <canvas id="tput" width="420" height="120"></canvas></section>
+    <section><h2>service latency (ms, p50 / p95)</h2>
+      <canvas id="lat" width="420" height="120"></canvas></section>
+  </div>
+</main>
+<script>
+"use strict";
+const world = { workers: new Map(), requests: new Map(), matches: [] };
+const cells = new Map();
+let cellKm = 1.0, bounds = { maxX: 8, maxY: 8 };
+const tputBuckets = new Map(), shedBuckets = new Map();
+const latSeries = [];
+const palette = ["#58a6ff", "#f778ba", "#3fb950", "#d29922",
+                 "#bc8cff", "#f85149", "#76e3ea", "#ffab70"];
+const platformColor = new Map();
+function colorOf(p) {
+  if (!platformColor.has(p))
+    platformColor.set(p, palette[platformColor.size % palette.length]);
+  return platformColor.get(p);
+}
+function bucket(map) {
+  const now = Math.floor(Date.now() / 1000);
+  map.set(now, (map.get(now) || 0) + 1);
+  for (const key of map.keys()) if (key < now - 60) map.delete(key);
+}
+function grow(x, y) {
+  bounds.maxX = Math.max(bounds.maxX, x + 0.5);
+  bounds.maxY = Math.max(bounds.maxY, y + 0.5);
+}
+let decided = 0, sheds = 0;
+function fold(ev) {
+  if (ev.kind === "worker") {
+    const w = ev.worker;
+    world.workers.set(w.id, { x: w.x, y: w.y, p: w.platform, s: "idle" });
+    grow(w.x, w.y);
+  } else if (ev.kind === "decision" || ev.kind === "resolution") {
+    decided += 1; bucket(tputBuckets);
+    let r;
+    if (typeof ev.request === "object") {
+      // A decision carries the arrival's wire entity inline.
+      const q = ev.request;
+      r = { x: q.x, y: q.y, p: q.platform, s: ev.status };
+      world.requests.set(q.id, r);
+      grow(q.x, q.y);
+      const key = Math.floor(q.x / cellKm) + "," + Math.floor(q.y / cellKm);
+      cells.set(key, (cells.get(key) || 0) + 1);
+    } else {
+      r = world.requests.get(ev.request);
+      if (r) r.s = ev.status;
+    }
+    if (ev.worker) {
+      const w = world.workers.get(ev.worker);
+      if (w) w.s = "matched";
+      if (r && w) {
+        world.matches.push({ a: r, b: w });
+        if (world.matches.length > 150) world.matches.shift();
+      }
+    }
+  } else if (ev.kind === "shed") {
+    sheds += 1; bucket(shedBuckets);
+    const r = ev.request;
+    world.requests.set(r.id, { x: r.x, y: r.y, p: r.platform, s: "shed" });
+  } else if (ev.kind === "crash") {
+    logLine("!! crash: " + ev.error);
+  } else if (ev.kind === "recovered") {
+    logLine("!! recovered at checkpoint seq " + ev.checkpoint_seq);
+  } else if (ev.kind === "meta") {
+    document.getElementById("h-run").textContent =
+      ev.algorithm + " / " + ev.scenario;
+  }
+}
+const logEl = document.getElementById("log");
+let logCount = 0;
+function logLine(text) {
+  logCount += 1;
+  if (logCount % 120 === 0) logEl.textContent = "";
+  logEl.textContent += text + "\\n";
+  logEl.scrollTop = logEl.scrollHeight;
+}
+function drawMap() {
+  const canvas = document.getElementById("map");
+  const g = canvas.getContext("2d");
+  const sx = canvas.width / bounds.maxX, sy = canvas.height / bounds.maxY;
+  g.clearRect(0, 0, canvas.width, canvas.height);
+  g.lineWidth = 1; g.strokeStyle = "rgba(139,148,158,0.35)";
+  for (const m of world.matches) {
+    g.beginPath();
+    g.moveTo(m.a.x * sx, canvas.height - m.a.y * sy);
+    g.lineTo(m.b.x * sx, canvas.height - m.b.y * sy);
+    g.stroke();
+  }
+  for (const w of world.workers.values()) {
+    g.beginPath();
+    g.strokeStyle = colorOf(w.p);
+    g.globalAlpha = w.s === "matched" ? 0.35 : 1.0;
+    g.arc(w.x * sx, canvas.height - w.y * sy, 4, 0, 7);
+    g.stroke();
+  }
+  for (const r of world.requests.values()) {
+    g.beginPath();
+    g.fillStyle = r.s === "shed" ? "#f85149"
+      : r.s === "reject" ? "#8b949e" : colorOf(r.p);
+    g.globalAlpha = r.s === "pending" ? 1.0 : 0.55;
+    g.arc(r.x * sx, canvas.height - r.y * sy, 2.2, 0, 7);
+    g.fill();
+  }
+  g.globalAlpha = 1.0;
+}
+function drawHeat() {
+  const canvas = document.getElementById("heat");
+  const g = canvas.getContext("2d");
+  g.clearRect(0, 0, canvas.width, canvas.height);
+  const nx = Math.ceil(bounds.maxX / cellKm), ny = Math.ceil(bounds.maxY / cellKm);
+  const cw = canvas.width / nx, ch = canvas.height / ny;
+  let peak = 1;
+  for (const v of cells.values()) peak = Math.max(peak, v);
+  for (const [key, v] of cells) {
+    const [i, j] = key.split(",").map(Number);
+    const heat = v / peak;
+    g.fillStyle = "rgba(" + Math.round(40 + 215 * heat) + ","
+      + Math.round(90 * (1 - heat) + 40) + ",60," + (0.25 + 0.75 * heat) + ")";
+    g.fillRect(i * cw, canvas.height - (j + 1) * ch, cw - 1, ch - 1);
+  }
+}
+function drawSeries(id, series, color, label) {
+  const canvas = document.getElementById(id);
+  const g = canvas.getContext("2d");
+  g.clearRect(0, 0, canvas.width, canvas.height);
+  const peak = Math.max(1, ...series.map(s => s.v));
+  const bw = canvas.width / Math.max(series.length, 60);
+  series.forEach((s, i) => {
+    g.fillStyle = s.c || color;
+    const h = (s.v / peak) * (canvas.height - 14);
+    g.fillRect(i * bw, canvas.height - h, bw - 1, h);
+  });
+  g.fillStyle = "#8b949e";
+  g.fillText(label + "  peak " + peak.toFixed(1), 4, 10);
+}
+function rollup(map) {
+  const now = Math.floor(Date.now() / 1000), out = [];
+  for (let t = now - 59; t <= now; t++) out.push({ v: map.get(t) || 0 });
+  return out;
+}
+function render() {
+  drawMap(); drawHeat();
+  const tput = rollup(tputBuckets);
+  const shed = rollup(shedBuckets).map(s => ({ v: s.v, c: "#f85149" }));
+  drawSeries("tput", tput.map((s, i) =>
+    shed[i].v > s.v ? shed[i] : s), "#3fb950", "decisions/s");
+  drawSeries("lat", latSeries.slice(-60), "#d29922", "p95 ms");
+  document.getElementById("h-decided").textContent = decided;
+  document.getElementById("h-shed").textContent = sheds;
+}
+setInterval(render, 1000);
+
+function quantile(hist, q) {
+  // hist: [{bounds: [...], counts: [...], count: n}] pooled over series.
+  let total = 0;
+  for (const s of hist) total += s.count;
+  if (!total) return 0;
+  const target = q * total;
+  const bounds = hist[0].bounds;
+  const pooled = new Array(bounds.length + 1).fill(0);
+  for (const s of hist) s.counts.forEach((c, i) => pooled[i] += c);
+  let seen = 0;
+  for (let i = 0; i < pooled.length; i++) {
+    seen += pooled[i];
+    if (seen >= target) return i < bounds.length ? bounds[i] : bounds[bounds.length - 1];
+  }
+  return bounds[bounds.length - 1];
+}
+async function pollState() {
+  try {
+    const res = await fetch("/state");
+    const body = await res.json();
+    const stats = body.stats;
+    document.getElementById("h-queue").textContent = stats.pending;
+    if (stats.events) {
+      document.getElementById("h-eps").textContent =
+        stats.events.events_per_second.toFixed(1);
+      document.getElementById("h-lag").textContent = stats.events.lag;
+    }
+    // Wall-clock families are stripped from /state; poll /metrics for
+    // the latency histogram (operator view, not a replay artifact).
+    const metrics = await (await fetch("/metrics")).json();
+    const hist = (metrics.histograms || {})["service_latency_seconds"];
+    if (hist && hist.length) {
+      latSeries.push({ v: quantile(hist, 0.95) * 1000 });
+      if (latSeries.length > 120) latSeries.shift();
+    }
+  } catch (err) { /* server draining; keep the last view */ }
+}
+setInterval(pollState, 2000); pollState();
+
+const source = new EventSource("/events");
+const stateEl = document.getElementById("h-state");
+source.onopen = () => { stateEl.textContent = "live"; stateEl.className = "ok"; };
+source.onerror = () => { stateEl.textContent = "disconnected"; stateEl.className = "bad"; };
+source.onmessage = (message) => {
+  const ev = JSON.parse(message.data);
+  fold(ev);
+  if (ev.kind === "decision" || ev.kind === "shed")
+    logLine("t=" + ev.time.toFixed(1) + " " + ev.kind + " " +
+            (ev.request.id || ev.request) + " -> " + (ev.status || "") +
+            (ev.worker ? " @" + ev.worker : ""));
+};
+</script>
+</body>
+</html>
+"""

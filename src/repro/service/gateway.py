@@ -34,7 +34,14 @@ Layers around the session:
   CrashPlan` dies deterministically at journal/checkpoint/ack boundaries;
   the gateway fail-stops (the decision loop terminates, pending callers
   see the failure, :attr:`on_crash` fires so transports can drop
-  connections like a killed process would).
+  connections like a killed process would);
+* **events** (:mod:`repro.obs.events`) — with an attached
+  :class:`~repro.obs.events.EventLog`, every arrival, decision,
+  resolution and shed is emitted to the ``COMEVT1`` stream on the
+  decision loop *after* its journal append, so events never outrun
+  durability; the canonical projection of the stream replays
+  byte-identically (``com-repro replay-events --verify``) and the live
+  dashboard (:mod:`repro.service.dashboard`) tails it over SSE.
 
 The gateway is asyncio-native and transport-agnostic; the JSONL-over-TCP
 server in :mod:`repro.service.server` is one transport over it.
@@ -60,6 +67,14 @@ from repro.core.simulator import (
 from repro.errors import ConfigurationError, ServiceError
 from repro.faults.crash import CrashInjector, CrashPlan
 from repro.obs import MetricsRegistry
+from repro.obs.events import (
+    EVENT_FORMAT,
+    EVENT_SCHEMA,
+    NULL_EVENT_SINK,
+    EventLog,
+    EventSink,
+    row_digest,
+)
 from repro.service.admission import AdmissionController, AdmissionPolicy
 from repro.service.clock import ServiceClock, VirtualClock
 from repro.service.journal import JOURNAL_FORMAT, Journal, JournalConfig
@@ -80,6 +95,9 @@ _JOURNALED_KINDS = frozenset(("worker", "request", "shed"))
 #: even while the queue stays non-empty, bounding both ack latency under
 #: sustained load and the batch a single ``interval`` fsync covers.
 _GROUP_COMMIT_MAX = 64
+
+#: Emit a periodic ``metrics`` ops event every this many canonical events.
+_METRICS_EVENT_EVERY = 256
 
 
 @dataclass(frozen=True, slots=True)
@@ -167,6 +185,7 @@ class MatchingGateway:
         session: SimulationSession | None = None,
         journal: JournalConfig | str | Path | None = None,
         crash_plan: CrashPlan | None = None,
+        events: EventSink | str | Path | None = None,
     ):
         if session is None:
             if scenario is None:
@@ -198,11 +217,26 @@ class MatchingGateway:
         self._journal: Journal | None = None
         self._journaled_workers: set[str] = set()
         self._last_checkpoint_seq = 0
+        # COMEVT1 event stream (repro.obs.events).  The sink is a
+        # gateway-level concern, never session state: the session gets
+        # pickled into COMSNAP1 checkpoints and must stay free of file
+        # handles.  All emission is flag-guarded on ``enabled``, so the
+        # default NULL_EVENT_SINK costs attribute reads only.
+        self._events: EventSink = NULL_EVENT_SINK
+        #: Resolution events buffered until the triggering arrival's
+        #: journal append succeeds (exactly-once across crash retries).
+        self._pending_resolution_events: list[tuple[float, dict]] = []
+        self._breaker_trips_seen: dict[str, int] = {}
+        self._canonical_events = 0
         session.on_resolution = self._record_resolution
         if journal is not None:
             if not isinstance(journal, JournalConfig):
                 journal = JournalConfig(directory=journal)
             self._bootstrap_journal(journal)
+        if events is not None:
+            if not isinstance(events, EventSink):
+                events = EventLog(events, registry=self.registry)
+            self.attach_events(events)
 
     @classmethod
     def from_snapshot(
@@ -310,6 +344,15 @@ class MatchingGateway:
         self.crash_error = error
         if self._journal is not None:
             self._journal.close()
+        if self._events.enabled:
+            # Ops-only crash marker: canonical projections stay identical
+            # "modulo crash markers" across crash->recover cycles.
+            self._events.emit(
+                "crash",
+                self._session.last_event_time,
+                error=type(error).__name__,
+            )
+            self._events.close()
         if self._loop_task is not None:
             if not self._loop_task.done():
                 self._loop_task.cancel()
@@ -318,6 +361,78 @@ class MatchingGateway:
             self._loop_task.add_done_callback(_retrieve_exception)
         if self.on_crash is not None:
             self.on_crash(error)
+
+    # -- the COMEVT1 event stream --------------------------------------------
+    # Canonical events (worker / request / decision / resolution / shed /
+    # drain) are emitted on the decision loop, *after* the operation's
+    # journal append succeeds, so the event stream never runs ahead of
+    # durability: a kill point inside an append loses the record AND the
+    # event together, and the retry after recovery regenerates both
+    # exactly once.  Ops events (breaker / metrics / crash / recovered)
+    # annotate the stream but are stripped by the canonical projection.
+
+    @property
+    def events(self) -> EventSink:
+        """The attached event sink (:data:`NULL_EVENT_SINK` by default)."""
+        return self._events
+
+    def attach_events(self, sink: EventSink, recovered: bool = False) -> None:
+        """Attach an event sink; a fresh stream opens with a ``meta`` event.
+
+        ``recovered=True`` (used by :func:`repro.service.recovery.
+        recover_gateway` with a resumed log) marks the reattachment with
+        an ops ``recovered`` event instead — the stream continues where
+        the crashed process left it.
+        """
+        self._events = sink
+        if not sink.enabled:
+            return
+        if recovered:
+            sink.emit(
+                "recovered",
+                self._session.last_event_time,
+                checkpoint_seq=self._last_checkpoint_seq,
+            )
+            return
+        if not isinstance(sink, EventLog) or sink.next_seq == 0:
+            sink.emit(
+                "meta",
+                0.0,
+                schema=EVENT_SCHEMA,
+                format=EVENT_FORMAT,
+                algorithm=self._session.algorithm_name,
+                scenario=self.scenario.name,
+                platforms=list(self.scenario.platform_ids),
+            )
+
+    def _emit_canonical(self, kind: str, at: float, **fields: object) -> None:
+        """Emit one canonical event plus the periodic metrics snapshot."""
+        self._events.emit(kind, at, **fields)
+        self._canonical_events += 1
+        if self._canonical_events % _METRICS_EVENT_EVERY == 0:
+            self._events.emit(
+                "metrics",
+                self._session.last_event_time,
+                snapshot=self.registry.snapshot().as_dict(),
+            )
+
+    def _flush_resolution_events(self) -> None:
+        """Emit resolutions buffered behind their arrival's journal append."""
+        for at, fields in self._pending_resolution_events:
+            self._emit_canonical("resolution", at, **fields)
+        self._pending_resolution_events.clear()
+
+    def _maybe_emit_breaker(self) -> None:
+        """Diff cumulative breaker trips; emit an ops event per increase."""
+        for platform_id, trips in self._session.breaker_trips().items():
+            if trips > self._breaker_trips_seen.get(platform_id, 0):
+                self._breaker_trips_seen[platform_id] = trips
+                self._events.emit(
+                    "breaker",
+                    self._session.last_event_time,
+                    platform=platform_id,
+                    trips=trips,
+                )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -345,6 +460,8 @@ class MatchingGateway:
         self._loop_task = None
         if self._journal is not None:
             self._journal.close()
+        if self._events.enabled:
+            self._events.flush()
 
     def _new_future(self) -> asyncio.Future:
         return asyncio.get_running_loop().create_future()
@@ -474,6 +591,13 @@ class MatchingGateway:
                         "worker", worker=worker_to_wire(payload)
                     )
                 self._journaled_workers.add(payload.worker_id)
+            if self._events.enabled:
+                self._flush_resolution_events()
+                self._emit_canonical(
+                    "worker",
+                    payload.arrival_time,
+                    worker=worker_to_wire(payload),
+                )
             return None
         if kind == "request":
             assert isinstance(payload, Request)
@@ -504,18 +628,52 @@ class MatchingGateway:
                             "payment": outcome.payment,
                         },
                     )
+            if self._events.enabled:
+                self._flush_resolution_events()
+                # One event per request: the arrival (full wire entity,
+                # enough to re-drive the engine on replay) and the
+                # decision it produced travel together — half the
+                # hot-path emissions of a separate arrival event.
+                self._emit_canonical(
+                    "decision",
+                    payload.arrival_time,
+                    request=request_to_wire(payload),
+                    platform=payload.platform_id,
+                    status=outcome.status,
+                    worker=outcome.worker_id,
+                    payment=outcome.payment,
+                )
+                self._maybe_emit_breaker()
             return outcome
         if kind == "shed":
-            assert isinstance(payload, ServiceOutcome)
+            request, outcome = payload  # type: ignore[misc]
+            assert isinstance(request, Request)
+            assert isinstance(outcome, ServiceOutcome)
             if self._journal is not None:
                 self._journal.append(
                     "shed",
-                    request_id=payload.request_id,
-                    outcome=payload.as_dict(),
+                    request_id=outcome.request_id,
+                    outcome=outcome.as_dict(),
                 )
-            return payload
+            if self._events.enabled:
+                self._flush_resolution_events()
+                self._emit_canonical(
+                    "shed",
+                    request.arrival_time,
+                    request=request_to_wire(request),
+                    status=STATUS_SHED,
+                )
+            return outcome
         if kind == "finalize":
             self.result = self._session.finalize()
+            if self._events.enabled:
+                self._flush_resolution_events()
+                self._emit_canonical(
+                    "drain",
+                    self._session.last_event_time,
+                    metrics_sha256=row_digest(self.metrics_dict()),
+                )
+                self._events.flush()
             return self.result
         if kind == "snapshot":
             meta = None
@@ -546,6 +704,26 @@ class MatchingGateway:
             # before the arrival that triggered it — replay regenerates
             # it at exactly that point.
             self._journal.append("resolution", outcome=outcome.as_dict())
+        if self._events.enabled:
+            fields = {
+                "request": request.request_id,
+                "platform": request.platform_id,
+                "status": outcome.status,
+                "worker": outcome.worker_id,
+                "payment": outcome.payment,
+            }
+            if self._journal is not None:
+                # Hold the event until the triggering arrival's own append
+                # succeeds: if the journal_append kill point eats that
+                # arrival, the regenerated resolution after recovery+retry
+                # must be the stream's only copy.
+                self._pending_resolution_events.append(
+                    (self._session.last_event_time, fields)
+                )
+            else:
+                self._emit_canonical(
+                    "resolution", self._session.last_event_time, **fields
+                )
 
     # -- replay interning ----------------------------------------------------
     # A submitted entity that matches its canonical object in the gateway's
@@ -634,12 +812,12 @@ class MatchingGateway:
                 request.request_id, STATUS_SHED, latency_ms=watch.stop() * 1e3
             )
             self._outcomes[request.request_id] = outcome
-            if self._journal is not None:
-                # Durably record the shed answer (on the decision loop, so
-                # the append serializes with decision records) before the
-                # caller sees it.
+            if self._journal is not None or self._events.enabled:
+                # Durably record / emit the shed answer (on the decision
+                # loop, so the append and the event serialize with
+                # decision records) before the caller sees it.
                 future = self._new_future()
-                await self._queue.put(("shed", outcome, future))
+                await self._queue.put(("shed", (request, outcome), future))
                 await future
             return outcome
         future = self._new_future()
@@ -652,6 +830,32 @@ class MatchingGateway:
         )
         outcome = replace(outcome, latency_ms=elapsed * 1e3)
         self._outcomes[request.request_id] = outcome
+        return outcome
+
+    async def replay_shed(self, request: Request) -> ServiceOutcome:
+        """Re-apply a recorded ``shed`` event without consulting admission.
+
+        The replay driver (:mod:`repro.service.replay`) calls this for
+        every ``shed`` record in a ``COMEVT1`` stream: the original run's
+        load decided the shed; replaying must reproduce it regardless of
+        the replaying gateway's own queue depth.  Mirrors the live shed
+        path's outcome bookkeeping and decision counters (not the
+        admission counters — no admission decision happened here).
+        """
+        self._ensure_running()
+        assert self._queue is not None
+        request = self._canonical_request(request)
+        self.registry.counter("service_shed_total").inc(
+            platform=request.platform_id
+        )
+        self.registry.counter("service_decisions_total").inc(
+            platform=request.platform_id, status=STATUS_SHED
+        )
+        outcome = ServiceOutcome(request.request_id, STATUS_SHED)
+        self._outcomes[request.request_id] = outcome
+        future = self._new_future()
+        await self._queue.put(("shed", (request, outcome), future))
+        await future
         return outcome
 
     async def drain(self) -> SimulationResult:
@@ -716,6 +920,9 @@ class MatchingGateway:
                 ),
                 "last_checkpoint_seq": self._last_checkpoint_seq,
             }
+        events: dict | None = None
+        if isinstance(self._events, EventLog):
+            events = self._events.stats()
         return {
             "algorithm": self._session.algorithm_name,
             "scenario": self.scenario.name,
@@ -734,5 +941,6 @@ class MatchingGateway:
                 "shed_rate": self.admission.shed_rate,
             },
             "journal": journal,
+            "events": events,
             "metrics": self.registry.snapshot().as_dict(),
         }

@@ -38,6 +38,7 @@ from pathlib import Path
 from repro.core.entities import Request, Worker
 from repro.errors import JournalError, ServiceError
 from repro.faults.crash import CrashPlan
+from repro.obs.events import EventLog
 from repro.service.admission import AdmissionPolicy
 from repro.service.clock import ServiceClock
 from repro.service.gateway import (
@@ -165,6 +166,7 @@ def recover_gateway(
     clock: ServiceClock | None = None,
     admission: AdmissionPolicy | None = None,
     crash_plan: CrashPlan | None = None,
+    events: str | Path | None = None,
 ) -> tuple[MatchingGateway, RecoveryReport]:
     """Rebuild the gateway a crashed process left in ``directory``.
 
@@ -172,8 +174,13 @@ def recover_gateway(
     :class:`RecoveryReport`.  ``crash_plan`` arms kill points in the
     *recovered* process — the soak harness uses this to chain
     crash→recover cycles; the injector starts from boundary zero, like a
-    freshly restarted binary.  Raises :class:`~repro.errors.JournalError`
-    when the journal is corrupt mid-file or diverges from the engine, and
+    freshly restarted binary.  ``events`` resumes the crashed process's
+    ``COMEVT1`` stream (:meth:`~repro.obs.events.EventLog.resume`): the
+    torn tail is truncated, an ops ``recovered`` marker is appended, and
+    the recovered gateway continues the stream — the journal-suffix
+    replay itself emits nothing (those events are already in the file).
+    Raises :class:`~repro.errors.JournalError` when the journal is
+    corrupt mid-file or diverges from the engine, and
     :class:`~repro.errors.ServiceError` when the checkpoint is damaged.
     """
     config = JournalConfig(
@@ -241,6 +248,22 @@ def recover_gateway(
     gateway._attach_journal(
         config, journal, journaled_workers, last_checkpoint_seq=checkpoint_seq
     )
+    if events is not None:
+        # Attach only after the suffix replay: those operations' events
+        # are already in the file (emission follows the append that made
+        # them durable), so the replay must not re-emit them.  A path
+        # with no file yet (the crashed process never had an event log)
+        # starts a fresh stream instead.
+        events_path = Path(events)
+        if events_path.exists():
+            gateway.attach_events(
+                EventLog.resume(events_path, registry=gateway.registry),
+                recovered=True,
+            )
+        else:
+            gateway.attach_events(
+                EventLog(events_path, registry=gateway.registry)
+            )
     report = RecoveryReport(
         checkpoint_seq=checkpoint_seq,
         journal_records=len(records),

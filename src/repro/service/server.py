@@ -19,6 +19,9 @@ the full schema):
 ``worker``
     Submit one worker arrival (same shape, with ``radius`` and optional
     ``shareable`` / ``departure``).
+``shed``
+    Re-apply a recorded shed decision (replay path; bypasses admission —
+    used by ``com-repro replay-events --tcp``).
 ``outcome``
     Query a previously submitted request's outcome (deferred requests
     resolve asynchronously on batch flushes).
@@ -201,6 +204,17 @@ class MatchingServer:
                 gateway.clock.advance_to(worker.arrival_time)  # type: ignore[attr-defined]
             await gateway.submit_worker(worker)
             return {"ok": True, "verb": "worker", "worker_id": worker.worker_id}
+        if verb == "shed":
+            # Replay path only: re-apply a recorded shed decision from a
+            # COMEVT1 stream without consulting this process's admission
+            # state (repro.service.replay drives this for --tcp verifies).
+            request = request_from_wire(
+                payload.get("request") or {}, gateway.clock.now()
+            )
+            if gateway.clock.virtual:
+                gateway.clock.advance_to(request.arrival_time)  # type: ignore[attr-defined]
+            outcome = await gateway.replay_shed(request)
+            return {"ok": True, "verb": "shed", "outcome": outcome.as_dict()}
         if verb == "outcome":
             request_id = str(payload.get("request_id", ""))
             outcome = gateway.outcome_of(request_id)

@@ -25,7 +25,6 @@ Run it from the CLI: ``com-repro soak --cycles 3``.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -33,6 +32,7 @@ from repro.core.registry import algorithm_factory
 from repro.core.simulator import Scenario, Simulator, SimulatorConfig
 from repro.errors import ConfigurationError, InducedCrash
 from repro.faults.crash import CrashPlan
+from repro.obs.events import encode_canonical
 from repro.service.clock import RealTimeClock
 from repro.service.gateway import MatchingGateway
 from repro.service.journal import JournalConfig
@@ -64,6 +64,10 @@ class SoakConfig:
     fsync_interval: int = 16
     #: Small cadence so checkpoint-channel kills have boundaries to hit.
     checkpoint_every: int = 32
+    #: Record a ``COMEVT1`` stream alongside the journal and verify,
+    #: after the final drain, that replaying it reproduces the run
+    #: byte-identically modulo the crash/recovery markers.
+    events: bool = True
 
     def __post_init__(self) -> None:
         if self.cycles < 0:
@@ -90,6 +94,12 @@ class SoakReport:
     metrics_row: dict
     sanitizer_enabled: bool
     wall_seconds: float
+    #: Canonical events in the recorded ``COMEVT1`` stream (0 when the
+    #: event log was disabled).
+    event_count: int = 0
+    #: Recorded stream's canonical projection == an uninterrupted
+    #: replay's, byte for byte (None when the event log was disabled).
+    events_identical: bool | None = None
 
     @property
     def max_recovery_seconds(self) -> float:
@@ -108,6 +118,8 @@ class SoakReport:
             "metrics_identical": self.metrics_identical,
             "sanitizer_enabled": self.sanitizer_enabled,
             "wall_seconds": self.wall_seconds,
+            "event_count": self.event_count,
+            "events_identical": self.events_identical,
             "metrics_row": self.metrics_row,
         }
 
@@ -172,6 +184,9 @@ async def run_soak(
     rng = derive_rng(soak.seed, "service.soak.kill-points")
     events = list(scenario.events)
     clock = RealTimeClock(speed=soak.speed) if soak.speed > 0 else None
+    event_log_path = (
+        Path(directory) / "events.comevt" if soak.events else None
+    )
     watch = Stopwatch().start()
 
     cycle = 0
@@ -185,6 +200,7 @@ async def run_soak(
         clock=clock,
         journal=journal_config,
         crash_plan=plan,
+        events=event_log_path,
     )
     await gateway.start()
 
@@ -223,6 +239,7 @@ async def run_soak(
                 checkpoint_every=soak.checkpoint_every,
                 clock=clock,
                 crash_plan=next_plan,
+                events=event_log_path,
             )
             recoveries.append(report)
             await gateway.start()
@@ -234,9 +251,22 @@ async def run_soak(
     result = await gateway.drain()
     assert result is not None
     row = gateway.metrics_dict()
-    identical = json.dumps(row, sort_keys=True) == json.dumps(
-        golden_row, sort_keys=True
-    )
+    identical = encode_canonical(row) == encode_canonical(golden_row)
+
+    event_count = 0
+    events_identical: bool | None = None
+    if event_log_path is not None:
+        # The stream the crashing run recorded must replay to the same
+        # canonical bytes as an uninterrupted run of the same trace —
+        # "byte-identical modulo crash markers" (ops events stripped).
+        from repro.service.replay import replay_event_log
+
+        replay_report = await replay_event_log(
+            event_log_path, scenario, algorithm, config
+        )
+        event_count = replay_report.canonical_events
+        events_identical = replay_report.stream_identical
+
     return SoakReport(
         events_submitted=submitted,
         induced_crashes=crashes,
@@ -246,4 +276,6 @@ async def run_soak(
         metrics_row=row,
         sanitizer_enabled=True,
         wall_seconds=watch.stop(),
+        event_count=event_count,
+        events_identical=events_identical,
     )

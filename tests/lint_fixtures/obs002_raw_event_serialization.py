@@ -1,0 +1,9 @@
+"""Fixture: OBS002 — raw json.dumps in an event-sink-aware module."""
+
+import json
+
+from repro.obs.events import EventLog
+
+
+def record(log: EventLog, row: dict) -> bytes:
+    return json.dumps(row, sort_keys=True).encode()

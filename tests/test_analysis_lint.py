@@ -31,6 +31,7 @@ EXPECTED = {
     "det003_set_iteration.py": "DET003",
     "det004_builtin_hash.py": "DET004",
     "obs001_unguarded_probe.py": "OBS001",
+    "obs002_raw_event_serialization.py": "OBS002",
     "err001_bare_except.py": "ERR001",
     "err002_swallowed_exception.py": "ERR002",
     "api001_mutable_default.py": "API001",
@@ -122,6 +123,44 @@ def test_err002_reraise_passes() -> None:
         "        raise RuntimeError('context') from error\n"
     )
     assert lint_source(source, "mod.py") == []
+
+
+def test_obs002_import_after_call_still_fires() -> None:
+    # This codebase imports lazily inside functions, so the event-sink
+    # import often appears *below* the offending call in source order.
+    source = (
+        "import json\n"
+        "def save(row):\n"
+        "    return json.dumps(row)\n"
+        "def sink():\n"
+        "    from repro.obs.events import EventLog\n"
+        "    return EventLog()\n"
+    )
+    assert [v.rule_id for v in lint_source(source, "mod.py")] == ["OBS002"]
+
+
+def test_obs002_quiet_without_event_sink_import() -> None:
+    source = "import json\ndef save(row):\n    return json.dumps(row)\n"
+    assert lint_source(source, "mod.py") == []
+
+
+def test_obs002_canonical_encoder_passes() -> None:
+    source = (
+        "from repro.obs.events import encode_canonical\n"
+        "def save(row):\n"
+        "    return encode_canonical(row)\n"
+    )
+    assert lint_source(source, "mod.py") == []
+
+
+def test_obs002_repro_obs_reexport_counts() -> None:
+    source = (
+        "import json\n"
+        "from repro.obs import EventLog\n"
+        "def save(row):\n"
+        "    return json.dumps(row)\n"
+    )
+    assert [v.rule_id for v in lint_source(source, "mod.py")] == ["OBS002"]
 
 
 def test_allowlisted_paths_are_exempt() -> None:

@@ -1,0 +1,433 @@
+"""Tests for event-log record→replay and the live dashboard.
+
+Two anchors:
+
+* **verified replay** — a ``COMEVT1`` stream recorded from a gateway run
+  re-drives through :func:`~repro.service.replay.replay_event_log` and
+  reproduces both the canonical stream and the metrics row byte for
+  byte, for DemCOM and RamCOM, in-process and over TCP;
+* **dashboard** — :class:`~repro.service.dashboard.LiveState` folds the
+  stream into a consistent world view, and
+  :class:`~repro.service.dashboard.DashboardServer` serves it over plain
+  HTTP/SSE with wall-clock metric families stripped from ``/state``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.obs.events import EventLog, GatewayEvent, read_events
+from repro.obs.summary import WALL_CLOCK_FAMILIES
+from repro.service import (
+    DashboardServer,
+    LiveState,
+    MatchingGateway,
+    ReplayReport,
+    replay_event_log,
+    request_to_wire,
+)
+from repro.core.events import EventKind
+
+from test_service import build_scenario, golden_row, service_config, submit_event
+
+
+async def record_run(scenario, algorithm, config, path) -> MatchingGateway:
+    """Drive the full trace through a recording gateway and drain it."""
+    gateway = MatchingGateway(scenario, algorithm, config, events=path)
+    await gateway.start()
+    for event in scenario.events:
+        await submit_event(gateway, event)
+    await gateway.drain()
+    await gateway.stop()
+    return gateway
+
+
+class TestRecordReplay:
+    @pytest.mark.parametrize("algorithm", ["demcom", "ramcom"])
+    @pytest.mark.parametrize("tcp", [False, True], ids=["in-process", "tcp"])
+    def test_replay_reproduces_the_run(self, tmp_path, algorithm, tcp):
+        scenario = build_scenario(seed=11, requests=50, workers=25)
+        config = service_config()
+        path = tmp_path / "events.comevt"
+
+        async def main() -> ReplayReport:
+            await record_run(scenario, algorithm, config, path)
+            return await replay_event_log(
+                path, scenario, algorithm=algorithm, config=config, tcp=tcp
+            )
+
+        report = asyncio.run(main())
+        assert report.verified
+        assert report.stream_identical and report.row_identical
+        assert report.mode == ("tcp" if tcp else "in-process")
+        trace = list(scenario.events)
+        assert report.requests == sum(
+            1 for event in trace if event.kind is EventKind.REQUEST
+        )
+        assert report.workers == sum(
+            1 for event in trace if event.kind is EventKind.WORKER
+        )
+        assert report.sheds == 0
+        assert report.crashes_recorded == 0
+        # The replayed row also equals the offline golden row.
+        assert (
+            json.dumps(report.metrics_row, sort_keys=True)
+            == golden_row(scenario, algorithm, config)
+        )
+        payload = report.as_dict()
+        assert payload["verified"] is True
+        assert payload["canonical_events"] <= payload["recorded_events"]
+
+    def test_shed_events_replay_identically(self, tmp_path):
+        scenario = build_scenario(seed=13, requests=30, workers=15)
+        config = service_config()
+        path = tmp_path / "events.comevt"
+
+        async def main() -> ReplayReport:
+            gateway = MatchingGateway(
+                scenario, "ramcom", config, events=path
+            )
+            await gateway.start()
+            shed_budget = 3
+            for event in scenario.events:
+                if event.kind is EventKind.REQUEST and shed_budget > 0:
+                    shed_budget -= 1
+                    await gateway.replay_shed(event.request)
+                else:
+                    await submit_event(gateway, event)
+            await gateway.drain()
+            await gateway.stop()
+            return await replay_event_log(
+                path, scenario, algorithm="ramcom", config=config
+            )
+
+        report = asyncio.run(main())
+        assert report.sheds == 3
+        assert report.requests == 27
+        assert report.verified
+
+    def test_foreign_stream_is_rejected(self, tmp_path):
+        scenario = build_scenario(seed=11, requests=20, workers=10)
+        config = service_config()
+        path = tmp_path / "events.comevt"
+
+        async def main() -> None:
+            await record_run(scenario, "ramcom", config, path)
+            # Same recording, wrong algorithm for the replay deployment.
+            await replay_event_log(
+                path, scenario, algorithm="demcom", config=config
+            )
+
+        with pytest.raises(ServiceError, match="does not match"):
+            asyncio.run(main())
+
+    def test_stream_without_meta_is_rejected(self, tmp_path):
+        path = tmp_path / "events.comevt"
+        log = EventLog(path)
+        log.emit("worker", 1.0, worker={"id": "w1"})
+        log.close()
+        scenario = build_scenario(seed=11, requests=5, workers=5)
+        with pytest.raises(ServiceError, match="no meta event"):
+            asyncio.run(
+                replay_event_log(path, scenario, config=service_config())
+            )
+
+    def test_recording_is_complete_and_self_describing(self, tmp_path):
+        scenario = build_scenario(seed=11, requests=20, workers=10)
+        path = tmp_path / "events.comevt"
+        asyncio.run(record_run(scenario, "ramcom", service_config(), path))
+        recorded = read_events(path)
+        kinds = [event.kind for event in recorded]
+        assert kinds[0] == "meta"
+        assert kinds[-1] == "drain"
+        meta = recorded[0].fields
+        assert meta["algorithm"] == "RamCOM"  # the engine's display name
+        assert meta["scenario"] == scenario.name
+        drain = recorded[-1].fields
+        assert "metrics_sha256" in drain
+        trace = list(scenario.events)
+        assert kinds.count("decision") == sum(
+            1 for event in trace if event.kind is EventKind.REQUEST
+        )
+        assert kinds.count("worker") == sum(
+            1 for event in trace if event.kind is EventKind.WORKER
+        )
+
+
+def _decision_event(
+    seq: int, request_id: str = "r1", worker: str | None = "w1"
+) -> GatewayEvent:
+    fields = {
+        "request": {
+            "id": request_id,
+            "platform": "p1",
+            "x": 1.5,
+            "y": 2.5,
+            "release": 1.0,
+            "deadline": 9.0,
+        },
+        "platform": "p1",
+        "status": "serve_inner",
+        "worker": worker,
+        "payment": 4.0,
+    }
+    return GatewayEvent(seq=seq, kind="decision", time=1.0, fields=fields)
+
+
+class TestLiveState:
+    def test_cell_km_must_be_positive(self):
+        with pytest.raises(ServiceError):
+            LiveState(cell_km=0.0)
+
+    def test_worker_and_decision_fold(self):
+        state = LiveState(cell_km=1.0)
+        state.apply(
+            GatewayEvent(
+                seq=0,
+                kind="worker",
+                time=0.5,
+                fields={
+                    "worker": {"id": "w1", "platform": "p1", "x": 0.0, "y": 0.0}
+                },
+            )
+        )
+        state.apply(_decision_event(seq=1))
+        assert state.workers["w1"]["status"] == "matched"
+        assert state.requests["r1"]["status"] == "serve_inner"
+        assert state.cells == {"1,2": 1}
+        assert state.decisions == {"serve_inner": 1}
+        assert state.payments == 4.0
+        assert len(state.matches) == 1
+        assert state.events_seen == 2
+        assert state.last_time == 1.0
+
+    def test_resolution_updates_request_by_id(self):
+        state = LiveState()
+        state.apply(_decision_event(seq=0, worker=None))
+        state.apply(
+            GatewayEvent(
+                seq=1,
+                kind="resolution",
+                time=5.0,
+                fields={
+                    "request": "r1",
+                    "status": "expired",
+                    "worker": None,
+                },
+            )
+        )
+        assert state.requests["r1"]["status"] == "expired"
+        assert state.cells == {"1,2": 1}  # resolution adds no new cell
+        assert state.decisions == {"serve_inner": 1, "expired": 1}
+
+    def test_ops_events_fold_into_counters(self):
+        state = LiveState()
+        state.apply(
+            GatewayEvent(
+                seq=0, kind="breaker", time=1.0, fields={"trips": 2}
+            )
+        )
+        state.apply(GatewayEvent(seq=1, kind="crash", time=2.0, fields={}))
+        state.apply(GatewayEvent(seq=2, kind="recovered", time=3.0, fields={}))
+        state.apply(GatewayEvent(seq=3, kind="drain", time=4.0, fields={}))
+        assert state.breaker_trips == 2
+        assert state.crashes == 1
+        assert state.recoveries == 1
+        assert state.drained is True
+
+    def test_shed_fold(self):
+        state = LiveState()
+        state.apply(
+            GatewayEvent(
+                seq=0,
+                kind="shed",
+                time=1.0,
+                fields={
+                    "request": {
+                        "id": "r9",
+                        "platform": "p2",
+                        "x": -0.5,
+                        "y": 0.5,
+                    }
+                },
+            )
+        )
+        assert state.sheds == 1
+        assert state.requests["r9"]["status"] == "shed"
+
+    def test_as_dict_is_json_ready(self):
+        state = LiveState()
+        state.apply(_decision_event(seq=0))
+        payload = json.loads(json.dumps(state.as_dict()))
+        assert payload["decisions"] == {"serve_inner": 1}
+        assert payload["events_seen"] == 1
+
+
+async def _http_get(host: str, port: int, path: str) -> tuple[str, bytes]:
+    """Minimal HTTP/1.0-style GET; returns (status line, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, __, body = raw.partition(b"\r\n\r\n")
+    return head.split(b"\r\n", 1)[0].decode(), body
+
+
+class TestDashboardServer:
+    def test_requires_an_event_log(self):
+        scenario = build_scenario(seed=11, requests=5, workers=5)
+        gateway = MatchingGateway(scenario, "ramcom", service_config())
+        with pytest.raises(ServiceError, match="needs an EventLog"):
+            DashboardServer(gateway)
+
+    def test_address_before_start_raises(self):
+        scenario = build_scenario(seed=11, requests=5, workers=5)
+        gateway = MatchingGateway(
+            scenario, "ramcom", service_config(), events=EventLog()
+        )
+        server = DashboardServer(gateway)
+        with pytest.raises(ServiceError, match="not started"):
+            server.address
+
+    def test_http_endpoints(self, tmp_path):
+        scenario = build_scenario(seed=11, requests=40, workers=20)
+        config = service_config()
+
+        async def main() -> dict:
+            gateway = MatchingGateway(scenario, "ramcom", config)
+            # Attach with the gateway's registry so the emission counters
+            # show up under /metrics.
+            gateway.attach_events(EventLog(registry=gateway.registry))
+            dashboard = DashboardServer(gateway, cell_km=2.0)
+            host, port = await dashboard.start()
+            await gateway.start()
+            for event in scenario.events:
+                await submit_event(gateway, event)
+            await gateway.drain()
+
+            pages: dict[str, tuple[str, bytes]] = {}
+            for path in ("/", "/state", "/metrics", "/missing"):
+                pages[path] = await _http_get(host, port, path)
+            post_reader, post_writer = await asyncio.open_connection(
+                host, port
+            )
+            post_writer.write(b"POST /state HTTP/1.1\r\n\r\n")
+            await post_writer.drain()
+            post_status = (await post_reader.read()).split(b"\r\n", 1)[0]
+            post_writer.close()
+            pages["POST"] = (post_status.decode(), b"")
+
+            await gateway.stop()
+            await dashboard.stop()
+            return pages
+
+        pages = asyncio.run(main())
+        assert pages["/"][0].startswith("HTTP/1.1 200")
+        assert b"<!DOCTYPE html>" in pages["/"][1]
+        assert pages["/missing"][0].startswith("HTTP/1.1 404")
+        assert pages["POST"][0].startswith("HTTP/1.1 405")
+
+        state = json.loads(pages["/state"][1])
+        assert state["world"]["drained"] is True
+        assert state["world"]["decisions"]  # at least one decision folded
+        assert state["stats"]["events"]["emitted"] > 0
+        assert state["stats"]["events"]["lag"] == 0
+        assert "events_per_second" in state["stats"]["events"]
+        # Wall-clock families are stripped from every nested snapshot.
+        flat = json.dumps(state)
+        for family in WALL_CLOCK_FAMILIES:
+            assert family not in flat
+
+        metrics = json.loads(pages["/metrics"][1])
+        assert "counters" in metrics
+        assert "service_events_total" in metrics["counters"]
+
+    def test_sse_stream_catches_up_and_follows(self):
+        scenario = build_scenario(seed=11, requests=10, workers=5)
+        config = service_config()
+
+        async def main() -> list[dict]:
+            gateway = MatchingGateway(
+                scenario, "ramcom", config, events=EventLog()
+            )
+            dashboard = DashboardServer(gateway)
+            host, port = await dashboard.start()
+            await gateway.start()
+            events = list(scenario.events)
+            half = len(events) // 2
+            for event in events[:half]:
+                await submit_event(gateway, event)
+
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /events HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b"text/event-stream" in head
+
+            # Ring catch-up arrives first; then live events follow as
+            # the rest of the trace is driven.
+            for event in events[half:]:
+                await submit_event(gateway, event)
+            await gateway.drain()
+
+            frames: list[dict] = []
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line.startswith(b"data: "):
+                    frames.append(json.loads(line[len(b"data: ") :]))
+                    if frames[-1]["kind"] == "drain":
+                        break
+            writer.close()
+            await gateway.stop()
+            await dashboard.stop()
+            return frames
+
+        frames = asyncio.run(main())
+        kinds = [frame["kind"] for frame in frames]
+        assert kinds[0] == "meta"
+        assert kinds[-1] == "drain"
+        assert "decision" in kinds
+        seqs = [frame["seq"] for frame in frames]
+        assert seqs == sorted(set(seqs))  # in order, no duplicates
+
+    def test_state_reflects_recorded_file_on_attach(self, tmp_path):
+        # A dashboard attached to a resumed log folds the ring catch-up.
+        scenario = build_scenario(seed=11, requests=20, workers=10)
+        config = service_config()
+        path = tmp_path / "events.comevt"
+        asyncio.run(record_run(scenario, "ramcom", config, path))
+
+        gateway = MatchingGateway(scenario, "ramcom", config)
+        gateway.attach_events(EventLog.resume(path), recovered=False)
+        dashboard = DashboardServer(gateway)
+        assert dashboard.state.drained is True
+        assert dashboard.state.events_seen == len(read_events(path))
+        assert sum(dashboard.state.decisions.values()) >= 20
+        gateway.events.close()
+
+
+class TestWireHelpers:
+    def test_decision_event_round_trips_request_wire(self, tmp_path):
+        scenario = build_scenario(seed=11, requests=5, workers=5)
+        path = tmp_path / "events.comevt"
+        asyncio.run(record_run(scenario, "ramcom", service_config(), path))
+        decisions = [
+            event
+            for event in read_events(path)
+            if event.kind == "decision"
+        ]
+        originals = {
+            event.request.request_id: event.request
+            for event in scenario.events
+            if event.kind is EventKind.REQUEST
+        }
+        for event in decisions:
+            wire = event.fields["request"]
+            assert wire == request_to_wire(originals[wire["id"]])

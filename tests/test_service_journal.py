@@ -646,9 +646,30 @@ class TestSoakSmoke:
         assert report.sanitizer_enabled
         assert report.events_submitted == sum(1 for _ in scenario.events)
         assert report.max_recovery_seconds > 0.0
+        # The COMEVT1 stream recorded across the induced crashes must
+        # replay byte-identically (canonical projection strips the
+        # crash/recovered markers and seq renumbering).
+        assert report.events_identical is True
+        assert report.event_count > 0
         payload = report.as_dict()
         assert payload["metrics_identical"] is True
+        assert payload["events_identical"] is True
         assert len(payload["recoveries"]) == 3
+
+    def test_soak_without_event_log_skips_event_identity(self, tmp_path):
+        scenario = build_scenario(seed=22, requests=20, workers=10)
+        report = asyncio.run(
+            run_soak(
+                scenario,
+                tmp_path,
+                algorithm="ramcom",
+                config=service_config(),
+                soak=SoakConfig(cycles=1, seed=3, events=False),
+            )
+        )
+        assert report.metrics_identical
+        assert report.events_identical is None
+        assert report.event_count == 0
 
     def test_soak_config_validation(self):
         with pytest.raises(ConfigurationError):
