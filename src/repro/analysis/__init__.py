@@ -13,12 +13,24 @@ as the codebase grows:
   decision of a live simulation against the four Definition-2.6
   constraints, waiting-list consistency, and ledger/revenue
   conservation; enabled via ``SimulatorConfig(sanitize=True)`` or the
-  ``COM_REPRO_SANITIZE`` environment variable.
+  ``COM_REPRO_SANITIZE`` environment variable.  Its concurrency
+  sibling, :class:`ConcurrencyMonitor`, guards decision-loop-owned
+  structures against cross-task mutation (:class:`OwnershipGuard`) and
+  times loop callbacks for stalls; enabled via
+  ``SimulatorConfig(sanitize_concurrency=True)``, ``serve
+  --sanitize-concurrency`` or ``COM_REPRO_SANITIZE_CONCURRENCY``.
 
 See ``docs/STATIC_ANALYSIS.md`` for the full rule catalogue and usage.
 """
 
 from repro.analysis.baseline import Baseline, partition_violations
+from repro.analysis.concurrency import (
+    CONCURRENCY_ENV_VAR,
+    ConcurrencyMonitor,
+    ConcurrencyViolation,
+    OwnershipGuard,
+    concurrency_from_env,
+)
 from repro.analysis.linter import (
     Violation,
     iter_python_files,
@@ -41,12 +53,17 @@ from repro.analysis.sanitizer import (
 
 __all__ = [
     "Baseline",
+    "CONCURRENCY_ENV_VAR",
+    "ConcurrencyMonitor",
+    "ConcurrencyViolation",
     "ConstraintSanitizer",
+    "OwnershipGuard",
     "RULES",
     "Rule",
     "SANITIZE_ENV_VAR",
     "SanitizerViolation",
     "Violation",
+    "concurrency_from_env",
     "get_rule",
     "iter_python_files",
     "lint_file",

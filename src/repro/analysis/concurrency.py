@@ -1,0 +1,274 @@
+"""Runtime concurrency sanitizer: ownership guards and a stall detector.
+
+The static ASY rules (:mod:`repro.analysis.rules`) fence off blocking
+calls and orphaned coroutines at review time; this module catches what
+statics cannot see — a *live* cross-task mutation of decision-loop state,
+and a decision callback that stalls the event loop long enough to hurt
+tail latency.  It is the concurrency analogue of
+:class:`~repro.analysis.sanitizer.ConstraintSanitizer` and follows the
+same seam discipline:
+
+* **off by default** — the gateway and session hold ``None`` and every
+  call site costs one ``is None`` test (the probe-seam budget, asserted
+  by ``benchmarks/bench_service.py``'s disabled-path gate);
+* **enabled** via ``SimulatorConfig(sanitize_concurrency=True)``,
+  ``com-repro serve --sanitize-concurrency``, or the
+  ``COM_REPRO_SANITIZE_CONCURRENCY`` environment variable — and forced
+  on unconditionally by the soak harness;
+* **fail loudly** — a cross-task mutation raises
+  :class:`~repro.errors.ConcurrencyViolation` naming the structure, the
+  owning task and the intruding task, exactly where the race happened.
+
+Ownership model
+---------------
+
+Each guarded structure (the simulation session, the journal's append
+buffer, the event ring) gets one :class:`OwnershipGuard`.  The first
+mutation performed *inside a running asyncio task* claims ownership for
+that task — in the gateway that is always the decision loop, because
+every guarded mutation flows through ``_decision_loop``.  Later
+mutations from any other task raise; mutations outside any event loop
+(construction, recovery replay, the batch :meth:`~repro.core.simulator.
+Simulator.run` path) are setup work that precedes ownership and is
+always allowed.  A deliberate foreign mutation — e.g. a caller task
+answering from the outcome cache — is wrapped in :meth:`OwnershipGuard.
+handoff`, which documents the transfer in code the same way a
+``# comlint: disable=ASY004`` comment documents it to the linter.
+
+Stall detection
+---------------
+
+``asyncio``'s own slow-callback warning only works in debug mode and
+logs instead of reporting.  :meth:`ConcurrencyMonitor.measure_stall`
+wraps one decision callback in a :class:`~repro.utils.timer.Stopwatch`
+and records a stall whenever the callback held the loop longer than
+``stall_threshold`` seconds — counted in :attr:`ConcurrencyMonitor.
+stalls` and mirrored to the ``service_loop_stalls_total`` counter of an
+attached :class:`~repro.obs.metrics.MetricsRegistry`.  Stalls are
+*observations*, not violations: wall time is nondeterministic, so they
+report through the metrics channel instead of raising (a raise would
+make byte-identity runs flaky on a loaded machine).
+
+Guards hold references to live :class:`asyncio.Task` objects, which do
+not survive pickling; the monitor therefore drops all ownership state in
+``__getstate__`` so a :class:`~repro.core.simulator.SimulationSession`
+carrying one still snapshots into ``COMSNAP1`` — the recovered process's
+decision loop simply re-claims ownership on its first mutation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ConcurrencyViolation
+from repro.utils.timer import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "CONCURRENCY_ENV_VAR",
+    "ConcurrencyMonitor",
+    "ConcurrencyViolation",
+    "OwnershipGuard",
+    "concurrency_from_env",
+]
+
+#: Environment switch: any of ``1/true/yes/on`` (case-insensitive)
+#: force-enables the concurrency sanitizer for the whole process.
+CONCURRENCY_ENV_VAR = "COM_REPRO_SANITIZE_CONCURRENCY"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Default slow-callback threshold (seconds): generous enough that a
+#: healthy decision (micro-to-low-milliseconds) never trips it, tight
+#: enough that an accidental fsync or file encode on the loop does.
+DEFAULT_STALL_THRESHOLD = 0.25
+
+
+def concurrency_from_env(environ: dict[str, str] | None = None) -> bool:
+    """True iff :data:`CONCURRENCY_ENV_VAR` requests the sanitizer."""
+    source = os.environ if environ is None else environ
+    return source.get(CONCURRENCY_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def _current_task_or_none() -> asyncio.Task | None:
+    """The running task, or ``None`` outside any event loop."""
+    try:
+        return asyncio.current_task()
+    except RuntimeError:  # no running event loop
+        return None
+
+
+def _task_label(task: asyncio.Task | None) -> str:
+    if task is None:
+        return "<no-task>"
+    try:
+        return task.get_name()
+    except AttributeError:  # pragma: no cover - pre-3.8 compat shim
+        return repr(task)
+
+
+class OwnershipGuard:
+    """Records which asyncio task owns one structure; rejects intruders.
+
+    The guard is claimed by the first mutation performed inside a
+    running task (:meth:`check`) or explicitly via :meth:`bind`.
+    Mutations from other tasks raise :class:`~repro.errors.
+    ConcurrencyViolation` unless performed inside :meth:`handoff`,
+    which marks a deliberate, reviewed transfer.
+    """
+
+    __slots__ = ("structure", "_owner", "_handoffs", "violations")
+
+    def __init__(self, structure: str):
+        self.structure = structure
+        self._owner: asyncio.Task | None = None
+        self._handoffs = 0
+        #: Violations raised by this guard (diagnostics; each one also
+        #: raised immediately — the count survives for reporting).
+        self.violations = 0
+
+    @property
+    def owner(self) -> str | None:
+        """The owning task's name (``None`` while unclaimed)."""
+        return _task_label(self._owner) if self._owner is not None else None
+
+    def bind(self) -> None:
+        """Claim (or re-claim) ownership for the current task."""
+        self._owner = _current_task_or_none()
+
+    def check(self) -> None:
+        """Validate one mutation of the guarded structure.
+
+        Outside any event loop — construction, recovery replay, the
+        batch simulator — there is no task to race with and the
+        mutation is allowed without claiming ownership.
+        """
+        task = _current_task_or_none()
+        if task is None or self._handoffs > 0:
+            return
+        if self._owner is None or self._owner.done():
+            # First task-context mutation claims the structure; a dead
+            # owner (crashed decision loop) is re-claimable by its
+            # recovered successor.
+            self._owner = task
+            return
+        if task is not self._owner:
+            self.violations += 1
+            raise ConcurrencyViolation(
+                self.structure,
+                "mutated from a task that does not own it "
+                "(wrap a deliberate transfer in guard.handoff())",
+                owner=_task_label(self._owner),
+                intruder=_task_label(task),
+            )
+
+    @contextmanager
+    def handoff(self) -> Iterator[None]:
+        """Allow mutations from a foreign task for the enclosed block.
+
+        Ownership stays with the original task: a handoff marks one
+        reviewed cross-task touch, not a transfer of the structure.
+        """
+        self._handoffs += 1
+        try:
+            yield
+        finally:
+            self._handoffs -= 1
+
+
+class ConcurrencyMonitor:
+    """One process-side concurrency sanitizer: guards plus stall timing.
+
+    Instantiated only when the sanitizer is enabled — disabled call
+    sites hold ``None`` and pay one ``is None`` test, mirroring the
+    :class:`~repro.analysis.sanitizer.ConstraintSanitizer` seam.
+    """
+
+    def __init__(
+        self,
+        stall_threshold: float = DEFAULT_STALL_THRESHOLD,
+        registry: "MetricsRegistry | None" = None,
+    ):
+        self.stall_threshold = stall_threshold
+        self._registry = registry
+        self._guards: dict[str, OwnershipGuard] = {}
+        #: Slow callbacks observed (label, seconds), in occurrence order.
+        self.stalls: list[tuple[str, float]] = []
+
+    # -- ownership -----------------------------------------------------------
+
+    def guard(self, structure: str) -> OwnershipGuard:
+        """The (lazily created) guard for one named structure."""
+        guard = self._guards.get(structure)
+        if guard is None:
+            guard = OwnershipGuard(structure)
+            self._guards[structure] = guard
+        return guard
+
+    def touch(self, structure: str) -> None:
+        """Validate one mutation of ``structure`` by the current task."""
+        self.guard(structure).check()
+
+    @property
+    def violations(self) -> int:
+        """Total ownership violations across every guard."""
+        return sum(
+            self._guards[name].violations for name in sorted(self._guards)
+        )
+
+    def attach_registry(self, registry: "MetricsRegistry") -> None:
+        """Mirror stall counts into a live metrics registry."""
+        self._registry = registry
+
+    # -- stall detection -----------------------------------------------------
+
+    @contextmanager
+    def measure_stall(self, label: str) -> Iterator[None]:
+        """Time one loop callback; record a stall past the threshold.
+
+        Stalls report through the metrics channel (and :attr:`stalls`)
+        rather than raising: wall time is an observation, so a loaded
+        CI machine must not be able to fail a byte-identity run.
+        """
+        watch = Stopwatch().start()
+        try:
+            yield
+        finally:
+            elapsed = watch.stop()
+            if self.stall_threshold > 0 and elapsed >= self.stall_threshold:
+                self.stalls.append((label, elapsed))
+                if self._registry is not None:
+                    self._registry.counter(
+                        "service_loop_stalls_total"
+                    ).inc(callback=label)
+
+    def stats(self) -> dict:
+        """JSON-ready health row (surfaced by the gateway ``stats`` verb)."""
+        return {
+            "guards": {
+                name: self._guards[name].owner
+                for name in sorted(self._guards)
+            },
+            "violations": self.violations,
+            "stall_threshold": self.stall_threshold,
+            "stalls": len(self.stalls),
+        }
+
+    # -- pickling ------------------------------------------------------------
+    # Sessions carrying a monitor are pickled into COMSNAP1 checkpoints;
+    # task references die with the process, so ownership state is
+    # dropped and re-claimed by the recovered decision loop.
+
+    def __getstate__(self) -> dict:
+        return {"stall_threshold": self.stall_threshold}
+
+    def __setstate__(self, state: dict) -> None:
+        self.stall_threshold = state["stall_threshold"]
+        self._registry = None
+        self._guards = {}
+        self.stalls = []

@@ -14,10 +14,12 @@ doubles as reviewer-visible documentation.
 from __future__ import annotations
 
 import ast
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.analysis.rules import RULES, Rule
+from repro.errors import ConfigurationError
 
 __all__ = ["Violation", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
 
@@ -85,6 +87,37 @@ _EVENT_SINK_NAMES = frozenset(
         "row_digest",
     }
 )
+
+#: (module, attribute) calls that block the event loop (ASY001).
+_BLOCKING_MODULE_CALLS = frozenset(
+    {
+        ("time", "sleep"),
+        ("os", "fdatasync"),
+        ("os", "fsync"),
+        ("os", "sync"),
+        ("socket", "create_connection"),
+    }
+)
+
+#: Method names that perform whole-file I/O on any receiver (ASY001);
+#: unambiguous pathlib helpers, so receiver typing is not needed.
+_BLOCKING_FILE_METHODS = frozenset(
+    {"write_text", "write_bytes", "read_text", "read_bytes"}
+)
+
+#: Call names that spawn an unsupervised task (ASY003) when discarded.
+_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+#: Source-comment markers driving the ASY004 ownership analysis.
+_LOOP_OWNED_MARKER = "comlint: loop-owned"
+_LOOP_ENTRY_MARKER = "comlint: loop-entry"
+
+#: Encoder/decoder pairing suffixes for WIRE001.
+_WIRE_ENCODER_SUFFIX = "_to_wire"
+_WIRE_DECODER_SUFFIX = "_from_wire"
+
+#: Decoder call methods whose first string argument reads a field.
+_DICT_READ_METHODS = frozenset({"get", "pop"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -166,6 +199,16 @@ class _Checker(ast.NodeVisitor):
         #: (function-local imports are common in this codebase).
         self._imports_event_sink = False
         self._json_dump_calls: list[ast.Call] = []
+        #: ASY002 state: names of coroutine functions defined anywhere in
+        #: this module (functions and methods pooled), names also defined
+        #: as *sync* somewhere (ambiguous — excluded), and every bare
+        #: statement-expression call, paired up in :meth:`finalize`.
+        self._async_def_names: set[str] = set()
+        self._sync_def_names: set[str] = set()
+        self._bare_statement_calls: list[ast.Call] = []
+        #: The module node, kept for the whole-module WIRE001/ASY004
+        #: passes in :meth:`finalize`.
+        self._module: ast.Module | None = None
 
     # -- plumbing ----------------------------------------------------------
 
@@ -190,6 +233,39 @@ class _Checker(ast.NodeVisitor):
             super().visit(node)
         finally:
             self._parents.pop()
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._module = node
+        self.generic_visit(node)
+
+    def _in_async_function(self) -> bool:
+        """True iff the current node sits inside an ``async def`` body.
+
+        The innermost enclosing function decides: a sync helper nested
+        inside an async function runs wherever it is called from, so it
+        is out of scope for ASY001 (flagging it would double-report the
+        call site).
+        """
+        for ancestor in reversed(self._parents[:-1]):
+            if isinstance(ancestor, ast.AsyncFunctionDef):
+                return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.Lambda)):
+                return False
+        return False
+
+    @staticmethod
+    def _call_name(node: ast.Call) -> str | None:
+        """The trailing name of a call target (``f`` or ``obj.f``)."""
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+
+    def _line_has_marker(self, lineno: int, marker: str) -> bool:
+        if 0 < lineno <= len(self.lines):
+            return marker in self.lines[lineno - 1]
+        return False
 
     # -- DET001 / DET002 / DET004: forbidden calls -------------------------
 
@@ -236,6 +312,88 @@ class _Checker(ast.NodeVisitor):
             elif function.id in {"set", "frozenset"}:
                 self._check_set_iteration_parent(node)
         self._check_probe_call(node)
+        if self._in_async_function():
+            self._check_blocking_call(node)
+        self.generic_visit(node)
+
+    # -- ASY001: blocking calls inside async functions -----------------------
+
+    def _check_blocking_call(self, node: ast.Call) -> None:
+        """Emit ASY001 for a call that blocks the event loop.
+
+        Heuristic by shape: module-level blocking functions
+        (``time.sleep``, ``os.fdatasync`` …), anything on ``subprocess``,
+        the builtin ``open``, and the unambiguous pathlib whole-file
+        helpers.  Method calls like ``file.write`` are *not* matched —
+        receiver typing is out of reach for an AST linter, and the
+        sanctioned seams wrap those anyway.
+        """
+        function = node.func
+        if isinstance(function, ast.Attribute):
+            if isinstance(function.value, ast.Name):
+                owner, attribute = function.value.id, function.attr
+                if (owner, attribute) in _BLOCKING_MODULE_CALLS:
+                    self.emit(
+                        "ASY001",
+                        node,
+                        f"blocking {owner}.{attribute}(...) inside an async "
+                        "function stalls every queued decision; offload "
+                        "through the journal flush seam or pace via the "
+                        "service clock",
+                    )
+                    return
+                if owner == "subprocess":
+                    self.emit(
+                        "ASY001",
+                        node,
+                        f"subprocess.{attribute}(...) blocks the event loop "
+                        "for the child's full runtime; use an asyncio "
+                        "subprocess API or move it off the loop",
+                    )
+                    return
+            if function.attr in _BLOCKING_FILE_METHODS:
+                self.emit(
+                    "ASY001",
+                    node,
+                    f".{function.attr}(...) performs whole-file I/O inside "
+                    "an async function; read/write before entering the "
+                    "loop or offload through the sanctioned flush seam",
+                )
+        elif isinstance(function, ast.Name) and function.id == "open":
+            self.emit(
+                "ASY001",
+                node,
+                "builtin open(...) inside an async function performs "
+                "blocking file I/O; open files before entering the loop "
+                "or offload through the sanctioned flush seam",
+            )
+
+    # -- ASY002 / ASY003: discarded coroutines and orphaned tasks ------------
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            name = self._call_name(value)
+            if name in _TASK_SPAWNERS:
+                self.emit(
+                    "ASY003",
+                    value,
+                    f"{name}(...) result discarded; the loop holds tasks "
+                    "weakly, so an unreferenced task can be garbage-"
+                    "collected mid-flight — keep the handle or attach a "
+                    "done-callback",
+                )
+            elif isinstance(value.func, ast.Name) or (
+                isinstance(value.func, ast.Attribute)
+                and isinstance(value.func.value, ast.Name)
+                and value.func.value.id in {"self", "cls"}
+            ):
+                # Candidate ASY002: bare name or self./cls. method call,
+                # resolved in finalize once every module-local
+                # `async def` name is known.  Foreign receivers
+                # (`writer.close()`) are excluded — their methods only
+                # coincide with local coroutine names by accident.
+                self._bare_statement_calls.append(value)
         self.generic_visit(node)
 
     # -- OBS002: raw serialization in event-sink-aware modules --------------
@@ -264,8 +422,13 @@ class _Checker(ast.NodeVisitor):
         OBS002 pairs two facts that may appear in either source order
         (this codebase imports lazily inside functions): the module
         touches the event-sink layer, and it also calls ``json.dumps`` /
-        ``json.dump`` directly.
+        ``json.dump`` directly.  ASY002 similarly needs the full
+        ``async def`` name inventory before bare calls can be judged,
+        and ASY004/WIRE001 analyse whole class bodies.
         """
+        self._finalize_unawaited_coroutines()
+        self._finalize_loop_ownership()
+        self._finalize_wire_parity()
         if not self._imports_event_sink:
             return
         for call in self._json_dump_calls:
@@ -277,6 +440,298 @@ class _Checker(ast.NodeVisitor):
                 "through the EventLog) so COMEVT1 byte-identity digests "
                 "stay comparable",
             )
+
+    # -- ASY002: bare calls of module-local coroutine functions --------------
+
+    def _finalize_unawaited_coroutines(self) -> None:
+        """Emit ASY002 for statement-expression calls of coroutines.
+
+        Scope is module-local names (functions and methods pooled): a
+        bare call whose trailing name matches an ``async def`` defined
+        in this file builds a coroutine and throws it away.  Names also
+        defined as a *sync* function somewhere in the file are
+        ambiguous and skipped.
+        """
+        for call in self._bare_statement_calls:
+            name = self._call_name(call)
+            if name in self._async_def_names and name not in self._sync_def_names:
+                self.emit(
+                    "ASY002",
+                    call,
+                    f"{name}(...) is a coroutine function; a bare call "
+                    "builds the coroutine without running it — await it "
+                    "or hand it to asyncio.create_task/gather",
+                )
+
+    # -- ASY004: loop-owned state mutated off the decision loop --------------
+
+    def _finalize_loop_ownership(self) -> None:
+        if self._module is None:
+            return
+        for node in ast.walk(self._module):
+            if isinstance(node, ast.ClassDef):
+                self._check_class_ownership(node)
+
+    def _check_class_ownership(self, klass: ast.ClassDef) -> None:
+        """Per-class ownership analysis driven by source markers.
+
+        Attributes assigned on a ``# comlint: loop-owned`` line are the
+        guarded set.  Allowed mutators are methods reachable (through
+        ``self.``/``cls.`` calls) from the decision loop's roots —
+        ``_decision_loop`` plus any method whose ``def`` line carries
+        ``# comlint: loop-entry`` — or from setup code (``__init__``
+        and classmethods/staticmethods, which construct instances
+        before any loop exists).  Everything else runs on a caller task
+        and must not touch the guarded attributes.
+        """
+        methods = {
+            statement.name: statement
+            for statement in klass.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        owned: set[str] = set()
+        for method in methods.values():
+            for child in ast.walk(method):
+                if isinstance(
+                    child, (ast.Assign, ast.AnnAssign)
+                ) and self._line_has_marker(child.lineno, _LOOP_OWNED_MARKER):
+                    targets = (
+                        child.targets
+                        if isinstance(child, ast.Assign)
+                        else [child.target]
+                    )
+                    for target in targets:
+                        attribute = self._self_attribute_of(target)
+                        if attribute is not None:
+                            owned.add(attribute)
+        if not owned:
+            return
+        edges = {
+            name: self._self_calls(method) for name, method in methods.items()
+        }
+        roots = {
+            name
+            for name, method in methods.items()
+            if name == "_decision_loop"
+            or name == "__init__"
+            or self._is_classmethod_or_static(method)
+            or self._line_has_marker(method.lineno, _LOOP_ENTRY_MARKER)
+        }
+        allowed = self._reachable(roots, edges)
+        for name in sorted(set(methods) - allowed):
+            for attribute, node in self._owned_mutations(methods[name], owned):
+                self.emit(
+                    "ASY004",
+                    node,
+                    f"self.{attribute} is loop-owned but {name}() is not on "
+                    "the decision loop's call graph; route the mutation "
+                    "through the loop, or mark a deliberate cross-task "
+                    "touch with an inline suppression plus "
+                    "OwnershipGuard.handoff()",
+                )
+
+    @staticmethod
+    def _self_attribute_of(node: ast.expr) -> str | None:
+        """``self.attr`` / ``self.attr[...]`` → ``attr`` (else None)."""
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    @staticmethod
+    def _self_calls(method: ast.AST) -> set[str]:
+        calls: set[str] = set()
+        for child in ast.walk(method):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and isinstance(child.func.value, ast.Name)
+                and child.func.value.id in {"self", "cls"}
+            ):
+                calls.add(child.func.attr)
+        return calls
+
+    @staticmethod
+    def _is_classmethod_or_static(
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> bool:
+        for decorator in method.decorator_list:
+            target = (
+                decorator.func if isinstance(decorator, ast.Call) else decorator
+            )
+            if isinstance(target, ast.Name) and target.id in {
+                "classmethod",
+                "staticmethod",
+            }:
+                return True
+        return False
+
+    @staticmethod
+    def _reachable(roots: set[str], edges: dict[str, set[str]]) -> set[str]:
+        seen = {name for name in roots if name in edges}
+        frontier = list(seen)
+        while frontier:
+            current = frontier.pop()
+            for callee in edges.get(current, ()):
+                if callee in edges and callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return seen
+
+    def _owned_mutations(
+        self, method: ast.AST, owned: set[str]
+    ) -> list[tuple[str, ast.AST]]:
+        """Mutations of owned attributes inside one method.
+
+        Counts assignment/augmented-assignment/deletion targeting
+        ``self.attr`` (or an item of it) and *any* method call on
+        ``self.attr`` — mutating and reading method calls cannot be
+        told apart syntactically, and even reads of loop-owned state
+        are suspect off the loop (torn mid-decision views).
+        """
+        found: list[tuple[str, ast.AST]] = []
+        for child in ast.walk(method):
+            if isinstance(child, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    attribute = self._self_attribute_of(target)
+                    if attribute in owned:
+                        found.append((attribute, child))
+            elif isinstance(child, ast.Delete):
+                for target in child.targets:
+                    attribute = self._self_attribute_of(target)
+                    if attribute in owned:
+                        found.append((attribute, child))
+            elif isinstance(child, ast.Call) and isinstance(
+                child.func, ast.Attribute
+            ):
+                attribute = self._self_attribute_of(child.func.value)
+                if attribute in owned:
+                    found.append((attribute, child))
+        return found
+
+    # -- WIRE001: encoder/decoder field parity --------------------------------
+
+    def _finalize_wire_parity(self) -> None:
+        """Pair wire codecs and cross-check their field inventories.
+
+        Two pairing shapes: module-level ``<entity>_to_wire`` /
+        ``<entity>_from_wire`` functions, and ``as_dict`` /
+        ``from_dict`` methods of one class.  The encoder inventory is
+        every string key of a dict literal in the encoder; the decoder
+        inventory is every string subscript plus ``.get()``/``.pop()``
+        first argument.  Either side empty means the codec delegates
+        (no literal schema to compare) and the pair is skipped.
+        """
+        if self._module is None:
+            return
+        functions = {
+            statement.name: statement
+            for statement in self._module.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for name in sorted(functions):
+            if not name.endswith(_WIRE_ENCODER_SUFFIX):
+                continue
+            entity = name[: -len(_WIRE_ENCODER_SUFFIX)]
+            decoder = functions.get(f"{entity}{_WIRE_DECODER_SUFFIX}")
+            if decoder is not None:
+                self._check_codec_pair(
+                    functions[name], decoder, f"{entity} wire codec"
+                )
+        for node in ast.walk(self._module):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                statement.name: statement
+                for statement in node.body
+                if isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+            }
+            encoder = methods.get("as_dict")
+            decoder = methods.get("from_dict")
+            if encoder is not None and decoder is not None:
+                self._check_codec_pair(
+                    encoder, decoder, f"{node.name}.as_dict/from_dict"
+                )
+
+    def _check_codec_pair(
+        self,
+        encoder: ast.FunctionDef | ast.AsyncFunctionDef,
+        decoder: ast.FunctionDef | ast.AsyncFunctionDef,
+        label: str,
+    ) -> None:
+        written = self._encoded_fields(encoder)
+        read = self._decoded_fields(decoder)
+        if not written or not read:
+            return
+        encoder_only = sorted(written - read)
+        decoder_only = sorted(read - written)
+        if encoder_only:
+            self.emit(
+                "WIRE001",
+                encoder,
+                f"{label}: encoder writes field(s) the decoder never "
+                f"reads: {', '.join(encoder_only)} — replay silently "
+                "drops them",
+            )
+        if decoder_only:
+            self.emit(
+                "WIRE001",
+                decoder,
+                f"{label}: decoder reads field(s) the encoder never "
+                f"writes: {', '.join(decoder_only)} — they decode to "
+                "defaults forever",
+            )
+
+    @staticmethod
+    def _encoded_fields(
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> set[str]:
+        fields: set[str] = set()
+        for child in ast.walk(function):
+            if isinstance(child, ast.Dict):
+                for key in child.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        fields.add(key.value)
+        return fields
+
+    @staticmethod
+    def _decoded_fields(
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> set[str]:
+        fields: set[str] = set()
+        for child in ast.walk(function):
+            if isinstance(child, ast.Subscript):
+                index = child.slice
+                if isinstance(index, ast.Constant) and isinstance(
+                    index.value, str
+                ):
+                    fields.add(index.value)
+            elif (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in _DICT_READ_METHODS
+                and child.args
+            ):
+                first = child.args[0]
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    fields.add(first.value)
+        return fields
 
     # -- DET003: unordered iteration ---------------------------------------
 
@@ -465,11 +920,13 @@ class _Checker(ast.NodeVisitor):
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
         self._index_enabled_reads(node)
+        self._sync_def_names.add(node.name)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
         self._index_enabled_reads(node)
+        self._async_def_names.add(node.name)
         self.generic_visit(node)
 
     # -- API002: mutable dataclass defaults ---------------------------------
@@ -541,18 +998,22 @@ def lint_source(
     )
 
 
+def _label_for(path: Path, root: Path | None) -> str:
+    """The POSIX path label findings carry (relative to ``root`` if possible)."""
+    if root is not None:
+        try:
+            return path.relative_to(root).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
 def lint_file(
     path: Path, root: Path | None = None, rules: dict[str, Rule] | None = None
 ) -> list[Violation]:
     """Lint one file; findings carry paths relative to ``root``."""
-    label = path
-    if root is not None:
-        try:
-            label = path.relative_to(root)
-        except ValueError:
-            label = path
     return lint_source(
-        path.read_text(encoding="utf-8"), label.as_posix(), rules
+        path.read_text(encoding="utf-8"), _label_for(path, root), rules
     )
 
 
@@ -571,17 +1032,54 @@ def iter_python_files(paths: list[Path]) -> list[Path]:
     return sorted(collected)
 
 
+def _resolve_lint_jobs(jobs: int | None) -> int:
+    """``None``/``0`` → one worker per CPU; negative is a config error."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(f"lint jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _lint_one_file(arguments: tuple[str, str]) -> list[Violation]:
+    """Worker for the ``--jobs`` fan-out (module-level so it pickles)."""
+    filename, label = arguments
+    return lint_source(Path(filename).read_text(encoding="utf-8"), label)
+
+
 def lint_paths(
     paths: list[Path],
     root: Path | None = None,
     rules: dict[str, Rule] | None = None,
+    jobs: int | None = 1,
 ) -> list[Violation]:
-    """Lint every python file under ``paths``; sorted, deterministic."""
+    """Lint every python file under ``paths``; sorted, deterministic.
+
+    ``jobs`` fans files out over a process pool (``None``/``0`` means
+    one worker per CPU).  The fan-out mirrors ``ParallelRunner``'s
+    determinism contract: each file is an independent unit and the
+    merged report is re-sorted, so the result is byte-identical to a
+    serial run regardless of worker count or completion order.  A
+    custom ``rules`` mapping forces the serial path — workers always
+    lint against the full registry.
+    """
     if root is None:
         root = Path.cwd()
+    files = iter_python_files(paths)
+    workers = _resolve_lint_jobs(jobs)
     violations: list[Violation] = []
-    for path in iter_python_files(paths):
-        violations.extend(lint_file(path, root=root, rules=rules))
+    if workers > 1 and len(files) > 1 and rules is None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        arguments = [(str(path), _label_for(path, root)) for path in files]
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(files))
+        ) as pool:
+            for result in pool.map(_lint_one_file, arguments):
+                violations.extend(result)
+    else:
+        for path in files:
+            violations.extend(lint_file(path, root=root, rules=rules))
     return sorted(
         violations, key=lambda v: (v.path, v.line, v.column, v.rule_id)
     )

@@ -152,6 +152,75 @@ RULES: dict[str, Rule] = {
             ),
         ),
         _rule(
+            "ASY001",
+            "blocking-call-in-async",
+            "No blocking calls (time.sleep, builtin open, file "
+            "read/write helpers, os.fdatasync/fsync, subprocess.*, "
+            "socket.create_connection) inside async functions outside "
+            "the sanctioned seams (the journal flush seam, the service "
+            "clock).",
+            "The gateway's decision loop serializes every matching "
+            "decision; one blocking call inside an async function stalls "
+            "every queued decision and every connected client for its "
+            "full duration.  Blocking durability work belongs behind the "
+            "journal's flush seam (service/journal.py) and paced sleeps "
+            "behind the service clock (service/clock.py), where the "
+            "offloading policy is implemented once.",
+            allowlist=("service/journal.py", "service/clock.py"),
+        ),
+        _rule(
+            "ASY002",
+            "unawaited-coroutine",
+            "A call to a coroutine function must be awaited or handed "
+            "to asyncio.create_task/gather, never discarded as a bare "
+            "statement.",
+            "Calling `async def f` builds a coroutine object; as a bare "
+            "expression statement the body never runs and the work is "
+            "silently dropped (CPython warns only at GC time, long after "
+            "the decision that depended on it).",
+        ),
+        _rule(
+            "ASY003",
+            "orphaned-task",
+            "asyncio.create_task(...) / ensure_future(...) results must "
+            "be retained (assigned, stored, passed on) or given a "
+            "done-callback.",
+            "The event loop holds tasks weakly: a task whose only "
+            "reference is the create_task return value can be garbage-"
+            "collected mid-flight, and its exceptions vanish without a "
+            "traceback — silent task loss.  Keep the handle (the gateway "
+            "stores its loop task on self) or attach a done-callback "
+            "that retrieves the outcome.",
+        ),
+        _rule(
+            "ASY004",
+            "loop-owned-mutation",
+            "State marked `# comlint: loop-owned` may only be mutated "
+            "by the decision loop's call graph (methods reached from "
+            "_decision_loop / `# comlint: loop-entry` methods, or setup "
+            "code reached from __init__).",
+            "The gateway is serialized-fail-stop by construction: the "
+            "session, journal buffer and event ring are mutated only "
+            "between decisions, on the decision loop's task.  A mutation "
+            "from any other method runs on a caller task and can "
+            "interleave mid-decision; deliberate cross-task touches must "
+            "be suppressed inline (and wrapped in an OwnershipGuard "
+            "handoff at runtime) so every one is reviewer-visible.",
+        ),
+        _rule(
+            "WIRE001",
+            "wire-schema-parity",
+            "Paired wire codecs (<entity>_to_wire / <entity>_from_wire "
+            "functions, as_dict / from_dict methods of one class) must "
+            "read and write the same field inventory.",
+            "The COMWAL1 / COMSNAP1 / COMEVT1 formats round-trip "
+            "entities through dict codecs; a field added to an encoder "
+            "but not its decoder silently drops data on replay (or vice "
+            "versa: a decoder key no encoder produces reads defaults "
+            "forever), and the divergence only surfaces when a recovery "
+            "or byte-identity check fails far from the edit.",
+        ),
+        _rule(
             "ERR001",
             "bare-except",
             "No bare `except:` clauses.",

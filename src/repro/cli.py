@@ -267,6 +267,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "lint files across N worker processes (0 = one per CPU); the "
+            "merged report is byte-identical to a serial run"
+        ),
+    )
 
     def _add_service_scenario_flags(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -373,6 +383,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="heatmap grid resolution in km (default: 1.0)",
+    )
+    serve.add_argument(
+        "--sanitize-concurrency",
+        action="store_true",
+        help=(
+            "enable the runtime concurrency sanitizer: ownership guards "
+            "on decision-loop-owned state plus the event-loop stall "
+            "detector (docs/STATIC_ANALYSIS.md)"
+        ),
     )
 
     replay = subparsers.add_parser(
@@ -778,7 +797,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
     root = Path.cwd()
-    violations = lint_paths([Path(path) for path in args.paths], root=root)
+    violations = lint_paths(
+        [Path(path) for path in args.paths], root=root, jobs=args.jobs
+    )
     baseline_path = Path(args.baseline)
     if args.update_baseline:
         Baseline.from_violations(violations).save(baseline_path)
@@ -831,6 +852,9 @@ def _service_config(args: argparse.Namespace):
         seed=args.seed,
         service_duration=args.service_duration,
         measure_response_time=False,
+        # Only `serve` exposes the flag; the other service commands fall
+        # back to the COM_REPRO_SANITIZE_CONCURRENCY environment switch.
+        sanitize_concurrency=getattr(args, "sanitize_concurrency", False),
     )
 
 
@@ -1104,7 +1128,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     print(
         f"soak: {report.events_submitted} events, "
         f"{report.induced_crashes} induced crash(es), "
-        f"{report.retries} retried arrival(s), sanitizer on"
+        f"{report.retries} retried arrival(s), sanitizers on "
+        f"(constraints + concurrency, {report.loop_stalls} loop stall(s))"
     )
     for number, recovery in enumerate(report.recoveries, start=1):
         print(

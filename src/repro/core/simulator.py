@@ -28,6 +28,7 @@ import heapq
 from collections.abc import Callable
 from dataclasses import dataclass, field, replace
 
+from repro.analysis.concurrency import ConcurrencyMonitor, concurrency_from_env
 from repro.analysis.sanitizer import ConstraintSanitizer, sanitize_from_env
 from repro.behavior.worker_model import BehaviorOracle, WorkerBehavior
 from repro.core.acceptance import AcceptanceEstimator
@@ -157,6 +158,14 @@ class SimulatorConfig:
     #: regardless of the config value; the disabled path is a single
     #: ``is None`` check per decision.
     sanitize: bool = False
+    #: Runtime concurrency sanitizer (:mod:`repro.analysis.concurrency`):
+    #: an :class:`~repro.analysis.concurrency.OwnershipGuard` per
+    #: gateway-owned structure (session, journal buffer, event ring)
+    #: raising :class:`repro.errors.ConcurrencyViolation` on cross-task
+    #: mutation, plus an event-loop stall detector.  Force-enabled by
+    #: ``COM_REPRO_SANITIZE_CONCURRENCY``; the disabled path is a single
+    #: ``is None`` check per guarded mutation.
+    sanitize_concurrency: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -354,6 +363,15 @@ class SimulationSession:
             if (config.sanitize or sanitize_from_env())
             else None
         )
+        #: Concurrency monitor shared with the gateway (which guards its
+        #: journal buffer / event ring through the same instance).  The
+        #: session itself only carries it; ownership is claimed by the
+        #: first task-context mutation, i.e. the gateway decision loop.
+        self.concurrency_monitor = (
+            ConcurrencyMonitor()
+            if (config.sanitize_concurrency or concurrency_from_env())
+            else None
+        )
         exchange: CooperationExchange | ResilientExchange = CooperationExchange(
             scenario.platform_ids,
             cell_size_km=config.cell_size_km,
@@ -493,6 +511,8 @@ class SimulationSession:
         opportunity, and evict workers whose shift ended.  Idempotent for
         a repeated ``time``; called automatically by the submit methods.
         """
+        if self.concurrency_monitor is not None:
+            self.concurrency_monitor.touch("session")
         self.last_event_time = max(self.last_event_time, time)
         self._probe.advance(time)
         if self._resilient is not None:
@@ -526,6 +546,8 @@ class SimulationSession:
 
     def submit_worker(self, worker: Worker, time: float | None = None) -> None:
         """Deliver one worker arrival (at ``worker.arrival_time``)."""
+        if self.concurrency_monitor is not None:
+            self.concurrency_monitor.touch("session")
         self.advance_to(worker.arrival_time if time is None else time)
         probe = self._probe
         if worker.platform_id not in self.outcomes:
@@ -557,6 +579,8 @@ class SimulationSession:
         batching algorithm; its resolution arrives later through
         :attr:`on_resolution` (or as an auto-reject at :meth:`finalize`).
         """
+        if self.concurrency_monitor is not None:
+            self.concurrency_monitor.touch("session")
         self.advance_to(request.arrival_time if time is None else time)
         config = self.config
         probe = self._probe
@@ -633,6 +657,8 @@ class SimulationSession:
 
     def finalize(self) -> SimulationResult:
         """End of stream: flush, auto-reject leftovers, return the result."""
+        if self.concurrency_monitor is not None:
+            self.concurrency_monitor.touch("session")
         if self._finalized:
             raise SimulationError("session already finalized")
         self._finalized = True

@@ -95,6 +95,38 @@ class SanitizerViolation(SimulationError):
         self.constraint = constraint
 
 
+class ConcurrencyViolation(SimulationError):
+    """The concurrency sanitizer caught a cross-task mutation.
+
+    Raised by :class:`repro.analysis.concurrency.ConcurrencyMonitor`
+    (enabled via ``SimulatorConfig(sanitize_concurrency=True)``,
+    ``serve --sanitize-concurrency`` or ``COM_REPRO_SANITIZE_CONCURRENCY=1``)
+    when a structure owned by the gateway's decision loop — the session,
+    the journal buffer, the event ring — is mutated from an asyncio task
+    other than its recorded owner without an explicit
+    :meth:`~repro.analysis.concurrency.OwnershipGuard.handoff`.
+    """
+
+    def __init__(
+        self,
+        structure: str,
+        message: str,
+        *,
+        owner: str | None = None,
+        intruder: str | None = None,
+    ):
+        context = [
+            f"{label}={value}"
+            for label, value in (("owner", owner), ("intruder", intruder))
+            if value is not None
+        ]
+        suffix = f" [{', '.join(context)}]" if context else ""
+        super().__init__(f"{structure}: {message}{suffix}")
+        self.structure = structure
+        self.owner = owner
+        self.intruder = intruder
+
+
 class ExchangeUnavailableError(SimulationError):
     """The cooperation exchange (or every reachable peer) is down.
 

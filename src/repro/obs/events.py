@@ -268,6 +268,7 @@ class EventLog(EventSink):
         "next_seq",
         "emitted",
         "dropped",
+        "guard",
         "_file",
         "_pending",
         "_ring",
@@ -278,6 +279,7 @@ class EventLog(EventSink):
         "_queue_limit",
         "_epoch",
         "_closed",
+        "_write_scheduled",
     )
 
     enabled = True
@@ -318,6 +320,11 @@ class EventLog(EventSink):
         self._queue_limit = queue_limit
         self._epoch = time.monotonic()
         self._closed = False
+        #: Optional concurrency-sanitizer guard over the ring/pending
+        #: buffers (set by the gateway when the sanitizer is enabled).
+        self.guard = None
+        #: True while a deferred batch write is parked on the event loop.
+        self._write_scheduled = False
 
     @classmethod
     def resume(
@@ -363,6 +370,8 @@ class EventLog(EventSink):
         """
         if self._closed:
             return
+        if self.guard is not None:
+            self.guard.check()
         if _ENVELOPE_KEYS & fields.keys():
             raise EventLogError(
                 f"event fields may not shadow the envelope: {sorted(_ENVELOPE_KEYS & fields.keys())}"
@@ -372,8 +381,8 @@ class EventLog(EventSink):
         self.emitted += 1
         if self._file is not None:
             self._pending.append(event)
-            if len(self._pending) >= _WRITE_BATCH:
-                self._write_pending()
+            if len(self._pending) >= _WRITE_BATCH and not self._write_scheduled:
+                self._schedule_write()
         self._ring.append(event)
         if self._counter is not None:
             self._counter.inc(kind=kind)
@@ -390,6 +399,30 @@ class EventLog(EventSink):
             self._registry.gauge("service_event_lag").set(self.lag)
         for observer in self._observers:
             observer(event)
+
+    def _schedule_write(self) -> None:
+        """Park the batch encode+write on the event loop, off the decision.
+
+        ``call_soon`` runs :meth:`_drain_scheduled` after the current
+        callback (the decision that filled the batch) completes, so the
+        decision's ack is never behind a 256-event JSON encode.  The
+        callback runs on the same loop, so file bytes stay in emission
+        order and byte-identical to the inline path.  Outside any event
+        loop (tests writing streams synchronously) the batch is encoded
+        inline, as before.
+        """
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            self._write_pending()
+            return
+        self._write_scheduled = True
+        loop.call_soon(self._drain_scheduled)
+
+    def _drain_scheduled(self) -> None:
+        self._write_scheduled = False
+        if not self._closed:
+            self._write_pending()
 
     def _write_pending(self) -> None:
         """Encode and write the deferred batch in emission order."""

@@ -195,12 +195,20 @@ class MatchingGateway:
             session = Simulator(config or SimulatorConfig()).session(
                 scenario, algorithm_factory(algorithm)
             )
-        self._session = session
+        self._session = session  # comlint: loop-owned
         self.config = session.config
         self.scenario = session.scenario
         self.clock = clock or VirtualClock()
         self.admission = AdmissionController(admission)
         self.registry = MetricsRegistry()
+        # Concurrency sanitizer (repro.analysis.concurrency): the session
+        # carries the monitor (None on the measured disabled path) and
+        # the gateway guards its own loop-owned structures through the
+        # same instance.  getattr: sessions unpickled from pre-monitor
+        # snapshots lack the attribute.
+        self._monitor = getattr(session, "concurrency_monitor", None)
+        if self._monitor is not None:
+            self._monitor.attach_registry(self.registry)
         self.result: SimulationResult | None = None
         self._outcomes: dict[str, ServiceOutcome] = {}
         self._queue: asyncio.Queue | None = None
@@ -225,7 +233,7 @@ class MatchingGateway:
         self._events: EventSink = NULL_EVENT_SINK
         #: Resolution events buffered until the triggering arrival's
         #: journal append succeeds (exactly-once across crash retries).
-        self._pending_resolution_events: list[tuple[float, dict]] = []
+        self._pending_resolution_events: list[tuple[float, dict]] = []  # comlint: loop-owned
         self._breaker_trips_seen: dict[str, int] = {}
         self._canonical_events = 0
         session.on_resolution = self._record_resolution
@@ -271,6 +279,8 @@ class MatchingGateway:
             fsync_interval=config.fsync_interval,
             crash=self._crash if self._crash.active else None,
         )
+        if self._monitor is not None:
+            self._journal.guard = self._monitor.guard("journal-buffer")
         self._journal.append(
             "meta",
             format=JOURNAL_FORMAT,
@@ -292,6 +302,8 @@ class MatchingGateway:
         self._journal = journal
         self._journaled_workers = set(journaled_workers)
         self._last_checkpoint_seq = last_checkpoint_seq
+        if self._monitor is not None:
+            journal.guard = self._monitor.guard("journal-buffer")
 
     def _write_checkpoint(self) -> None:
         """Rotate the ``COMSNAP1`` checkpoint and mark it in the journal.
@@ -385,6 +397,8 @@ class MatchingGateway:
         the crashed process left it.
         """
         self._events = sink
+        if self._monitor is not None and isinstance(sink, EventLog):
+            sink.guard = self._monitor.guard("event-ring")
         if not sink.enabled:
             return
         if recovered:
@@ -481,6 +495,15 @@ class MatchingGateway:
 
     async def _decision_loop(self) -> None:
         assert self._queue is not None
+        monitor = self._monitor
+        if monitor is not None:
+            # Claim every guarded structure for this task explicitly:
+            # construction / recovery / event attachment may have run
+            # inside some other task (first-touch would mis-claim), and
+            # a restarted loop re-claims from its dead predecessor.
+            monitor.guard("session").bind()
+            monitor.guard("journal-buffer").bind()
+            monitor.guard("event-ring").bind()
         # Journaled jobs whose acks await the next group commit.
         pending_acks: list[tuple[asyncio.Future, object]] = []
         try:
@@ -496,7 +519,11 @@ class MatchingGateway:
                         # Control jobs (finalize / snapshot) must not
                         # overtake queued acknowledgements.
                         self._release_acks(pending_acks)
-                    result = self._process(kind, payload)
+                    if monitor is None:
+                        result = self._process(kind, payload)
+                    else:
+                        with monitor.measure_stall(kind):
+                            result = self._process(kind, payload)
                     if self._journal is not None and kind in _JOURNALED_KINDS:
                         # Group commit: the ack waits until the journal
                         # flush that covers this batch.  A serialized
@@ -572,7 +599,7 @@ class MatchingGateway:
             if not future.done():
                 future.set_exception(ServiceError("gateway stopped"))
 
-    def _process(self, kind: str, payload: object):
+    def _process(self, kind: str, payload: object) -> None:
         if kind == "worker":
             assert isinstance(payload, Worker)
             self._session.submit_worker(payload)
@@ -691,8 +718,13 @@ class MatchingGateway:
             )
         raise ServiceError(f"unknown gateway job kind {kind!r}")
 
-    def _record_resolution(self, request: Request, decision: Decision) -> None:
-        """Session hook: a deferred request resolved asynchronously."""
+    def _record_resolution(self, request: Request, decision: Decision) -> None:  # comlint: loop-entry
+        """Session hook: a deferred request resolved asynchronously.
+
+        Only ever fires inside :meth:`_process` (flushes happen while an
+        arrival is applied on the decision loop), hence the loop-entry
+        marker anchoring the ASY004 call graph.
+        """
         outcome = _outcome_from_decision(request, decision)
         self._outcomes[request.request_id] = outcome
         self.registry.counter("service_decisions_total").inc(
@@ -942,5 +974,8 @@ class MatchingGateway:
             },
             "journal": journal,
             "events": events,
+            "concurrency": (
+                self._monitor.stats() if self._monitor is not None else None
+            ),
             "metrics": self.registry.snapshot().as_dict(),
         }

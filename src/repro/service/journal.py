@@ -79,11 +79,16 @@ import math
 import os
 import struct
 import zlib
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
+from typing import IO, TYPE_CHECKING
 
 from repro.errors import ConfigurationError, JournalError
 from repro.faults.crash import CrashInjector
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.analysis.concurrency import OwnershipGuard
 
 __all__ = [
     "JOURNAL_FORMAT",
@@ -263,7 +268,7 @@ class Journal:
     def __init__(
         self,
         path: Path,
-        file,
+        file: IO[bytes],
         next_seq: int,
         fsync: str,
         fsync_interval: int,
@@ -279,6 +284,15 @@ class Journal:
         self._buffer = bytearray()
         self._crash = crash
         self.torn_bytes_dropped = 0
+        #: Optional concurrency-sanitizer guard over the append buffer
+        #: (:class:`repro.analysis.concurrency.OwnershipGuard`); set by
+        #: the gateway when the sanitizer is enabled, ``None`` costs one
+        #: ``is None`` test per append.
+        self.guard: "OwnershipGuard | None" = None
+        #: The flush seam's background fsync worker (lazily created) and
+        #: the first error it hit, surfaced on the next commit/close.
+        self._sync_executor: ThreadPoolExecutor | None = None
+        self._sync_error: OSError | None = None
 
     # -- construction --------------------------------------------------------
 
@@ -402,6 +416,8 @@ class Journal:
         )
 
     def _append_encoded(self, encoded: bytes) -> int:
+        if self.guard is not None:
+            self.guard.check()
         frame = _FRAME.pack(len(encoded), zlib.crc32(encoded)) + encoded
         if self._crash is not None and self._crash.active:
             # Kill points, in pipeline order: die with the record unwritten,
@@ -423,10 +439,18 @@ class Journal:
         """Write buffered records to the OS in one call; fsync per policy.
 
         Once this returns, every appended record survives a process
-        crash (and, under the ``always`` policy — or when the
-        ``interval`` threshold was crossed — an OS crash too).  No-op
-        when nothing was appended since the last commit.
+        crash (and, under the ``always`` policy, an OS crash too).  The
+        ``interval`` policy's periodic fdatasync runs on the flush
+        seam's background worker — it only narrows the OS-crash loss
+        window, which is advisory under that policy, so the decision
+        loop never blocks on it (a millisecond-class stall per interval
+        otherwise).  A failed background sync is re-raised here as
+        :class:`~repro.errors.JournalError` before anything further is
+        acknowledged.  No-op when nothing was appended since the last
+        commit.
         """
+        if self._sync_error is not None:
+            self._raise_sync_error()
         if not self._buffer:
             return
         if self._file.closed:
@@ -434,11 +458,15 @@ class Journal:
         self._file.write(self._buffer)
         self._file.flush()
         self._buffer.clear()
-        if self._fsync == "always" or (
+        if self._fsync == "always":
+            # Synchronous by contract: the ack that follows this commit
+            # promises OS-crash durability.
+            self.sync()
+        elif (
             self._fsync == "interval"
             and self._since_sync >= self._fsync_interval
         ):
-            self.sync()
+            self._schedule_sync()
 
     def sync(self) -> None:
         """fdatasync the journal file (no-op when closed)."""
@@ -446,11 +474,50 @@ class Journal:
             os.fdatasync(self._file.fileno())
         self._since_sync = 0
 
+    def _schedule_sync(self) -> None:
+        """Queue one fdatasync on the single background sync worker.
+
+        The counter resets at scheduling time so the cadence stays a
+        pure function of the record stream; the worker is one thread,
+        so syncs apply in submission order and :meth:`close` joins them
+        all with one ``shutdown(wait=True)``.
+        """
+        self._since_sync = 0
+        if self._sync_executor is None:
+            self._sync_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="journal-sync"
+            )
+        self._sync_executor.submit(self._background_sync, self._file.fileno())
+
+    def _background_sync(self, fileno: int) -> None:
+        try:
+            os.fdatasync(fileno)
+        except OSError as error:
+            # Worker thread: park the failure for the next commit/close
+            # on the decision loop to re-raise (never swallowed).
+            self._sync_error = error
+
+    def _raise_sync_error(self) -> None:
+        error = self._sync_error
+        self._sync_error = None
+        raise JournalError(
+            f"{self.path}: background fdatasync failed"
+        ) from error
+
     def close(self) -> None:
-        """Flush and close; further appends raise :class:`JournalError`."""
+        """Flush and close; further appends raise :class:`JournalError`.
+
+        Joins any in-flight background fsync first, so the descriptor
+        is never closed under a running sync.
+        """
+        if self._sync_executor is not None:
+            self._sync_executor.shutdown(wait=True)
+            self._sync_executor = None
         if not self._file.closed:
             if self._buffer:
                 self._file.write(self._buffer)
                 self._buffer.clear()
             self._file.flush()
             self._file.close()
+        if self._sync_error is not None:
+            self._raise_sync_error()

@@ -25,6 +25,7 @@ Run it from the CLI: ``com-repro soak --cycles 3``.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -100,6 +101,11 @@ class SoakReport:
     #: Recorded stream's canonical projection == an uninterrupted
     #: replay's, byte for byte (None when the event log was disabled).
     events_identical: bool | None = None
+    #: The concurrency sanitizer (ownership guards + stall detector)
+    #: was live for the run — always true for a soak.
+    concurrency_enabled: bool = False
+    #: Event-loop stalls the final lifetime's monitor observed.
+    loop_stalls: int = 0
 
     @property
     def max_recovery_seconds(self) -> float:
@@ -120,12 +126,14 @@ class SoakReport:
             "wall_seconds": self.wall_seconds,
             "event_count": self.event_count,
             "events_identical": self.events_identical,
+            "concurrency_enabled": self.concurrency_enabled,
+            "loop_stalls": self.loop_stalls,
             "metrics_row": self.metrics_row,
         }
 
 
 def _plan_for_cycle(
-    cycle: int, rng, remaining: int, checkpoint_every: int
+    cycle: int, rng: random.Random, remaining: int, checkpoint_every: int
 ) -> CrashPlan | None:
     """Arm the next kill point, guaranteed to fire within ``remaining`` ops.
 
@@ -165,10 +173,16 @@ async def run_soak(
     """
     soak = soak or SoakConfig()
     base = config or SimulatorConfig()
-    # Sanitize every decision and keep the row a pure function of the
-    # trace (engine-side wall-clock reads off) so the golden compare is
-    # exact.
-    config = replace(base, sanitize=True, measure_response_time=False)
+    # Sanitize every decision (constraints AND concurrency — the soak is
+    # exactly where cross-task races would surface) and keep the row a
+    # pure function of the trace (engine-side wall-clock reads off) so
+    # the golden compare is exact.
+    config = replace(
+        base,
+        sanitize=True,
+        sanitize_concurrency=True,
+        measure_response_time=False,
+    )
     golden_result = Simulator(config).run(scenario, algorithm_factory(algorithm))
     from repro.experiments.metrics import AlgorithmMetrics
     from repro.experiments.reporting import metrics_to_dict
@@ -278,4 +292,8 @@ async def run_soak(
         wall_seconds=watch.stop(),
         event_count=event_count,
         events_identical=events_identical,
+        concurrency_enabled=True,
+        loop_stalls=(
+            len(gateway._monitor.stalls) if gateway._monitor is not None else 0
+        ),
     )

@@ -1,0 +1,7 @@
+"""Fixture: ASY001 — a blocking call inside an async function."""
+
+import time
+
+
+async def pace_decisions() -> None:
+    time.sleep(0.1)

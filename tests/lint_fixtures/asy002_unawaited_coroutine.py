@@ -1,0 +1,9 @@
+"""Fixture: ASY002 — a coroutine called as a bare statement."""
+
+
+async def apply_decision() -> None:
+    return None
+
+
+async def decision_loop() -> None:
+    apply_decision()

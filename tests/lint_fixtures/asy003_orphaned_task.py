@@ -1,0 +1,11 @@
+"""Fixture: ASY003 — a create_task result discarded on the spot."""
+
+import asyncio
+
+
+async def heartbeat() -> None:
+    return None
+
+
+async def spawn_unsupervised() -> None:
+    asyncio.create_task(heartbeat())

@@ -1,0 +1,16 @@
+"""Fixture: ASY004 — loop-owned state mutated off the decision loop."""
+
+
+class Gateway:
+    def __init__(self) -> None:
+        self._session = object()  # comlint: loop-owned
+
+    async def _decision_loop(self) -> None:
+        self._apply()
+
+    def _apply(self) -> None:
+        # Reachable from the loop: allowed.
+        self._session = object()
+
+    def poke_from_caller_task(self) -> None:
+        self._session = object()

@@ -1,0 +1,9 @@
+"""Fixture: WIRE001 — encoder writes a field the decoder never reads."""
+
+
+def job_to_wire(job) -> dict:
+    return {"id": job.job_id, "priority": job.priority}
+
+
+def job_from_wire(payload: dict) -> tuple:
+    return (payload["id"],)

@@ -1,0 +1,247 @@
+"""Tests for :mod:`repro.analysis.concurrency` — the runtime sanitizer.
+
+Ownership guards must catch a genuine cross-task mutation (and only
+that: setup work outside any loop, handoffs, and the owning task itself
+all pass), the stall detector must flag a deliberately blocking callback
+without ever raising, and the whole monitor must survive the gateway's
+COMSNAP1 pickling path.  The gateway integration tests assert the
+anchor property is preserved with the sanitizer live: byte-identical
+metric rows, zero violations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import time
+
+import pytest
+
+from repro.analysis import (
+    CONCURRENCY_ENV_VAR,
+    ConcurrencyMonitor,
+    ConcurrencyViolation,
+    OwnershipGuard,
+    concurrency_from_env,
+)
+from repro.core import Simulator, SimulatorConfig
+from repro.core.registry import algorithm_factory
+from repro.obs.metrics import MetricsRegistry
+from repro.service import MatchingGateway
+from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+
+
+def build_scenario(seed: int = 11, requests: int = 40, workers: int = 20):
+    return SyntheticWorkload(
+        SyntheticWorkloadConfig(
+            request_count=requests, worker_count=workers, horizon_seconds=3600.0
+        )
+    ).build(seed=seed)
+
+
+class TestOwnershipGuard:
+    def test_outside_event_loop_is_setup_and_never_claims(self) -> None:
+        guard = OwnershipGuard("session")
+        guard.check()
+        guard.check()
+        assert guard.owner is None
+        assert guard.violations == 0
+
+    def test_cross_task_mutation_raises(self) -> None:
+        async def main() -> ConcurrencyViolation:
+            guard = OwnershipGuard("session")
+            owner = asyncio.current_task()
+            assert owner is not None
+            owner.set_name("decision-loop")
+            guard.check()  # first task-context mutation claims
+            assert guard.owner == "decision-loop"
+
+            async def intruder() -> ConcurrencyViolation:
+                task = asyncio.current_task()
+                assert task is not None
+                task.set_name("caller")
+                with pytest.raises(ConcurrencyViolation) as caught:
+                    guard.check()
+                return caught.value
+
+            return await asyncio.create_task(intruder())
+
+        error = asyncio.run(main())
+        assert error.structure == "session"
+        assert error.owner == "decision-loop"
+        assert error.intruder == "caller"
+        assert "owner=decision-loop" in str(error)
+
+    def test_handoff_allows_foreign_mutation(self) -> None:
+        async def main() -> str | None:
+            guard = OwnershipGuard("outcomes")
+            guard.bind()
+
+            async def caller() -> None:
+                with guard.handoff():
+                    guard.check()  # deliberate, reviewed cross-task touch
+
+            await asyncio.create_task(caller())
+            return guard.owner
+
+        assert asyncio.run(main()) is not None
+
+    def test_dead_owner_is_reclaimed_by_successor(self) -> None:
+        async def main() -> None:
+            guard = OwnershipGuard("session")
+
+            async def first_loop() -> None:
+                guard.check()
+
+            task = asyncio.create_task(first_loop())
+            await task  # owner is now done()
+
+            async def second_loop() -> None:
+                guard.check()  # re-claims instead of raising
+
+            await asyncio.create_task(second_loop())
+            assert guard.violations == 0
+
+        asyncio.run(main())
+
+
+class TestStallDetector:
+    def test_blocking_callback_is_recorded_not_raised(self) -> None:
+        registry = MetricsRegistry()
+        monitor = ConcurrencyMonitor(stall_threshold=0.01, registry=registry)
+        with monitor.measure_stall("request"):
+            time.sleep(0.03)  # deliberately hold the "loop"
+        assert len(monitor.stalls) == 1
+        label, seconds = monitor.stalls[0]
+        assert label == "request" and seconds >= 0.01
+        counter = registry.counter("service_loop_stalls_total")
+        assert counter.value(callback="request") == 1
+
+    def test_fast_callback_records_nothing(self) -> None:
+        monitor = ConcurrencyMonitor(stall_threshold=5.0)
+        with monitor.measure_stall("worker"):
+            pass
+        assert monitor.stalls == []
+
+    def test_stall_recorded_even_when_callback_raises(self) -> None:
+        monitor = ConcurrencyMonitor(stall_threshold=0.01)
+        with pytest.raises(ValueError):
+            with monitor.measure_stall("finalize"):
+                time.sleep(0.02)
+                raise ValueError("decision failed")
+        assert len(monitor.stalls) == 1
+
+
+class TestConcurrencyMonitor:
+    def test_violations_pool_across_guards(self) -> None:
+        async def main() -> ConcurrencyMonitor:
+            monitor = ConcurrencyMonitor()
+            monitor.guard("session").bind()
+            monitor.guard("journal-buffer").bind()
+
+            async def intruder() -> None:
+                with pytest.raises(ConcurrencyViolation):
+                    monitor.touch("session")
+                with pytest.raises(ConcurrencyViolation):
+                    monitor.touch("journal-buffer")
+
+            await asyncio.create_task(intruder())
+            return monitor
+
+        monitor = asyncio.run(main())
+        assert monitor.violations == 2
+        stats = monitor.stats()
+        assert stats["violations"] == 2
+        assert sorted(stats["guards"]) == ["journal-buffer", "session"]
+
+    def test_pickling_drops_task_state(self) -> None:
+        async def main() -> ConcurrencyMonitor:
+            monitor = ConcurrencyMonitor(stall_threshold=1.5)
+            monitor.guard("session").bind()
+            with monitor.measure_stall("x"):
+                pass
+            return monitor
+
+        monitor = asyncio.run(main())
+        clone = pickle.loads(pickle.dumps(monitor))
+        assert clone.stall_threshold == 1.5
+        assert clone.stats()["guards"] == {}
+        assert clone.stalls == []
+        clone.touch("session")  # usable immediately after restore
+
+    def test_env_var_switch(self) -> None:
+        assert concurrency_from_env({}) is False
+        assert concurrency_from_env({CONCURRENCY_ENV_VAR: "1"}) is True
+        assert concurrency_from_env({CONCURRENCY_ENV_VAR: "TRUE"}) is True
+        assert concurrency_from_env({CONCURRENCY_ENV_VAR: "off"}) is False
+
+
+class TestGatewayIntegration:
+    def test_sanitized_replay_stays_byte_identical(self) -> None:
+        scenario = build_scenario()
+        config = SimulatorConfig(
+            measure_response_time=False, sanitize_concurrency=True
+        )
+        golden = Simulator(
+            SimulatorConfig(measure_response_time=False)
+        ).run(scenario, algorithm_factory("ramcom"))
+
+        async def main():
+            gateway = MatchingGateway(scenario, "ramcom", config)
+            await gateway.start()
+            for event in scenario.events:
+                if event.worker is not None:
+                    await gateway.submit_worker(event.worker)
+                else:
+                    assert event.request is not None
+                    await gateway.submit_request(event.request)
+            await gateway.drain()
+            return gateway
+
+        gateway = asyncio.run(main())
+        from repro.experiments.metrics import AlgorithmMetrics
+        from repro.experiments.reporting import metrics_to_dict
+
+        assert metrics_to_dict(
+            AlgorithmMetrics.from_simulation(gateway.result)
+        ) == metrics_to_dict(AlgorithmMetrics.from_simulation(golden))
+        stats = gateway.stats()
+        assert stats["concurrency"] is not None
+        assert stats["concurrency"]["violations"] == 0
+
+    def test_disabled_path_reports_none(self) -> None:
+        scenario = build_scenario(requests=6, workers=4)
+
+        async def main():
+            gateway = MatchingGateway(
+                scenario, "ramcom", SimulatorConfig(measure_response_time=False)
+            )
+            await gateway.start()
+            await gateway.drain()
+            return gateway.stats()
+
+        assert asyncio.run(main())["concurrency"] is None
+
+    def test_foreign_task_touching_session_raises(self) -> None:
+        scenario = build_scenario(requests=10, workers=6)
+        config = SimulatorConfig(
+            measure_response_time=False, sanitize_concurrency=True
+        )
+
+        async def main() -> None:
+            gateway = MatchingGateway(scenario, "ramcom", config)
+            await gateway.start()
+            worker = next(
+                event.worker
+                for event in scenario.events
+                if event.worker is not None
+            )
+            # Legitimate path first, so the decision loop owns the session.
+            await gateway.submit_worker(worker)
+            # A caller task reaching into the session behind the loop's
+            # back is exactly the race the monitor exists to catch.
+            with pytest.raises(ConcurrencyViolation):
+                gateway._session.advance_to(1e9)
+            await gateway.stop()
+
+        asyncio.run(main())

@@ -32,6 +32,11 @@ EXPECTED = {
     "det004_builtin_hash.py": "DET004",
     "obs001_unguarded_probe.py": "OBS001",
     "obs002_raw_event_serialization.py": "OBS002",
+    "asy001_blocking_call.py": "ASY001",
+    "asy002_unawaited_coroutine.py": "ASY002",
+    "asy003_orphaned_task.py": "ASY003",
+    "asy004_loop_owned_mutation.py": "ASY004",
+    "wire001_schema_parity.py": "WIRE001",
     "err001_bare_except.py": "ERR001",
     "err002_swallowed_exception.py": "ERR002",
     "api001_mutable_default.py": "API001",
@@ -216,6 +221,38 @@ def test_cli_lint_exit_codes(tmp_path, monkeypatch, capsys) -> None:
     # --strict ignores the baseline: the legacy debt still fails the build.
     assert main(["lint", "--strict", "pkg"]) == 1
     capsys.readouterr()
+
+
+def test_jobs_fanout_matches_serial() -> None:
+    serial = lint_paths([FIXTURES], root=FIXTURES)
+    fanned = lint_paths([FIXTURES], root=FIXTURES, jobs=2)
+    assert fanned == serial
+    # jobs=0 means "one worker per core"; the report must not change.
+    assert lint_paths([FIXTURES], root=FIXTURES, jobs=0) == serial
+
+
+def test_negative_jobs_is_a_config_error() -> None:
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        lint_paths([FIXTURES], root=FIXTURES, jobs=-1)
+
+
+def test_cli_lint_jobs_flag(tmp_path, monkeypatch, capsys) -> None:
+    target = tmp_path / "pkg"
+    target.mkdir()
+    (target / "bad.py").write_text(
+        "def f(x):\n    return hash(x)\n", encoding="utf-8"
+    )
+    (target / "worse.py").write_text(
+        "import random\nSTREAM = random.Random()\n", encoding="utf-8"
+    )
+    monkeypatch.chdir(tmp_path)
+
+    assert main(["lint", "pkg"]) == 1
+    serial_out = capsys.readouterr().out
+    assert main(["lint", "--jobs", "2", "pkg"]) == 1
+    assert capsys.readouterr().out == serial_out
 
 
 def test_cli_lint_src_is_clean() -> None:
