@@ -199,6 +199,13 @@ class _Checker(ast.NodeVisitor):
         #: (function-local imports are common in this codebase).
         self._imports_event_sink = False
         self._json_dump_calls: list[ast.Call] = []
+        #: DET005 state: local names bound to the numpy module and to the
+        #: numpy.random submodule, plus every ``<name>.<attr>`` access,
+        #: paired up in :meth:`finalize` for the same source-order reason
+        #: as OBS002 (lazy function-local numpy imports are the norm).
+        self._numpy_aliases: set[str] = set()
+        self._numpy_random_aliases: set[str] = set()
+        self._attribute_reads: list[tuple[str, str, ast.Attribute]] = []
         #: ASY002 state: names of coroutine functions defined anywhere in
         #: this module (functions and methods pooled), names also defined
         #: as *sync* somewhere (ambiguous — excluded), and every bare
@@ -404,6 +411,14 @@ class _Checker(ast.NodeVisitor):
                 f"{_EVENT_SINK_MODULE}."
             ):
                 self._imports_event_sink = True
+            if alias.name == "numpy":
+                self._numpy_aliases.add(alias.asname or "numpy")
+            elif alias.name == "numpy.random":
+                if alias.asname is None:
+                    # ``import numpy.random`` binds the top-level package.
+                    self._numpy_aliases.add("numpy")
+                else:
+                    self._numpy_random_aliases.add(alias.asname)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -414,7 +429,51 @@ class _Checker(ast.NodeVisitor):
             alias.name in _EVENT_SINK_NAMES for alias in node.names
         ):
             self._imports_event_sink = True
+        if module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._numpy_random_aliases.add(alias.asname or "random")
+        elif module == "numpy.random" or module.startswith("numpy.random."):
+            self.emit(
+                "DET005",
+                node,
+                "import from numpy.random outside the sanctioned kernel "
+                "seam; draw through the pinned per-call generators in "
+                "repro.core.payment_kernel",
+            )
         self.generic_visit(node)
+
+    # -- DET005: numpy.random outside the kernel seam ----------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name):
+            self._attribute_reads.append((node.value.id, node.attr, node))
+        self.generic_visit(node)
+
+    def _finalize_numpy_random(self) -> None:
+        """Emit DET005 for ``<numpy alias>.random`` / ``<random alias>.*``.
+
+        Matching on the ``np.random`` attribute node itself (rather than
+        the full ``np.random.default_rng`` chain) reports each chain once
+        and also catches the bare submodule being passed around.
+        """
+        for owner, attribute, node in self._attribute_reads:
+            if owner in self._numpy_aliases and attribute == "random":
+                self.emit(
+                    "DET005",
+                    node,
+                    f"{owner}.random access outside the sanctioned kernel "
+                    "seam; draw through the pinned per-call generators in "
+                    "repro.core.payment_kernel",
+                )
+            elif owner in self._numpy_random_aliases:
+                self.emit(
+                    "DET005",
+                    node,
+                    f"numpy.random (as {owner!r}) use outside the "
+                    "sanctioned kernel seam; draw through the pinned "
+                    "per-call generators in repro.core.payment_kernel",
+                )
 
     def finalize(self) -> None:
         """Checks needing whole-module context, run after the AST pass.
@@ -429,6 +488,7 @@ class _Checker(ast.NodeVisitor):
         self._finalize_unawaited_coroutines()
         self._finalize_loop_ownership()
         self._finalize_wire_parity()
+        self._finalize_numpy_random()
         if not self._imports_event_sink:
             return
         for call in self._json_dump_calls:

@@ -121,6 +121,20 @@ RULES: dict[str, Rule] = {
             allowlist=("utils/rng.py",),
         ),
         _rule(
+            "DET005",
+            "numpy-random",
+            "No numpy.random use (np.random.* access, from-imports of "
+            "numpy.random) outside the vectorized payment kernel seam.",
+            "The array backend's only sanctioned randomness is the "
+            "per-call PCG64 stream constructed inside core/payment_kernel"
+            ".py, seeded from the same label-derived SHA-256 scheme as "
+            "the scalar path (docs/PERFORMANCE.md#the-array-backend); a "
+            "stray numpy.random draw anywhere else runs on a stream no "
+            "replay or byte-identity check tracks, so numpy-on and "
+            "numpy-off runs silently diverge.",
+            allowlist=("core/payment_kernel.py",),
+        ),
+        _rule(
             "OBS001",
             "unguarded-probe",
             "Probe emissions (span/instant/count/observe/gauge) in library "

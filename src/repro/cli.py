@@ -294,6 +294,37 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--service-duration", type=float, default=DEFAULT_SERVICE_DURATION
         )
+        sub.add_argument(
+            "--payment-backend",
+            choices=["auto", "numpy", "python"],
+            default="python",
+            help=(
+                "Algorithm-2 / MER pricing backend (default: python; "
+                "docs/PERFORMANCE.md#the-array-backend).  Overridable via "
+                "REPRO_PAYMENT_BACKEND."
+            ),
+        )
+        sub.add_argument(
+            "--batch",
+            type=int,
+            default=1,
+            metavar="N",
+            help=(
+                "micro-batched dispatch: drain up to N queued jobs per "
+                "decision-loop wakeup and speculate their incentive "
+                "results in one kernel call (default: 1 = off; outcomes "
+                "are identical either way, see docs/SERVICE.md)"
+            ),
+        )
+        sub.add_argument(
+            "--batch-linger-ms",
+            type=float,
+            default=0.0,
+            help=(
+                "with --batch, wait up to this long for more jobs before "
+                "processing a short batch (default: 0)"
+            ),
+        )
 
     serve = subparsers.add_parser(
         "serve",
@@ -852,10 +883,33 @@ def _service_config(args: argparse.Namespace):
         seed=args.seed,
         service_duration=args.service_duration,
         measure_response_time=False,
+        payment_backend=getattr(args, "payment_backend", "python"),
         # Only `serve` exposes the flag; the other service commands fall
         # back to the COM_REPRO_SANITIZE_CONCURRENCY environment switch.
         sanitize_concurrency=getattr(args, "sanitize_concurrency", False),
     )
+
+
+def _apply_batching(gateway, args: argparse.Namespace):
+    """Apply the --batch/--batch-linger-ms knobs to a gateway.
+
+    Restored/recovered gateways are built by classmethods without the
+    batching parameters; setting the attributes before ``start()`` is
+    equivalent to passing them at construction.
+    """
+    from repro.errors import ConfigurationError
+
+    batch_max = getattr(args, "batch", 1)
+    linger = getattr(args, "batch_linger_ms", 0.0)
+    if batch_max < 1:
+        raise ConfigurationError(f"--batch must be >= 1, got {batch_max}")
+    if linger < 0:
+        raise ConfigurationError(
+            f"--batch-linger-ms must be >= 0, got {linger}"
+        )
+    gateway.batch_max = batch_max
+    gateway.batch_linger_ms = linger
+    return gateway
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -932,6 +986,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             admission=admission,
             events=args.events,
         )
+    _apply_batching(gateway, args)
     if args.events:
         print(f"event log: {args.events} (COMEVT1)")
     if args.dashboard is not None and not isinstance(gateway.events, EventLog):
@@ -989,8 +1044,11 @@ def _cmd_replay_serve(args: argparse.Namespace) -> int:
     config = _service_config(args)
 
     async def _replay() -> dict:
-        gateway = MatchingGateway(
-            scenario=scenario, algorithm=args.algorithm, config=config
+        gateway = _apply_batching(
+            MatchingGateway(
+                scenario=scenario, algorithm=args.algorithm, config=config
+            ),
+            args,
         )
         server = MatchingServer(gateway)
         host, port = await server.start()
@@ -1008,7 +1066,9 @@ def _cmd_replay_serve(args: argparse.Namespace) -> int:
                 with tempfile.TemporaryDirectory() as tmp:
                     path = await client.snapshot(str(Path(tmp) / "mid.snap"))
                     print(f"checkpointed after {cut} events: {path}")
-                    restored = MatchingGateway.from_snapshot(path)
+                    restored = _apply_batching(
+                        MatchingGateway.from_snapshot(path), args
+                    )
                     restored_server = MatchingServer(restored)
                     r_host, r_port = await restored_server.start()
                     try:
@@ -1063,6 +1123,8 @@ def _cmd_replay_events(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             config=config,
             tcp=args.tcp,
+            batch_max=getattr(args, "batch", 1),
+            batch_linger_ms=getattr(args, "batch_linger_ms", 0.0),
         )
     )
     print(
@@ -1111,6 +1173,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         speed=args.speed,
         fsync=args.fsync,
         events=not args.no_events,
+        batch_max=getattr(args, "batch", 1),
+        batch_linger_ms=getattr(args, "batch_linger_ms", 0.0),
     )
     with contextlib.ExitStack() as stack:
         directory = args.directory or stack.enter_context(

@@ -33,6 +33,7 @@ from bisect import bisect_right
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 
+from repro.core import payment_kernel
 from repro.core.acceptance import AcceptanceEstimator
 from repro.errors import ConfigurationError
 
@@ -77,6 +78,20 @@ class MaximumExpectedRevenuePricer:
         snapshot (default).  ``False`` selects the reference per-query
         implementation — bit-identical results, kept for the equivalence
         tests and the ``bench_hotpath`` baseline.
+    backend:
+        ``"python"`` (default), ``"numpy"`` or ``"auto"`` — same knob and
+        ``REPRO_PAYMENT_BACKEND`` override as the payment estimator.  On
+        the numpy backend the whole payment grid × candidate probability
+        table is one vectorized evaluation
+        (:func:`repro.core.payment_kernel.acceptance_probabilities`);
+        quotes match the scalar path at documented float tolerance
+        (docs/PERFORMANCE.md#the-array-backend).
+    vector_min_candidates:
+        Candidate-count crossover for the numpy backend: below it the
+        scalar fast path is cheaper (fixed array-call overhead dominates
+        tiny products), so the quote delegates to it.  The rule is a
+        pure function of the candidate set, so a run's decisions are
+        identical whatever order or batching requests arrive in.
     """
 
     def __init__(
@@ -86,6 +101,8 @@ class MaximumExpectedRevenuePricer:
         include_history_breakpoints: bool = True,
         max_breakpoints: int = 200,
         fast_path: bool = True,
+        backend: str = "python",
+        vector_min_candidates: int = 4,
     ):
         if grid_steps < 1:
             raise ConfigurationError(f"grid_steps must be >= 1, got {grid_steps}")
@@ -98,6 +115,23 @@ class MaximumExpectedRevenuePricer:
         self.include_history_breakpoints = include_history_breakpoints
         self.max_breakpoints = max_breakpoints
         self.fast_path = fast_path
+        self.backend = payment_kernel.resolve_backend(backend)
+        self.vector_min_candidates = vector_min_candidates
+        #: Speculative quotes from :meth:`prime_quotes`, keyed by
+        #: ``(value, candidate_ids)`` and guarded by the candidates'
+        #: :meth:`~repro.core.acceptance.AcceptanceEstimator.history_signature`
+        #: (quotes are deterministic — no RNG — so a signature match IS
+        #: the answer, even if *other* workers' histories changed).
+        self._primed: dict[tuple, tuple[tuple[int, ...], PricingQuote]] = {}
+        #: Number of quotes answered from a primed batch.
+        self.prime_hits = 0
+
+    def _vectorize(self, worker_ids: Sequence[Hashable]) -> bool:
+        """Whether the numpy backend prices this candidate set itself."""
+        return (
+            self.backend == "numpy"
+            and len(worker_ids) >= self.vector_min_candidates
+        )
 
     def _any_acceptance_probability(
         self, payment: float, request_value: float, worker_ids: Sequence[Hashable]
@@ -131,6 +165,102 @@ class MaximumExpectedRevenuePricer:
             payments.extend(v for v in breakpoints if 0.0 < v <= request_value)
         return payments
 
+    def _quote_numpy(
+        self, request_value: float, worker_ids: Sequence[Hashable]
+    ) -> PricingQuote:
+        """Array-backend quote: one vectorized probability table.
+
+        Same candidate payments, the same sequential ``1 - p`` product in
+        candidate order (``multiply.reduce``) and the same lexicographic
+        ``(expected, payment)`` selection as the scalar loop.
+
+        Payments at or past every history entry of *some* warm candidate
+        collapse the product exactly (that candidate's Eq.-4 probability
+        is ``size/size == 1.0``, so ``any_accepts == 1.0`` and
+        ``expected == request_value - payment``, strictly decreasing) —
+        the vectorized analogue of the scalar loop's product-collapse
+        early exit.  Only the payments *below* that support bound need
+        the probability table, which is where the table's cost lives;
+        the answer is identical to evaluating every column.
+        """
+        kernel = payment_kernel
+        np = kernel._np
+        payments = np.asarray(
+            self._candidate_payments(request_value, worker_ids),
+            dtype=np.float64,
+        )
+        matrix = self.estimator.matrix(worker_ids)
+        # Smallest offer at which some warm candidate accepts surely
+        # (+inf when every candidate is cold — cold probability < 1).
+        collapse = float(np.where(matrix.cold, np.inf, matrix.support_high).min())
+        if matrix.mode == "relative":
+            offers = payments / request_value
+        else:
+            offers = payments
+        sure = offers >= collapse
+        best_payment = -np.inf
+        best_expected = -np.inf
+        best_probability = 0.0
+        if sure.any():
+            # expected == request_value - payment here, strictly
+            # decreasing, so only the smallest sure payment can win.
+            payment = float(payments[sure].min())
+            best_payment = payment
+            best_expected = request_value - payment
+            best_probability = 1.0
+            payments = payments[~sure]
+        if payments.size:
+            probabilities = kernel.acceptance_probabilities(
+                matrix, payments, request_value
+            )
+            none_accepts = np.multiply.reduce(1.0 - probabilities, axis=0)
+            any_accepts = 1.0 - none_accepts
+            expected = (request_value - payments) * any_accepts
+            sub_best = float(expected.max())
+            ties = expected == sub_best
+            tie_payments = payments[ties]
+            pick = int(tie_payments.argmax())
+            sub_payment = float(tie_payments[pick])
+            # Same lexicographic (expected, payment) rule as the scalar
+            # loop, now across the two partitions.
+            if (sub_best, sub_payment) > (best_expected, best_payment):
+                best_expected = sub_best
+                best_payment = sub_payment
+                best_probability = float(any_accepts[ties][pick])
+        return PricingQuote(
+            payment=best_payment,
+            expected_revenue=max(0.0, best_expected),
+            acceptance_probability=best_probability,
+        )
+
+    def prime_quotes(
+        self, items: Sequence[tuple[float, Sequence[Hashable]]]
+    ) -> int:
+        """Speculatively quote a batch of ``(value, candidate_ids)`` items.
+
+        Quotes are pure functions of the inputs and the candidates'
+        histories, so a later :meth:`quote` call with matching inputs
+        (and an unchanged per-candidate history signature) returns the
+        primed quote — identical by construction, never by luck.  Stale
+        or unmatched entries are simply recomputed.  Only the numpy
+        backend speculates, and only for candidate sets it would price
+        itself (``vector_min_candidates``); returns the number primed.
+        """
+        self._primed.clear()
+        if self.backend != "numpy":
+            return 0
+        for value, worker_ids in items:
+            if value <= 0 or not self._vectorize(worker_ids):
+                continue
+            ids = tuple(worker_ids)
+            cache_key = (value, ids)
+            if cache_key not in self._primed:
+                self._primed[cache_key] = (
+                    self.estimator.history_signature(ids),
+                    self._quote_numpy(value, ids),
+                )
+        return len(self._primed)
+
     def quote(
         self, request_value: float, worker_ids: Sequence[Hashable]
     ) -> PricingQuote:
@@ -143,6 +273,16 @@ class MaximumExpectedRevenuePricer:
             return PricingQuote(
                 payment=request_value, expected_revenue=0.0, acceptance_probability=0.0
             )
+        if self._vectorize(worker_ids):
+            if self._primed:
+                ids = tuple(worker_ids)
+                cached = self._primed.pop((request_value, ids), None)
+                if cached is not None:
+                    signature, primed = cached
+                    if signature == self.estimator.history_signature(ids):
+                        self.prime_hits += 1
+                        return primed
+            return self._quote_numpy(request_value, worker_ids)
         rows = (
             self.estimator.snapshot(worker_ids).rows if self.fast_path else None
         )

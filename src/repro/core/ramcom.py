@@ -45,6 +45,9 @@ class RamCOM(OnlineAlgorithm):
     """
 
     name = "RamCOM"
+    #: Micro-batching hint: the cooperative path's expensive step is a
+    #: deterministic MER quote (docs/SERVICE.md#micro-batched-dispatch).
+    speculates = "quote"
 
     def __init__(self, fixed_k: int | None = None):
         self.fixed_k = fixed_k

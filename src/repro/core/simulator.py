@@ -25,7 +25,7 @@ The engine is exposed at two granularities:
 from __future__ import annotations
 
 import heapq
-from collections.abc import Callable
+from collections.abc import Callable, Hashable, Sequence
 from dataclasses import dataclass, field, replace
 
 from repro.analysis.concurrency import ConcurrencyMonitor, concurrency_from_env
@@ -37,6 +37,7 @@ from repro.core.entities import Request, Worker
 from repro.core.events import EventKind, EventStream
 from repro.core.exchange import CooperationExchange
 from repro.core.matching import AssignmentKind, MatchRecord, MatchingLedger
+from repro.core import payment_kernel
 from repro.core.payment import MinimumOuterPaymentEstimator
 from repro.core.pricing import MaximumExpectedRevenuePricer
 from repro.errors import (
@@ -114,6 +115,14 @@ class SimulatorConfig:
     #: implementations — bit-identical results, ~2-5x slower; kept for the
     #: fast-path equivalence tests and ``benchmarks/bench_hotpath.py``.
     payment_fast_path: bool = True
+    #: Payment/acceptance backend: ``"python"`` (default — the scalar
+    #: byte-stable paths), ``"numpy"`` (the vectorized array backend;
+    #: requires the optional numpy dependency) or ``"auto"`` (numpy when
+    #: importable, pure Python otherwise).  Overridden by the
+    #: ``REPRO_PAYMENT_BACKEND`` environment variable.  The numpy backend
+    #: matches the python backend at documented tolerance, not bit
+    #: identity — see docs/PERFORMANCE.md#the-array-backend.
+    payment_backend: str = "python"
     #: Grid-index cell edge (km).
     cell_size_km: float = 1.0
     #: When False, outer candidate queries return nothing (no-cooperation
@@ -394,17 +403,23 @@ class SimulationSession:
             default_probability=config.default_acceptance,
             mode=scenario.oracle.mode,
         )
-        payment_estimator = MinimumOuterPaymentEstimator(
+        backend = payment_kernel.resolve_backend(
+            getattr(config, "payment_backend", "python")
+        )
+        self.payment_estimator = payment_estimator = MinimumOuterPaymentEstimator(
             self.acceptance,
             xi=config.payment_xi,
             eta=config.payment_eta,
             fast_path=config.payment_fast_path,
+            backend=backend,
+            kernel_seed=seeds.child("payment").derived_seed("kernel"),
         )
-        pricer = MaximumExpectedRevenuePricer(
+        self.pricer = pricer = MaximumExpectedRevenuePricer(
             self.acceptance,
             grid_steps=config.pricer_grid_steps,
             include_history_breakpoints=config.pricer_history_breakpoints,
             fast_path=config.payment_fast_path,
+            backend=backend,
         )
 
         self.algorithms: dict[str, OnlineAlgorithm] = {}
@@ -640,6 +655,82 @@ class SimulationSession:
 
         self._apply_decision(request, decision)
         return decision
+
+    def prepare_request_batch(self, requests: Sequence[Request]) -> int:
+        """Speculatively precompute the cooperative-path incentive results
+        for a contiguous run of requests about to be submitted.
+
+        The gateway's micro-batched dispatch (docs/SERVICE.md) calls this
+        on the decision loop just before processing a drained batch, so
+        the expensive Algorithm-2 estimates (DemCOM) or MER quotes
+        (RamCOM) for the whole batch run as **one** vectorized kernel
+        invocation instead of one per request.  Returns the number of
+        primed entries.
+
+        Strictly side-effect-free on matching state: candidate sets are
+        read through raw exchange queries (no probes, no resilience
+        wrappers — speculation is skipped entirely under fault injection
+        or telemetry so observable side channels stay identical), and
+        primed results are keyed by ``(value, candidate ids)`` plus the
+        candidates' per-worker history signatures and the array
+        backend's pinned per-request seeds.  Any divergence by the time
+        a request is actually decided — a worker claimed by an earlier
+        request in the batch, a completion mutating a candidate's
+        history, a re-entry changing the candidate set — misses the
+        cache and recomputes, so batched decisions are bit-identical to
+        one-at-a-time dispatch by construction.
+        """
+        if self._resilient is not None or self._probe.enabled:
+            return 0
+        if (
+            self.payment_estimator.backend != "numpy"
+            and self.pricer.backend != "numpy"
+        ):
+            return 0
+        if self.concurrency_monitor is not None:
+            self.concurrency_monitor.touch("session")
+        estimates: list[tuple[float, tuple, Hashable]] = []
+        quotes: list[tuple[float, tuple]] = []
+        for request in requests:
+            platform_id = request.platform_id
+            algorithm = self.algorithms.get(platform_id)
+            if algorithm is None:
+                continue
+            speculates = algorithm.speculates
+            if speculates is None:
+                continue
+            context = self.contexts[platform_id]
+            if not context.cooperation_enabled:
+                continue
+            if speculates == "estimate":
+                # DemCOM: inner workers preempt the cooperative path.
+                if self.exchange.has_inner_candidates(platform_id, request):
+                    continue
+            elif speculates == "quote":
+                # RamCOM: big-value requests are reserved for inner
+                # workers; they only reach the pricer when none exist.
+                threshold = getattr(algorithm, "threshold", 0.0)
+                if request.value > threshold and self.exchange.has_inner_candidates(
+                    platform_id, request
+                ):
+                    continue
+            try:
+                outer = self.exchange.outer_candidates(platform_id, request)
+            except ExchangeUnavailableError:  # pragma: no cover - defensive
+                continue
+            if not outer:
+                continue
+            ids = tuple(worker.worker_id for worker in outer)
+            if speculates == "estimate":
+                estimates.append((request.value, ids, request.request_id))
+            else:
+                quotes.append((request.value, ids))
+        primed = 0
+        if estimates:
+            primed += self.payment_estimator.prime_batch(estimates)
+        if quotes:
+            primed += self.pricer.prime_quotes(quotes)
+        return primed
 
     def breaker_trips(self) -> dict[str, int]:
         """Cumulative circuit-breaker trips per platform (empty sans faults).

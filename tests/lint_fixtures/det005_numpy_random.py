@@ -1,0 +1,8 @@
+"""Fixture: numpy.random drawn outside the kernel seam (DET005)."""
+
+import numpy as np
+
+
+def draw() -> float:
+    generator = np.random.default_rng(7)
+    return float(generator.standard_normal())

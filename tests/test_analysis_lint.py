@@ -30,6 +30,7 @@ EXPECTED = {
     "det002_wall_clock.py": "DET002",
     "det003_set_iteration.py": "DET003",
     "det004_builtin_hash.py": "DET004",
+    "det005_numpy_random.py": "DET005",
     "obs001_unguarded_probe.py": "OBS001",
     "obs002_raw_event_serialization.py": "OBS002",
     "asy001_blocking_call.py": "ASY001",
@@ -107,6 +108,43 @@ def test_obs001_guard_patterns_pass() -> None:
     )
     for source in (guarded, early_return, ifexp):
         assert lint_source(source, "mod.py") == []
+
+
+def test_det005_catches_aliased_and_lazy_numpy_random() -> None:
+    aliased_module = (
+        "import numpy.random as npr\n"
+        "def draw():\n"
+        "    return npr.default_rng(3)\n"
+    )
+    from_import = (
+        "from numpy import random\n"
+        "def draw():\n"
+        "    return random.default_rng(3)\n"
+    )
+    submodule_from = "from numpy.random import default_rng\n"
+    lazy_after_use = (
+        "def draw():\n"
+        "    return np.random.default_rng(3)\n"
+        "def _load():\n"
+        "    import numpy as np\n"
+        "    return np\n"
+    )
+    for source in (aliased_module, from_import, submodule_from, lazy_after_use):
+        violations = lint_source(source, "mod.py")
+        assert [v.rule_id for v in violations] == ["DET005"], source
+
+
+def test_det005_allows_the_kernel_seam() -> None:
+    source = (
+        "import numpy as np\n"
+        "def make_generator(seed):\n"
+        "    return np.random.Generator(np.random.PCG64(seed))\n"
+    )
+    assert lint_source(source, "core/payment_kernel.py") == []
+    assert [v.rule_id for v in lint_source(source, "core/other.py")] == [
+        "DET005",
+        "DET005",
+    ]
 
 
 def test_det003_sorted_iteration_passes() -> None:
