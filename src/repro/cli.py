@@ -209,14 +209,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench.add_argument(
+        "--cluster",
+        action="store_true",
+        help=(
+            "benchmark the sharded cluster instead: routed throughput at "
+            "1/2/4/8 shards with the scaling-ratio gate (docs/CLUSTER.md)"
+        ),
+    )
+    bench.add_argument(
         "--output", type=str, default=None, help="write the JSON payload here"
     )
     bench.add_argument(
         "--check",
         type=str,
         default=None,
-        help="compare against this reference JSON (BENCH_hotpath.json, or "
-        "BENCH_service.json with --service); exit 1 on regression",
+        help="compare against this reference JSON (BENCH_hotpath.json, "
+        "BENCH_service.json with --service, or BENCH_cluster.json with "
+        "--cluster); exit 1 on regression",
     )
     _add_jobs_flag(bench)
     bench.set_defaults(jobs=0)
@@ -484,6 +493,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless every byte-identity held",
     )
     replay_events.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "replay a merged cluster recording through this many shard "
+            "gateways (must match the recording's meta; default: 1 = "
+            "single-gateway stream)"
+        ),
+    )
+    replay_events.add_argument(
         "--output", type=str, default=None, help="write the replay report here"
     )
 
@@ -539,6 +558,132 @@ def build_parser() -> argparse.ArgumentParser:
     )
     soak.add_argument(
         "--output", type=str, default=None, help="write the JSON report here"
+    )
+
+    def _add_cluster_topology_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--shards",
+            type=int,
+            default=4,
+            help="shard gateway count (default: 4)",
+        )
+        sub.add_argument(
+            "--cell-km",
+            type=float,
+            default=2.0,
+            help="shard plan grid cell edge in km (default: 2.0)",
+        )
+        sub.add_argument(
+            "--hetero",
+            action="store_true",
+            help=(
+                "heterogeneity-aware plan: split hot cells into half-size "
+                "subcells from the trace's arrival density instead of "
+                "uniform column stripes (docs/CLUSTER.md#shard-plans)"
+            ),
+        )
+
+    serve_cluster = subparsers.add_parser(
+        "serve-cluster",
+        help=(
+            "run an N-shard gateway cluster behind one JSONL/TCP front "
+            "door with spatial routing (docs/CLUSTER.md)"
+        ),
+    )
+    _add_service_scenario_flags(serve_cluster)
+    _add_cluster_topology_flags(serve_cluster)
+    serve_cluster.add_argument("--host", default="127.0.0.1")
+    serve_cluster.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="front-door TCP port (0 = ephemeral, printed)",
+    )
+    serve_cluster.add_argument(
+        "--shard-base-port",
+        type=int,
+        default=0,
+        help=(
+            "shard k's own JSONL server listens on base+k "
+            "(default: 0 = ephemeral ports, printed)"
+        ),
+    )
+    serve_cluster.add_argument(
+        "--journal-root",
+        type=str,
+        default=None,
+        help=(
+            "arm per-shard COMWAL1 journals under this directory "
+            "(<root>/shard-<k>; default: unjournaled)"
+        ),
+    )
+    serve_cluster.add_argument(
+        "--record",
+        type=str,
+        default=None,
+        help=(
+            "write the merged cluster-ordered COMEVT1 recording here at "
+            "drain (replayable with replay-events --shards N --verify)"
+        ),
+    )
+
+    replay_cluster = subparsers.add_parser(
+        "replay-cluster",
+        help=(
+            "route the trace through an ephemeral N-shard cluster under "
+            "the virtual clock, record the merged stream, and --verify "
+            "its byte-identical replay (docs/CLUSTER.md)"
+        ),
+    )
+    _add_service_scenario_flags(replay_cluster)
+    _add_cluster_topology_flags(replay_cluster)
+    replay_cluster.add_argument(
+        "--tcp",
+        action="store_true",
+        help=(
+            "put every shard behind its own loopback JSONL server and "
+            "route through GatewayClient (adds wire + reconnect coverage)"
+        ),
+    )
+    replay_cluster.add_argument(
+        "--record",
+        type=str,
+        default=None,
+        help="write the merged recording here (default: temporary file)",
+    )
+    replay_cluster.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "re-drive the merged recording through a fresh cluster and "
+            "fail unless the canonical stream and cluster row reproduce "
+            "byte-identically (skipped when a crash is induced)"
+        ),
+    )
+    replay_cluster.add_argument(
+        "--crash-shard",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "induce a fail-stop on shard K mid-stream and require the "
+            "router to fail over to the survivors (exit 1 otherwise)"
+        ),
+    )
+    replay_cluster.add_argument(
+        "--crash-index",
+        type=int,
+        default=16,
+        help="kill-point boundary index on the crashed shard (default: 16)",
+    )
+    replay_cluster.add_argument(
+        "--crash-channel",
+        choices=["journal_append", "journal_torn", "checkpoint", "ack"],
+        default="ack",
+        help="crash channel for --crash-shard (default: ack)",
+    )
+    replay_cluster.add_argument(
+        "--output", type=str, default=None, help="write the report JSON here"
     )
 
     subparsers.add_parser("quickstart", help="tiny end-to-end demo")
@@ -776,7 +921,15 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
-    if args.service:
+    if getattr(args, "cluster", False):
+        from repro.experiments.cluster_bench import (
+            check_cluster_regression as check_regression,
+            render_cluster_report as render_report,
+            run_cluster_benchmark,
+        )
+
+        payload = run_cluster_benchmark(quick=not args.full)
+    elif args.service:
         from repro.experiments.service_bench import (
             check_service_regression as check_regression,
             render_service_report as render_report,
@@ -806,7 +959,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:
             return 1
-        what = "journal/event overhead" if args.service else "speedups"
+        if getattr(args, "cluster", False):
+            what = "cluster scaling"
+        elif args.service:
+            what = "journal/event overhead"
+        else:
+            what = "speedups"
         print(f"OK: {what} within tolerance of {args.check}")
     return 0
 
@@ -1108,6 +1266,270 @@ def _cmd_replay_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_plan(args: argparse.Namespace, scenario):
+    """The shard plan a cluster command operates on."""
+    from repro.cluster import ShardPlan, reach_from_events
+    from repro.errors import ConfigurationError
+
+    if args.shards < 1:
+        raise ConfigurationError(f"--shards must be >= 1, got {args.shards}")
+    reach = reach_from_events(scenario.events)
+    if args.hetero:
+        return ShardPlan.from_density(
+            scenario.events, args.shards, args.cell_km, reach_km=reach
+        )
+    return ShardPlan.uniform(
+        args.shards, args.cell_km, DEFAULT_CITY_KM, reach_km=reach
+    )
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import ClusterServer, stop_tcp_cluster, tcp_cluster
+
+    scenario = _service_scenario(args)
+    config = _service_config(args)
+    plan = _cluster_plan(args, scenario)
+    journal_dirs = None
+    if args.journal_root:
+        from pathlib import Path
+
+        journal_dirs = {
+            shard_id: Path(args.journal_root) / f"shard-{shard_id}"
+            for shard_id in range(plan.shard_count)
+        }
+
+    async def _serve() -> None:
+        router, logs, servers, clock = await tcp_cluster(
+            scenario,
+            plan,
+            algorithm=args.algorithm,
+            config=config,
+            host=args.host,
+            base_port=args.shard_base_port,
+            journal_dirs=journal_dirs,
+            sanitize=True,
+            batch_max=getattr(args, "batch", 1),
+            batch_linger_ms=getattr(args, "batch_linger_ms", 0.0),
+        )
+        front = ClusterServer(
+            router,
+            clock,
+            host=args.host,
+            port=args.port,
+            logs=logs,
+            record=args.record,
+        )
+        try:
+            host, port = await front.start()
+            print(
+                f"cluster front door on {host}:{port} "
+                f"({plan.shard_count} shard(s), cell {plan.cell_km} km, "
+                f"{'density' if args.hetero else 'uniform'} plan)"
+            )
+            for shard_id, server in enumerate(servers):
+                shard_host, shard_port = server.address
+                cells = len(plan.cells_of(shard_id))
+                print(
+                    f"  shard {shard_id}: {shard_host}:{shard_port} "
+                    f"({cells} cell(s))"
+                )
+            if args.record:
+                print(f"merged recording at drain: {args.record}")
+            print("verbs: ping request worker shed outcome stats drain")
+            await front.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await front.stop()
+            await stop_tcp_cluster(router, servers)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("cluster stopped")
+    return 0
+
+
+def _cmd_replay_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.cluster import (
+        drive_cluster,
+        local_cluster,
+        recording_of,
+        replay_cluster_log,
+        stop_tcp_cluster,
+        tcp_cluster,
+    )
+    from repro.faults.crash import CrashPlan
+    from repro.service import replay_event_log
+
+    scenario = _service_scenario(args)
+    config = _service_config(args)
+    plan = _cluster_plan(args, scenario)
+
+    with contextlib.ExitStack() as stack:
+        crash_plans = None
+        journal_dirs = None
+        if args.crash_shard is not None:
+            if not 0 <= args.crash_shard < plan.shard_count:
+                print(
+                    f"--crash-shard {args.crash_shard} out of range for "
+                    f"{plan.shard_count} shard(s)",
+                    file=sys.stderr,
+                )
+                return 2
+            crash_plans = {
+                args.crash_shard: CrashPlan.at(
+                    args.crash_channel, args.crash_index
+                )
+            }
+            # Every crash channel sits on the journal path, so the
+            # doomed shard gets one even when the others run bare.
+            journal_dirs = {
+                args.crash_shard: Path(
+                    stack.enter_context(
+                        tempfile.TemporaryDirectory(prefix="com-cluster-")
+                    )
+                )
+            }
+        record = args.record or str(
+            Path(
+                stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="com-cluster-rec-")
+                )
+            )
+            / "cluster.comevt"
+        )
+
+        async def _run():
+            if args.tcp:
+                router, logs, servers, _clock = await tcp_cluster(
+                    scenario,
+                    plan,
+                    algorithm=args.algorithm,
+                    config=config,
+                    journal_dirs=journal_dirs,
+                    crash_plans=crash_plans,
+                    sanitize=True,
+                    batch_max=getattr(args, "batch", 1),
+                    batch_linger_ms=getattr(args, "batch_linger_ms", 0.0),
+                )
+            else:
+                router, logs, _clock = local_cluster(
+                    scenario,
+                    plan,
+                    algorithm=args.algorithm,
+                    config=config,
+                    journal_dirs=journal_dirs,
+                    crash_plans=crash_plans,
+                    sanitize=True,
+                    batch_max=getattr(args, "batch", 1),
+                    batch_linger_ms=getattr(args, "batch_linger_ms", 0.0),
+                )
+                servers = None
+            await router.start()
+            try:
+                result = await drive_cluster(router, scenario.events)
+                recording_of(router, logs, result, record)
+            finally:
+                if servers is not None:
+                    await stop_tcp_cluster(router, servers)
+                else:
+                    await router.stop()
+            return result
+
+        result = asyncio.run(_run())
+        completed = sum(result.row["completed"].values())
+        print(
+            f"cluster drained: {plan.shard_count} shard(s), "
+            f"{result.forwards} forward(s), "
+            f"{result.cross_shard_serves} cross-shard serve(s), "
+            f"completed {completed}"
+        )
+        print(f"merged recording: {record}")
+
+        report: dict = {
+            "shards": plan.shard_count,
+            "mode": "tcp" if args.tcp else "in-process",
+            "hetero": bool(args.hetero),
+            "forwards": result.forwards,
+            "cross_shard_serves": result.cross_shard_serves,
+            "failovers": result.failovers,
+            "crashed_shards": result.crashed_shards,
+            "lost_workers": result.lost_workers,
+            "completed": completed,
+            "metrics": result.row,
+        }
+        status = 0
+        if args.crash_shard is not None:
+            degraded = (
+                args.crash_shard in result.crashed_shards
+                and result.failovers >= 1
+            )
+            report["degraded_ok"] = degraded
+            if degraded:
+                print(
+                    f"DEGRADED OK: shard {args.crash_shard} fail-stopped "
+                    f"({args.crash_channel}@{args.crash_index}); router "
+                    f"failed over {result.failovers} arrival route(s), "
+                    f"lost {result.lost_workers} worker(s), survivors "
+                    f"drained clean"
+                )
+            else:
+                print(
+                    f"DEGRADED FAIL: crash on shard {args.crash_shard} did "
+                    f"not fire or the router never failed over "
+                    f"(crashed={result.crashed_shards}, "
+                    f"failovers={result.failovers})",
+                )
+                status = 1
+        elif args.verify:
+            if plan.shard_count == 1:
+                verify_report = asyncio.run(
+                    replay_event_log(
+                        record,
+                        scenario,
+                        algorithm=args.algorithm,
+                        config=config,
+                    )
+                )
+            else:
+                verify_report = asyncio.run(
+                    replay_cluster_log(
+                        record,
+                        scenario,
+                        algorithm=args.algorithm,
+                        config=config,
+                    )
+                )
+            report["replay"] = verify_report.as_dict()
+            if verify_report.verified:
+                print(
+                    "VERIFY OK: merged canonical stream and cluster row "
+                    "byte-identical on replay"
+                )
+            else:
+                print(
+                    "VERIFY FAIL: cluster replay diverged "
+                    f"(stream={verify_report.stream_identical}, "
+                    f"row={verify_report.row_identical})"
+                )
+                status = 1
+        if args.output:
+            Path(args.output).write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"saved: {args.output}")
+        return status
+
+
 def _cmd_replay_events(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -1116,6 +1538,50 @@ def _cmd_replay_events(args: argparse.Namespace) -> int:
 
     scenario = _service_scenario(args)
     config = _service_config(args)
+    if getattr(args, "shards", 1) > 1:
+        from repro.cluster import replay_cluster_log
+
+        cluster_report = asyncio.run(
+            replay_cluster_log(
+                args.log,
+                scenario,
+                algorithm=args.algorithm,
+                config=config,
+            )
+        )
+        print(
+            f"replayed {args.log} ({cluster_report.shards} shard(s)): "
+            f"{cluster_report.recorded_events} recorded event(s), "
+            f"{cluster_report.workers} worker(s), "
+            f"{cluster_report.requests} request drive(s), "
+            f"{cluster_report.sheds} shed(s)"
+        )
+        print(
+            f"  stream "
+            f"{'identical' if cluster_report.stream_identical else 'DIVERGED'}, "
+            f"cluster row "
+            f"{'identical' if cluster_report.row_identical else 'DIVERGED'}"
+        )
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(
+                json.dumps(cluster_report.as_dict(), indent=2, sort_keys=True)
+                + "\n"
+            )
+            print(f"saved: {args.output}")
+        if args.verify:
+            if not cluster_report.verified:
+                print(
+                    "VERIFY FAIL: cluster replay did not reproduce the "
+                    "recorded stream"
+                )
+                return 1
+            print(
+                "VERIFY OK: merged canonical stream and cluster row "
+                "byte-identical to the recording"
+            )
+        return 0
     report = asyncio.run(
         replay_event_log(
             args.log,
@@ -1325,7 +1791,9 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "lint": _cmd_lint,
     "serve": _cmd_serve,
+    "serve-cluster": _cmd_serve_cluster,
     "replay-serve": _cmd_replay_serve,
+    "replay-cluster": _cmd_replay_cluster,
     "replay-events": _cmd_replay_events,
     "soak": _cmd_soak,
     "quickstart": _cmd_quickstart,

@@ -1,0 +1,245 @@
+"""Verified replay of merged cluster recordings.
+
+A cluster recording (:mod:`repro.cluster.recording`) annotates every
+canonical event with its shard, so replay does not need to re-run the
+router's forwarding logic — the recording already *is* the routing
+decision.  :func:`replay_cluster_log` splits the merged stream back into
+per-shard substreams, re-drives each through a fresh shard gateway
+(worker/decision arrivals and recorded sheds, exactly like the
+single-gateway replay), merges the regenerated streams with the same
+deterministic key, and checks the cluster-wide identities:
+
+1. **stream** — the regenerated merged stream's canonical projection
+   equals the recorded one, byte for byte;
+2. **row** — the regenerated cluster metric row's digest equals the one
+   sealed in the recording's final cluster ``drain`` event;
+3. **meta** — the recording describes this deployment (schema,
+   algorithm, scenario, platforms, shard count and plan); a mismatch
+   raises :class:`~repro.errors.ServiceError` instead of diverging.
+
+Shards are independent state machines, so the replay drives them one at
+a time on their own virtual clocks — the merged order restricted to one
+shard is that shard's original submission order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cluster.plan import ShardPlan
+from repro.cluster.recording import (
+    cluster_meta_of,
+    final_statuses_of,
+    merge_shard_streams,
+    shard_streams_of,
+)
+from repro.cluster.router import merge_rows
+from repro.core.simulator import Scenario, SimulatorConfig
+from repro.errors import ServiceError
+from repro.obs.events import (
+    CANONICAL_KINDS,
+    EVENT_SCHEMA,
+    EventLog,
+    GatewayEvent,
+    canonical_projection,
+    read_events,
+    row_digest,
+)
+from repro.service.clock import VirtualClock
+from repro.service.gateway import MatchingGateway
+from repro.service.wire import request_from_wire, worker_from_wire
+
+__all__ = ["ClusterReplayReport", "replay_cluster_log"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterReplayReport:
+    """What a cluster replay drove and which identities held."""
+
+    shards: int
+    recorded_events: int
+    canonical_events: int
+    workers: int
+    requests: int
+    sheds: int
+    #: Crash markers observed in the recorded stream (ops ``crash``).
+    crashes_recorded: int
+    stream_identical: bool
+    row_identical: bool
+    metrics_row: dict
+
+    @property
+    def verified(self) -> bool:
+        """Every byte-identity held."""
+        return self.stream_identical and self.row_identical
+
+    def as_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "recorded_events": self.recorded_events,
+            "canonical_events": self.canonical_events,
+            "workers": self.workers,
+            "requests": self.requests,
+            "sheds": self.sheds,
+            "crashes_recorded": self.crashes_recorded,
+            "stream_identical": self.stream_identical,
+            "row_identical": self.row_identical,
+            "verified": self.verified,
+        }
+
+
+def _validate_meta(
+    meta: GatewayEvent,
+    scenario: Scenario,
+    algorithm: str,
+    path: Path,
+) -> int:
+    """Check the recording describes this deployment; returns shard count."""
+    from repro.core.registry import algorithm_factory
+
+    recorded = {
+        "schema": meta.fields.get("schema"),
+        "algorithm": meta.fields.get("algorithm"),
+        "scenario": meta.fields.get("scenario"),
+        "platforms": meta.fields.get("platforms"),
+    }
+    expected = {
+        "schema": EVENT_SCHEMA,
+        "algorithm": algorithm_factory(algorithm).name,
+        "scenario": scenario.name,
+        "platforms": list(scenario.platform_ids),
+    }
+    if recorded != expected:
+        raise ServiceError(
+            f"{path}: stream meta {recorded!r} does not match the replay "
+            f"deployment {expected!r} — wrong scenario/algorithm for this "
+            f"recording"
+        )
+    shards = meta.fields.get("shards")
+    if shards is None:
+        raise ServiceError(
+            f"{path}: stream meta has no shard count — a single-gateway "
+            "recording replays through repro.service.replay instead"
+        )
+    return int(shards)  # type: ignore[call-overload]
+
+
+async def _replay_shard(
+    substream: list[GatewayEvent],
+    scenario: Scenario,
+    algorithm: str,
+    config: SimulatorConfig,
+) -> tuple[list[GatewayEvent], dict, tuple[int, int, int]]:
+    """Re-drive one shard's substream; returns (stream, row, counts)."""
+    log = EventLog(ring=0)
+    clock = VirtualClock()
+    gateway = MatchingGateway(
+        scenario, algorithm, config, clock=clock, events=log
+    )
+    workers = requests = sheds = 0
+    await gateway.start()
+    try:
+        for event in substream:
+            if event.kind == "worker":
+                worker = worker_from_wire(event.fields["worker"])
+                clock.advance_to(worker.arrival_time)
+                workers += 1
+                await gateway.submit_worker(worker)
+            elif event.kind == "decision":
+                request = request_from_wire(event.fields["request"])
+                clock.advance_to(request.arrival_time)
+                requests += 1
+                await gateway.submit_request(request)
+            elif event.kind == "shed":
+                request = request_from_wire(event.fields["request"])
+                clock.advance_to(request.arrival_time)
+                sheds += 1
+                await gateway.replay_shed(request)
+        await gateway.drain()
+    finally:
+        if gateway.running:
+            await gateway.stop()
+    return list(log.events()), gateway.metrics_dict(), (
+        workers,
+        requests,
+        sheds,
+    )
+
+
+async def replay_cluster_log(
+    path: str | Path,
+    scenario: Scenario,
+    algorithm: str = "ramcom",
+    config: SimulatorConfig | None = None,
+) -> ClusterReplayReport:
+    """Re-drive a merged cluster recording and report the identities.
+
+    The scenario/algorithm/config must be the ones the recording ran;
+    the shard plan is rebuilt from the recording's own meta event, so
+    the caller never has to reconstruct the topology by hand.
+    """
+    path = Path(path)
+    recorded = read_events(path)
+    meta = cluster_meta_of(recorded)
+    shard_count = _validate_meta(meta, scenario, algorithm, path)
+    plan_payload = meta.fields.get("plan")
+    if not isinstance(plan_payload, dict):
+        raise ServiceError(f"{path}: cluster meta carries no shard plan")
+    plan = ShardPlan.from_dict(plan_payload)
+    if plan.shard_count != shard_count:
+        raise ServiceError(
+            f"{path}: meta says {shard_count} shards but the embedded "
+            f"plan has {plan.shard_count}"
+        )
+
+    substreams = shard_streams_of(recorded, shard_count)
+    replayed_streams: list[list[GatewayEvent]] = []
+    replayed_rows: list[dict] = []
+    workers = requests = sheds = 0
+    for substream in substreams:
+        stream, row, counts = await _replay_shard(
+            substream, scenario, algorithm, config or SimulatorConfig()
+        )
+        replayed_streams.append(stream)
+        replayed_rows.append(row)
+        workers += counts[0]
+        requests += counts[1]
+        sheds += counts[2]
+
+    statuses = final_statuses_of(recorded)
+    cluster_row = merge_rows(replayed_rows, statuses)
+    merged = merge_shard_streams(replayed_streams, plan, cluster_row)
+
+    recorded_canonical = [
+        event for event in recorded if event.kind in CANONICAL_KINDS
+    ]
+    stream_identical = canonical_projection(merged) == canonical_projection(
+        recorded_canonical
+    )
+    cluster_drain = next(
+        (
+            event
+            for event in reversed(recorded)
+            if event.kind == "drain" and "shards" in event.fields
+        ),
+        None,
+    )
+    row_identical = cluster_drain is not None and row_digest(
+        cluster_row
+    ) == cluster_drain.fields.get("metrics_sha256")
+
+    return ClusterReplayReport(
+        shards=shard_count,
+        recorded_events=len(recorded),
+        canonical_events=len(recorded_canonical),
+        workers=workers,
+        requests=requests,
+        sheds=sheds,
+        crashes_recorded=sum(
+            1 for event in recorded if event.kind == "crash"
+        ),
+        stream_identical=stream_identical,
+        row_identical=row_identical,
+        metrics_row=cluster_row,
+    )

@@ -61,6 +61,7 @@ from repro.service.wire import (
 __all__ = [
     "MatchingServer",
     "DEFAULT_HOST",
+    "encode_response",
     "request_to_wire",
     "request_from_wire",
     "worker_to_wire",
@@ -68,6 +69,12 @@ __all__ = [
 ]
 
 DEFAULT_HOST = "127.0.0.1"
+
+
+def encode_response(response: dict) -> bytes:
+    """Frame one JSONL protocol response (shared with the cluster front
+    door, which must not serialize next to event-sink code itself)."""
+    return json.dumps(response, sort_keys=True).encode() + b"\n"
 
 
 # -- the server --------------------------------------------------------------
@@ -148,9 +155,7 @@ class MatchingServer:
                 if not line:
                     break
                 response = await self._answer(line)
-                writer.write(
-                    json.dumps(response, sort_keys=True).encode() + b"\n"
-                )
+                writer.write(encode_response(response))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-write; nothing to answer
